@@ -1,0 +1,106 @@
+//! Static routing policies and the shared policy trait.
+
+use ic_llmsim::{ModelId, Request};
+use rand::RngExt;
+use rand::rngs::StdRng;
+
+/// A routing policy: picks a model for each request.
+///
+/// IC-Cache's own router lives in `ic-router` (it needs richer inputs);
+/// this trait covers the baselines that the end-to-end experiments sweep.
+pub trait RoutePolicy {
+    /// Chooses the serving model for `request` at the given offered load.
+    fn choose(&mut self, request: &Request, load_rps: f64, rng: &mut StdRng) -> ModelId;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &str;
+}
+
+/// Always route to one fixed model.
+#[derive(Debug, Clone)]
+pub struct Always {
+    model: ModelId,
+    label: String,
+}
+
+impl Always {
+    /// Creates the policy.
+    pub fn new(model: ModelId, label: &str) -> Self {
+        Self {
+            model,
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl RoutePolicy for Always {
+    fn choose(&mut self, _request: &Request, _load_rps: f64, _rng: &mut StdRng) -> ModelId {
+        self.model
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Random splitter (used in sanity ablations).
+#[derive(Debug, Clone)]
+pub struct RandomSplit {
+    models: Vec<ModelId>,
+    label: String,
+}
+
+impl RandomSplit {
+    /// Creates a uniform random splitter over the given models.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty model list.
+    pub fn new(models: Vec<ModelId>) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        Self {
+            models,
+            label: "random-split".to_owned(),
+        }
+    }
+}
+
+impl RoutePolicy for RandomSplit {
+    fn choose(&mut self, _request: &Request, _load_rps: f64, rng: &mut StdRng) -> ModelId {
+        self.models[rng.random_range(0..self.models.len())]
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_stats::rng::rng_from_seed;
+    use ic_workloads::{Dataset, WorkloadGenerator};
+
+    #[test]
+    fn always_is_constant() {
+        let mut wg = WorkloadGenerator::new(Dataset::Alpaca, 91);
+        let mut rng = rng_from_seed(1);
+        let mut p = Always::new(ModelId(3), "always-large");
+        for r in wg.generate_requests(10) {
+            assert_eq!(p.choose(&r, 100.0, &mut rng), ModelId(3));
+        }
+        assert_eq!(p.name(), "always-large");
+    }
+
+    #[test]
+    fn random_split_uses_all_models() {
+        let mut wg = WorkloadGenerator::new(Dataset::Alpaca, 92);
+        let mut rng = rng_from_seed(2);
+        let mut p = RandomSplit::new(vec![ModelId(0), ModelId(1)]);
+        let mut seen = std::collections::HashSet::new();
+        for r in wg.generate_requests(50) {
+            seen.insert(p.choose(&r, 0.0, &mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks backing the paper's overhead claims:
+//! selection (<1% of request latency, §4.1 / Fig. 18), routing decisions
+//! (lightweight bandit, §4.2), the knapsack eviction solver (§4.3), and
+//! the IVF index's sub-linear search (§4.1).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use ic_embed::Embedding;
+use ic_llmsim::{Catalog, ExampleId, Generator, ModelSpec};
+use ic_manager::{KnapsackItem, dp_knapsack, greedy_knapsack};
+use ic_router::{RequestRouter, RouterConfig};
+use ic_selector::ExampleSelector;
+use ic_serving::{ClusterSim, PoolConfig};
+use ic_stats::rng::rng_from_seed;
+use ic_vecindex::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use ic_workloads::{Dataset, WorkloadGenerator};
+use std::collections::HashMap;
+
+fn bench_index_search(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let n = 20_000;
+    let mut flat = FlatIndex::new();
+    let mut ivf = IvfIndex::new(IvfConfig::default());
+    for i in 0..n {
+        let e = Embedding::gaussian(64, 1.0, &mut rng).normalized();
+        flat.insert(i, e.clone());
+        ivf.insert(i, e);
+    }
+    let q = Embedding::gaussian(64, 1.0, &mut rng).normalized();
+    let mut g = c.benchmark_group("index_search_20k");
+    g.bench_function("flat_top32", |b| {
+        b.iter(|| black_box(flat.search(black_box(&q), 32)))
+    });
+    g.bench_function("ivf_sqrtN_top32", |b| {
+        b.iter(|| black_box(ivf.search(black_box(&q), 32)))
+    });
+    g.finish();
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let sim = Generator::new();
+    let small = ModelSpec::gemma_2_2b();
+    let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 2);
+    let examples = wg.generate_examples(10_000, &ModelSpec::gemma_2_27b(), ic_llmsim::ModelId(0), &sim);
+    let mut selector = ExampleSelector::standard();
+    let mut store: HashMap<ExampleId, ic_llmsim::Example> = HashMap::new();
+    for e in examples {
+        selector.index_example(e.id, e.embedding.clone());
+        store.insert(e.id, e);
+    }
+    let requests = wg.generate_requests(64);
+    let mut g = c.benchmark_group("selector");
+    let mut i = 0usize;
+    g.bench_function("stage1_only", |b| {
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            black_box(selector.stage1(&requests[i]))
+        })
+    });
+    g.bench_function("two_stage_select", |b| {
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            black_box(selector.select(&requests[i], &store, &small))
+        })
+    });
+    g.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let small = catalog.by_name("gemma-2-2b").unwrap();
+    let large = catalog.by_name("gemma-2-27b").unwrap();
+    let mut router = RequestRouter::new(vec![small, large], &catalog, 64, RouterConfig::default());
+    let mut wg = WorkloadGenerator::new(Dataset::Alpaca, 3);
+    let requests = wg.generate_requests(64);
+    let mut rng = rng_from_seed(4);
+    let mut g = c.benchmark_group("router");
+    let mut i = 0usize;
+    g.bench_function("route_decision", |b| {
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            black_box(router.route(&requests[i], &[0.2, 0.1], &mut rng))
+        })
+    });
+    g.bench_function("reward_update", |b| {
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            router.record_reward(small, &requests[i], &[0.2], 0.7);
+        })
+    });
+    g.finish();
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut rng = rng_from_seed(5);
+    use rand::RngExt;
+    let items: Vec<KnapsackItem> = (0..5_000)
+        .map(|i| KnapsackItem {
+            id: ExampleId(i),
+            weight: rng.random_range(200..4_000),
+            value: rng.random::<f64>() * 10.0,
+        })
+        .collect();
+    let capacity: usize = items.iter().map(|i| i.weight).sum::<usize>() / 2;
+    let small_items: Vec<KnapsackItem> = items.iter().take(60).cloned().collect();
+    let small_cap: usize = small_items.iter().map(|i| i.weight).sum::<usize>() / 2;
+    let mut g = c.benchmark_group("knapsack_eviction");
+    g.bench_function("greedy_5k_items", |b| {
+        b.iter(|| black_box(greedy_knapsack(black_box(&items), capacity)))
+    });
+    g.bench_function("dp_exact_60_items", |b| {
+        b.iter(|| black_box(dp_knapsack(black_box(&small_items), small_cap)))
+    });
+    g.finish();
+}
+
+fn bench_serving_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serving");
+    g.bench_function("cluster_replay_1k_jobs", |b| {
+        b.iter(|| {
+            let mut cluster = ClusterSim::new(vec![PoolConfig::for_gpus("m", 8, 1, 8)]);
+            let jobs: Vec<ic_serving::JobSpec> = (0..1_000)
+                .map(|i| ic_serving::JobSpec {
+                    id: ic_serving::JobId(i),
+                    pool: 0,
+                    arrival: ic_desim::SimTime::from_secs_f64(i as f64 * 0.05),
+                    ttft_secs: 0.1,
+                    decode_secs: 1.5,
+                })
+                .collect();
+            black_box(cluster.run(jobs))
+        })
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let sim = Generator::new();
+    let spec = ModelSpec::gemma_2_2b();
+    let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 6);
+    let requests = wg.generate_requests(64);
+    let mut rng = rng_from_seed(7);
+    let mut g = c.benchmark_group("llmsim");
+    let mut i = 0usize;
+    g.bench_function("generate_bare", |b| {
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            black_box(sim.generate(&spec, &requests[i], &ic_llmsim::GenSetup::bare(), &mut rng))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_search,
+    bench_selector,
+    bench_router,
+    bench_knapsack,
+    bench_serving_step,
+    bench_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the `fig01_tradeoff` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig01_tradeoff");
+}

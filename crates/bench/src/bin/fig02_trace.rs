@@ -1,0 +1,5 @@
+//! Regenerates the `fig02_trace` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig02_trace");
+}

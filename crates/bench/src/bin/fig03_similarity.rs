@@ -1,0 +1,5 @@
+//! Regenerates the `fig03_similarity` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig03_similarity");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig04_icl_gain` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig04_icl_gain");
+}

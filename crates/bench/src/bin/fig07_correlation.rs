@@ -1,0 +1,5 @@
+//! Regenerates the `fig07_correlation` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig07_correlation");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig09_twostage` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig09_twostage");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig10_longtail` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig10_longtail");
+}

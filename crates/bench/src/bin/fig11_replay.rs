@@ -1,0 +1,5 @@
+//! Regenerates the `fig11_replay` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig11_replay");
+}

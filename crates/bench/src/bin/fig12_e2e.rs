@@ -1,0 +1,5 @@
+//! Regenerates the `fig12_e2e` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig12_e2e");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig13_tradeoff_curves` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig13_tradeoff_curves");
+}

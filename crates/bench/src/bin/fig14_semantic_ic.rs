@@ -1,0 +1,5 @@
+//! Regenerates the `fig14_semantic_ic` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig14_semantic_ic");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig15_sft_rag` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig15_sft_rag");
+}

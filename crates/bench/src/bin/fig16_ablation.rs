@@ -1,0 +1,5 @@
+//! Regenerates the `fig16_ablation` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig16_ablation");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig17_sidebyside` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig17_sidebyside");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig18_breakdown` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig18_breakdown");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig19_cachesize` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig19_cachesize");
+}

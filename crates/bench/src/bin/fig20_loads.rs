@@ -1,0 +1,5 @@
+//! Regenerates the `fig20_loads` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig20_loads");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig21_dp` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig21_dp");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig27_distributions` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("fig27_distributions");
+}

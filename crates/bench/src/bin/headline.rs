@@ -1,0 +1,5 @@
+//! Regenerates the `headline` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("headline");
+}

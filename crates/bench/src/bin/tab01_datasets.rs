@@ -1,0 +1,5 @@
+//! Regenerates the `tab01_datasets` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("tab01_datasets");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `tab02_rag` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("tab02_rag");
+}

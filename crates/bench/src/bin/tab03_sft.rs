@@ -1,0 +1,5 @@
+//! Regenerates the `tab03_sft` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("tab03_sft");
+}

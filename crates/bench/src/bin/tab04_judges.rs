@@ -1,0 +1,5 @@
+//! Regenerates the `tab04_judges` experiment. Pass `--quick` for a fast run.
+
+fn main() {
+    ic_bench::cli_main("tab04_judges");
+}

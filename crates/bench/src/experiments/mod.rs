@@ -1,0 +1,42 @@
+//! One module per paper artifact. Every module exposes
+//! `run(scale) -> Report`; `all()` enumerates them for the
+//! `all_experiments` binary.
+
+pub mod e2e;
+pub mod motivation;
+pub mod quality;
+pub mod selection;
+pub mod tables;
+
+use crate::harness::Scale;
+use crate::report::Report;
+
+/// Runs every experiment in paper order.
+pub fn all(scale: Scale) -> Vec<Report> {
+    vec![
+        motivation::fig01_tradeoff(scale),
+        motivation::fig02_trace(scale),
+        motivation::fig03_similarity(scale),
+        motivation::fig04_icl_gain(scale),
+        motivation::fig07_correlation(scale),
+        selection::fig09_twostage(scale),
+        selection::fig10_longtail(scale),
+        selection::fig11_replay(scale),
+        e2e::fig12_e2e(scale),
+        e2e::fig13_tradeoff_curves(scale),
+        quality::fig14_semantic_ic(scale),
+        quality::fig15_sft_rag(scale),
+        e2e::fig16_ablation(scale),
+        quality::fig17_sidebyside(scale),
+        e2e::fig18_breakdown(scale),
+        selection::fig19_cachesize(scale),
+        e2e::fig20_loads(scale),
+        quality::fig21_dp(scale),
+        quality::fig27_distributions(scale),
+        tables::tab01_datasets(scale),
+        quality::tab02_rag(scale),
+        quality::tab03_sft(scale),
+        tables::tab04_judges(scale),
+        e2e::headline(scale),
+    ]
+}

@@ -1,0 +1,246 @@
+//! Shared experiment machinery.
+
+use ic_cache::{IcCacheConfig, IcCacheSystem};
+use ic_judge::{Autorater, PairwiseEval};
+use ic_llmsim::{Generator, ModelId, ModelSpec};
+use ic_serving::{ClusterSim, JobId, JobSpec, PoolConfig};
+use ic_stats::rng::rng_from_seed;
+use ic_workloads::{Dataset, WorkloadGenerator};
+use rand::rngs::StdRng;
+
+/// Experiment scale: fraction of the Table 1 workload sizes to draw and a
+/// root seed. `quick()` keeps CI fast; `full()` is used for the recorded
+/// EXPERIMENTS.md numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Fraction of paper-scale request/example counts.
+    pub fraction: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Small (seconds per experiment) — used by tests.
+    pub fn quick() -> Self {
+        Self {
+            fraction: 0.004,
+            seed: 20_250_613,
+        }
+    }
+
+    /// The recorded scale: large enough for stable statistics, small
+    /// enough that the full suite finishes in minutes.
+    pub fn full() -> Self {
+        Self {
+            fraction: 0.02,
+            seed: 20_250_613,
+        }
+    }
+
+    /// Scales a paper-sized count, with a floor.
+    pub fn count(&self, paper_size: usize, floor: usize) -> usize {
+        ((paper_size as f64 * self.fraction) as usize).max(floor)
+    }
+}
+
+/// A ready-to-run small/large pair on one dataset: seeded system, the
+/// workload generator, and the pair's specs.
+pub struct PairSetup {
+    /// The assembled IC-Cache system with a seeded example bank.
+    pub system: IcCacheSystem,
+    /// The workload generator (pull requests from here).
+    pub generator: WorkloadGenerator,
+    /// Small (offload) model.
+    pub small: ModelId,
+    /// Large (primary) model.
+    pub large: ModelId,
+    /// Small model spec.
+    pub small_spec: ModelSpec,
+    /// Large model spec.
+    pub large_spec: ModelSpec,
+    /// A generation simulator for baseline (non-system) generations.
+    pub sim: Generator,
+    /// RNG for baseline generations and judging.
+    pub rng: StdRng,
+    /// The judge.
+    pub judge: Autorater,
+}
+
+impl PairSetup {
+    /// Builds a Gemma-pair setup on `dataset` with `n_examples` seeded
+    /// examples.
+    pub fn gemma(dataset: Dataset, n_examples: usize, seed: u64) -> Self {
+        Self::with_config(IcCacheConfig::gemma_pair(), dataset, n_examples, seed)
+    }
+
+    /// Builds a setup from any two-model config.
+    pub fn with_config(
+        config: IcCacheConfig,
+        dataset: Dataset,
+        n_examples: usize,
+        seed: u64,
+    ) -> Self {
+        let small = config.offload_models()[0];
+        let large = config.primary;
+        let small_spec = config.catalog.get(small).clone();
+        let large_spec = config.catalog.get(large).clone();
+        let sim = Generator::new();
+        let mut generator = WorkloadGenerator::sized(dataset, seed, n_examples);
+        let examples = generator.generate_examples(n_examples, &large_spec, large, &sim);
+        let mut system = IcCacheSystem::new(config);
+        system.seed_examples(examples, 0.0);
+        Self {
+            system,
+            generator,
+            small,
+            large,
+            small_spec,
+            large_spec,
+            sim,
+            rng: rng_from_seed(seed ^ EVAL_SEED_SALT),
+            judge: Autorater::standard(),
+        }
+    }
+
+    /// Warm-up: serve `n` requests so the proxy, bandit and threshold
+    /// controller have converged before measurement (the paper's systems
+    /// are long-running; experiments measure steady state).
+    pub fn warm_up(&mut self, n: usize) {
+        for r in self.generator.generate_requests(n) {
+            let _ = self.system.serve(&r);
+        }
+    }
+}
+
+/// Salt for evaluation RNGs (kept separate from workload seeds).
+const EVAL_SEED_SALT: u64 = 0xE7A1;
+
+/// Judged side-by-side comparison of two per-request quality vectors
+/// (A vs B), using the paper's 16-comparison balanced protocol. Returns
+/// `(average_score, win_rate)` from A's perspective.
+pub fn side_by_side(
+    judge: &Autorater,
+    quality_a: &[f64],
+    quality_b: &[f64],
+    rng: &mut StdRng,
+) -> (f64, f64) {
+    assert_eq!(quality_a.len(), quality_b.len(), "paired inputs required");
+    let mut eval = PairwiseEval::new();
+    for (&qa, &qb) in quality_a.iter().zip(quality_b) {
+        eval.record(judge.score_balanced(qa, qb, 8, rng));
+    }
+    (eval.average_score(), eval.win_rate())
+}
+
+/// GPU-seconds one request consumes on a model (zero-load).
+pub fn gpu_seconds(spec: &ModelSpec, e2e_secs: f64) -> f64 {
+    e2e_secs * f64::from(spec.gpus_per_replica)
+}
+
+/// Normalized serving throughput of a policy that offloads fraction `p`
+/// of requests to the small model, relative to always-large (Fig. 13's
+/// x-axis): the reciprocal of relative GPU-time per request.
+pub fn normalized_throughput(
+    p_offload: f64,
+    small_gpu_secs: f64,
+    large_gpu_secs: f64,
+) -> f64 {
+    let rel = (1.0 - p_offload) + p_offload * (small_gpu_secs / large_gpu_secs);
+    1.0 / rel.max(1e-9)
+}
+
+/// Builds a two-pool cluster (pool 0 = small, pool 1 = large) over
+/// `total_gpus`, split as in the evaluation: the large model keeps one
+/// replica's worth of GPUs, the rest go to the small pool.
+pub fn mixed_cluster(small_spec: &ModelSpec, large_spec: &ModelSpec, total_gpus: u32) -> ClusterSim {
+    let large_gpus = large_spec.gpus_per_replica.min(total_gpus);
+    let small_gpus = (total_gpus - large_gpus).max(1);
+    ClusterSim::new(vec![
+        PoolConfig::for_gpus(&small_spec.name, small_gpus, small_spec.gpus_per_replica, 8),
+        PoolConfig::for_gpus(&large_spec.name, large_gpus, large_spec.gpus_per_replica, 8),
+    ])
+}
+
+/// Builds a single-pool cluster giving every GPU to one model.
+pub fn single_cluster(spec: &ModelSpec, total_gpus: u32) -> ClusterSim {
+    ClusterSim::new(vec![PoolConfig::for_gpus(
+        &spec.name,
+        total_gpus,
+        spec.gpus_per_replica,
+        8,
+    )])
+}
+
+/// Turns `(arrival, pool, zero-load latency)` decisions into cluster jobs.
+pub fn to_jobs(rows: &[(u64, usize, f64, f64, f64)]) -> Vec<JobSpec> {
+    rows.iter()
+        .map(|&(id, pool, at, ttft, decode)| JobSpec {
+            id: JobId(id),
+            pool,
+            arrival: ic_desim::SimTime::from_secs_f64(at),
+            ttft_secs: ttft,
+            decode_secs: decode,
+        })
+        .collect()
+}
+
+/// Instantaneous offered load (requests/second) estimated from the last
+/// `window` arrivals before index `i`.
+pub fn recent_rps(arrivals: &[f64], i: usize, window: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    let lo = i.saturating_sub(window);
+    let dt = arrivals[i] - arrivals[lo];
+    if dt <= 0.0 {
+        return 0.0;
+    }
+    (i - lo) as f64 / dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_counts_scale() {
+        let s = Scale::quick();
+        assert!(s.count(100_000, 10) >= 10);
+        assert!(Scale::full().count(100_000, 10) > s.count(100_000, 10));
+    }
+
+    #[test]
+    fn normalized_throughput_matches_hand_math() {
+        // Offloading nothing = 1x; everything to a 10x-cheaper model = 10x.
+        assert!((normalized_throughput(0.0, 7.0, 70.0) - 1.0).abs() < 1e-9);
+        assert!((normalized_throughput(1.0, 7.0, 70.0) - 10.0).abs() < 1e-9);
+        let half = normalized_throughput(0.5, 7.0, 70.0);
+        assert!(half > 1.5 && half < 2.0);
+    }
+
+    #[test]
+    fn side_by_side_detects_clear_winner() {
+        let judge = Autorater::standard();
+        let mut rng = rng_from_seed(1);
+        let a = vec![0.9; 40];
+        let b = vec![0.4; 40];
+        let (score, wr) = side_by_side(&judge, &a, &b, &mut rng);
+        assert!(score > 1.0);
+        assert!(wr > 0.9);
+    }
+
+    #[test]
+    fn recent_rps_estimates_rate() {
+        let arrivals: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect(); // 2 rps.
+        let rps = recent_rps(&arrivals, 50, 20);
+        assert!((rps - 2.0).abs() < 0.2);
+        assert_eq!(recent_rps(&arrivals, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn pair_setup_builds_and_serves() {
+        let mut setup = PairSetup::gemma(Dataset::MsMarco, 100, 9);
+        setup.warm_up(20);
+        assert_eq!(setup.system.served(), 20);
+    }
+}

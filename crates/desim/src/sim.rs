@@ -1,0 +1,282 @@
+//! The event queue and simulation driver.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event: ordering key is `(time, seq)` so that events scheduled
+/// for the same instant fire in scheduling (FIFO) order — a requirement for
+/// deterministic replay.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over events of type `E`.
+///
+/// The simulator owns a virtual clock and a priority queue of pending
+/// events. Callers either drive it manually with [`Simulator::next`] or hand
+/// a handler to [`Simulator::run`] / [`Simulator::run_until`]. Handlers may
+/// schedule further events, including at the current instant (which fire
+/// after already-queued same-instant events).
+///
+/// # Examples
+///
+/// ```
+/// use ic_desim::{SimDuration, SimTime, Simulator};
+///
+/// // A ping-pong of two events 100ms apart.
+/// let mut sim: Simulator<u32> = Simulator::new();
+/// sim.schedule(SimTime::ZERO, 0);
+/// let mut fired = Vec::new();
+/// sim.run(|sim, n| {
+///     fired.push((sim.now(), n));
+///     if n < 3 {
+///         sim.schedule_in(SimDuration::from_millis(100), n + 1);
+///     }
+/// });
+/// assert_eq!(fired.len(), 4);
+/// assert_eq!(fired[3].0, SimTime::from_millis(300));
+/// ```
+pub struct Simulator<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to
+    /// "now" so time never runs backwards, and debug builds assert.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` from the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Runs until the queue is empty, passing each event to `handler`.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some((_, ev)) = self.next() {
+            handler(self, ev);
+        }
+    }
+
+    /// Runs until the queue is empty or the next event is strictly after
+    /// `end`. Events exactly at `end` are processed. On return, the clock is
+    /// at the last processed event (or `end` if nothing remained earlier
+    /// than it).
+    pub fn run_until(&mut self, end: SimTime, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some(t) = self.peek_time() {
+            if t > end {
+                break;
+            }
+            let (_, ev) = self.next().expect("peeked event exists");
+            handler(self, ev);
+        }
+        if self.now < end {
+            self.now = end;
+        }
+    }
+
+    /// Discards all pending events without running them.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule(SimTime::from_micros(30), 3);
+        sim.schedule(SimTime::from_micros(10), 1);
+        sim.schedule(SimTime::from_micros(20), 2);
+        let mut out = Vec::new();
+        sim.run(|_, e| out.push(e));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            sim.schedule(t, i);
+        }
+        let mut out = Vec::new();
+        sim.run(|_, e| out.push(e));
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.schedule(SimTime::from_secs(2), ());
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.next();
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule(SimTime::ZERO, 0);
+        let mut count = 0;
+        sim.run(|sim, n| {
+            count += 1;
+            if n < 9 {
+                sim.schedule_in(SimDuration::from_micros(1), n + 1);
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), SimTime::from_micros(9));
+        assert_eq!(sim.processed(), 10);
+    }
+
+    #[test]
+    fn same_instant_followups_run_after_queued_peers() {
+        let mut sim: Simulator<&'static str> = Simulator::new();
+        sim.schedule(SimTime::ZERO, "a");
+        sim.schedule(SimTime::ZERO, "b");
+        let mut out = Vec::new();
+        sim.run(|sim, e| {
+            out.push(e);
+            if e == "a" {
+                sim.schedule(sim.now(), "a-followup");
+            }
+        });
+        assert_eq!(out, vec!["a", "b", "a-followup"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 1..=10 {
+            sim.schedule(SimTime::from_secs(i), i as u32);
+        }
+        let mut out = Vec::new();
+        sim.run_until(SimTime::from_secs(5), |_, e| out.push(e));
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        assert_eq!(sim.len(), 5);
+        // Resume picks up where it left off.
+        sim.run_until(SimTime::from_secs(20), |_, e| out.push(e));
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.run_until(SimTime::from_secs(7), |_, _| {});
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn clear_discards_pending() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        sim.schedule(SimTime::from_secs(1), 1);
+        sim.clear();
+        assert!(sim.is_empty());
+        assert_eq!(sim.next().map(|(_, e)| e), None);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let build = || {
+            let mut sim: Simulator<u64> = Simulator::new();
+            for i in 0..50u64 {
+                sim.schedule(SimTime::from_micros((i * 37) % 13), i);
+            }
+            let mut trace = Vec::new();
+            sim.run(|sim, e| trace.push((sim.now().as_micros(), e)));
+            trace
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,256 @@
+//! Latent topic space calibrated to the paper's similarity statistics.
+//!
+//! Construction: every latent request vector is
+//!
+//! ```text
+//! latent = normalize( sqrt(w) * anchor + sqrt(1 - w) * topic_dir + noise )
+//! ```
+//!
+//! where `anchor` is one fixed unit vector shared by the whole space,
+//! `topic_dir` is a per-topic random unit vector orthogonalized against the
+//! anchor, and `noise` is isotropic Gaussian per request. In high dimension
+//! two random topic directions are nearly orthogonal, so the expected
+//! cosine between requests of *different* topics is ≈ `w` (the paper's 0.5
+//! for random pairs) while requests of the *same* topic land at
+//! ≈ `1 / (1 + sigma^2)` (the paper's ≥ 0.8 for similar pairs; §2.3).
+
+use ic_stats::rng::rng_from_seed;
+use rand::Rng;
+
+use crate::vector::Embedding;
+
+/// Configuration for a [`TopicSpace`].
+#[derive(Debug, Clone)]
+pub struct TopicSpaceConfig {
+    /// Embedding dimensionality. 64 is plenty: random unit vectors at
+    /// dim 64 have |cos| ~ 0.125 on average, well under the topic signal.
+    pub dim: usize,
+    /// Number of distinct topics.
+    pub num_topics: usize,
+    /// Weight of the shared anchor (expected cross-topic cosine).
+    pub anchor_weight: f64,
+    /// Per-request latent noise standard deviation (total, not per
+    /// component); controls within-topic cosine.
+    pub member_noise: f64,
+}
+
+impl Default for TopicSpaceConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            num_topics: 256,
+            anchor_weight: 0.5,
+            member_noise: 0.38,
+        }
+    }
+}
+
+/// A generated latent topic space.
+///
+/// # Examples
+///
+/// ```
+/// use ic_embed::{TopicSpace, TopicSpaceConfig};
+/// use ic_stats::rng::rng_from_seed;
+///
+/// let space = TopicSpace::generate(7, TopicSpaceConfig::default());
+/// let mut rng = rng_from_seed(1);
+/// let a = space.sample_member(0, &mut rng);
+/// let b = space.sample_member(0, &mut rng);
+/// assert!(a.cosine(&b) > 0.7); // Same topic: similar.
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopicSpace {
+    config: TopicSpaceConfig,
+    anchor: Embedding,
+    topic_dirs: Vec<Embedding>,
+}
+
+impl TopicSpace {
+    /// Deterministically generates a topic space from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `num_topics == 0` (configuration error).
+    pub fn generate(seed: u64, config: TopicSpaceConfig) -> Self {
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(config.num_topics > 0, "num_topics must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.anchor_weight),
+            "anchor_weight must be in [0, 1)"
+        );
+        let mut rng = rng_from_seed(seed);
+        let anchor = Embedding::gaussian(config.dim, 1.0, &mut rng).normalized();
+        let topic_dirs = (0..config.num_topics)
+            .map(|_| {
+                let mut dir = Embedding::gaussian(config.dim, 1.0, &mut rng);
+                // Project out the anchor so the anchor weight fully controls
+                // the cross-topic floor.
+                let proj = dir.dot(&anchor);
+                dir.add_scaled(&anchor, -proj);
+                dir.normalized()
+            })
+            .collect();
+        Self {
+            config,
+            anchor,
+            topic_dirs,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.topic_dirs.len()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// The configuration used at generation time.
+    pub fn config(&self) -> &TopicSpaceConfig {
+        &self.config
+    }
+
+    /// The noiseless center of a topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` is out of range.
+    pub fn topic_center(&self, topic: usize) -> Embedding {
+        let w = self.config.anchor_weight;
+        let mut v = Embedding::zeros(self.config.dim);
+        v.add_scaled(&self.anchor, w.sqrt());
+        v.add_scaled(&self.topic_dirs[topic], (1.0 - w).sqrt());
+        v.normalized()
+    }
+
+    /// Samples a latent vector for one request/example of the given topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` is out of range.
+    pub fn sample_member(&self, topic: usize, rng: &mut impl Rng) -> Embedding {
+        let mut v = self.topic_center(topic);
+        let per_component = self.config.member_noise / (self.config.dim as f64).sqrt();
+        let noise = Embedding::gaussian(self.config.dim, per_component, rng);
+        v.add_scaled(&noise, 1.0);
+        v.normalized()
+    }
+
+    /// Samples a latent vector that interpolates two topics (used for
+    /// "drifting" request distributions in the dynamics experiments).
+    pub fn sample_blend(&self, a: usize, b: usize, t: f64, rng: &mut impl Rng) -> Embedding {
+        let mut v = self.topic_center(a);
+        let vb = self.topic_center(b);
+        let t = t.clamp(0.0, 1.0);
+        for (x, &y) in v.as_mut_slice().iter_mut().zip(vb.as_slice()) {
+            *x = (1.0 - t) as f32 * *x + t as f32 * y;
+        }
+        let per_component = self.config.member_noise / (self.config.dim as f64).sqrt();
+        let noise = Embedding::gaussian(self.config.dim, per_component, rng);
+        v.add_scaled(&noise, 1.0);
+        v.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_stats::RunningStats;
+
+    fn space() -> TopicSpace {
+        TopicSpace::generate(42, TopicSpaceConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = space();
+        let b = space();
+        assert_eq!(a.topic_center(3), b.topic_center(3));
+    }
+
+    #[test]
+    fn members_are_unit_norm() {
+        let s = space();
+        let mut rng = rng_from_seed(5);
+        for t in 0..8 {
+            let m = s.sample_member(t, &mut rng);
+            assert!((m.norm() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn same_topic_similarity_is_high() {
+        // Calibration lock for Fig. 3a: same-topic pairs should mostly land
+        // above the paper's 0.8 "strong semantic overlap" threshold.
+        let s = space();
+        let mut rng = rng_from_seed(6);
+        let mut sims = RunningStats::new();
+        for t in 0..32 {
+            let a = s.sample_member(t, &mut rng);
+            let b = s.sample_member(t, &mut rng);
+            sims.push(a.cosine(&b));
+        }
+        assert!(
+            sims.mean() > 0.82,
+            "same-topic mean cosine too low: {}",
+            sims.mean()
+        );
+    }
+
+    #[test]
+    fn cross_topic_similarity_is_near_anchor_weight() {
+        // Calibration lock: random pairs sit near 0.5 as in §2.3.
+        let s = space();
+        let mut rng = rng_from_seed(7);
+        let mut sims = RunningStats::new();
+        for t in 0..64 {
+            let a = s.sample_member(t % s.num_topics(), &mut rng);
+            let b = s.sample_member((t + 97) % s.num_topics(), &mut rng);
+            sims.push(a.cosine(&b));
+        }
+        assert!(
+            (sims.mean() - 0.5).abs() < 0.1,
+            "cross-topic mean cosine {} should be near 0.5",
+            sims.mean()
+        );
+    }
+
+    #[test]
+    fn same_topic_beats_cross_topic() {
+        let s = space();
+        let mut rng = rng_from_seed(8);
+        let mut same = RunningStats::new();
+        let mut cross = RunningStats::new();
+        for t in 0..32 {
+            let a = s.sample_member(t, &mut rng);
+            same.push(a.cosine(&s.sample_member(t, &mut rng)));
+            cross.push(a.cosine(&s.sample_member((t + 13) % s.num_topics(), &mut rng)));
+        }
+        assert!(same.mean() > cross.mean() + 0.2);
+    }
+
+    #[test]
+    fn blend_interpolates_between_topics() {
+        let s = space();
+        let mut rng = rng_from_seed(9);
+        let a = s.topic_center(0);
+        let b = s.topic_center(1);
+        let mid = s.sample_blend(0, 1, 0.5, &mut rng);
+        let to_a = mid.cosine(&a);
+        let to_b = mid.cosine(&b);
+        assert!((to_a - to_b).abs() < 0.2, "midpoint should be balanced");
+        let near_a = s.sample_blend(0, 1, 0.05, &mut rng);
+        assert!(near_a.cosine(&a) > near_a.cosine(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_topic_panics() {
+        let s = space();
+        let mut rng = rng_from_seed(10);
+        let _ = s.sample_member(s.num_topics(), &mut rng);
+    }
+}

@@ -1,0 +1,186 @@
+//! Judge–judge and judge–human agreement (Table 4).
+//!
+//! The paper validates LLM-as-a-judge by measuring preference agreement
+//! between Gemini judges, GPT-4, and human raters on MT-Bench (Appendix
+//! A.5, Table 4): model judges agree with each other ~74–81% of the time
+//! and with humans ~66–68%, while humans agree with each other only ~63%.
+//! Here each rater observes the same latent-quality pairs through its own
+//! noise, and agreement is the fraction of pairs with matching verdicts.
+
+use ic_stats::rng::rng_from_seed;
+use rand::RngExt;
+
+use crate::eval::Verdict;
+use crate::{Autorater, JudgeConfig};
+
+/// A named rater (model judge or simulated human panel).
+#[derive(Debug, Clone)]
+pub struct Rater {
+    /// Display name, e.g. `"gemini-1.5-pro"`.
+    pub name: String,
+    /// The underlying pairwise judge.
+    pub judge: Autorater,
+    /// Comparisons per order in the balanced protocol; humans typically
+    /// rate each pair once (1), model judges use the paper's 8.
+    pub samples_per_order: u32,
+}
+
+impl Rater {
+    /// A model-judge rater with the paper's 8-per-order protocol.
+    pub fn model(name: &str, config: JudgeConfig) -> Self {
+        Self {
+            name: name.to_owned(),
+            judge: Autorater::new(config),
+            samples_per_order: 8,
+        }
+    }
+
+    /// A human rater: noisier and rates each pair only once per order.
+    pub fn human(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            judge: Autorater::new(JudgeConfig::noisy()),
+            samples_per_order: 1,
+        }
+    }
+}
+
+/// Fraction of pairs on which two raters return the same verdict.
+pub fn pairwise_agreement(
+    a: &Rater,
+    b: &Rater,
+    pairs: &[(f64, f64)],
+    seed: u64,
+) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut rng_a = rng_from_seed(seed ^ 0xA);
+    let mut rng_b = rng_from_seed(seed ^ 0xB);
+    let mut agree = 0usize;
+    for &(qa, qb) in pairs {
+        let va = Verdict::from_score(a.judge.score_balanced(
+            qa,
+            qb,
+            a.samples_per_order,
+            &mut rng_a,
+        ));
+        let vb = Verdict::from_score(b.judge.score_balanced(
+            qa,
+            qb,
+            b.samples_per_order,
+            &mut rng_b,
+        ));
+        if va == vb {
+            agree += 1;
+        }
+    }
+    agree as f64 / pairs.len() as f64
+}
+
+/// Self-agreement of a rater across two independent rating passes (the
+/// diagonal-adjacent "Human vs Human" style entries of Table 4 use two
+/// independent humans; this uses two independent noise draws).
+pub fn self_agreement(r: &Rater, pairs: &[(f64, f64)], seed: u64) -> f64 {
+    pairwise_agreement(r, r, pairs, seed)
+}
+
+/// Full agreement matrix over a set of raters. Entry `(i, j)` is the
+/// agreement between raters `i` and `j` (upper triangle mirrored).
+pub fn agreement_matrix(raters: &[Rater], pairs: &[(f64, f64)], seed: u64) -> Vec<Vec<f64>> {
+    let n = raters.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let a = if i == j {
+                self_agreement(&raters[i], pairs, seed ^ ((i * n + j) as u64))
+            } else {
+                pairwise_agreement(&raters[i], &raters[j], pairs, seed ^ ((i * n + j) as u64))
+            };
+            m[i][j] = a;
+            m[j][i] = a;
+        }
+    }
+    m
+}
+
+/// Samples MT-Bench-like latent quality pairs: a mix of clear gaps and
+/// near-ties, which is what makes agreement non-trivial.
+pub fn mtbench_pairs(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = rng_from_seed(seed);
+    (0..n)
+        .map(|_| {
+            let base: f64 = rng.random_range(0.25..0.85);
+            let gap: f64 = if rng.random::<f64>() < 0.4 {
+                // Near-tie pair.
+                rng.random_range(-0.05..0.05)
+            } else {
+                rng.random_range(-0.35..0.35)
+            };
+            (
+                (base + gap / 2.0).clamp(0.0, 1.0),
+                (base - gap / 2.0).clamp(0.0, 1.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raters() -> Vec<Rater> {
+        vec![
+            Rater::model("gemini-1.5-pro", JudgeConfig::default()),
+            Rater::model("gemini-2.5-pro", JudgeConfig::sharp()),
+            Rater::human("human"),
+        ]
+    }
+
+    #[test]
+    fn model_judges_agree_more_than_humans_table4() {
+        let pairs = mtbench_pairs(400, 1);
+        let rs = raters();
+        let model_model = pairwise_agreement(&rs[0], &rs[1], &pairs, 2);
+        let model_human = pairwise_agreement(&rs[0], &rs[2], &pairs, 3);
+        let human_human = self_agreement(&rs[2], &pairs, 4);
+        assert!(
+            model_model > model_human,
+            "model-model {model_model} should exceed model-human {model_human}"
+        );
+        assert!(
+            model_human > human_human,
+            "model-human {model_human} should exceed human-human {human_human}"
+        );
+        // Table 4 magnitudes: model-model ~0.74-0.81, human-human ~0.63.
+        assert!((0.60..=0.95).contains(&model_model));
+        assert!((0.40..=0.80).contains(&human_human));
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_sane_diagonal() {
+        let pairs = mtbench_pairs(150, 5);
+        let rs = raters();
+        let m = agreement_matrix(&rs, &pairs, 6);
+        for i in 0..rs.len() {
+            for j in 0..rs.len() {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&m[i][j]));
+            }
+        }
+        // A sharp model judge is highly self-consistent.
+        assert!(m[1][1] > 0.75, "self-agreement {}", m[1][1]);
+    }
+
+    #[test]
+    fn empty_pairs_yield_zero() {
+        let rs = raters();
+        assert_eq!(pairwise_agreement(&rs[0], &rs[1], &[], 1), 0.0);
+    }
+
+    #[test]
+    fn pairs_are_deterministic_per_seed() {
+        assert_eq!(mtbench_pairs(50, 9), mtbench_pairs(50, 9));
+        assert_ne!(mtbench_pairs(50, 9), mtbench_pairs(50, 10));
+    }
+}

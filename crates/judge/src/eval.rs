@@ -1,0 +1,179 @@
+//! Win-rate and average-score aggregation.
+
+use crate::TIE_BAND;
+
+/// Classification of one pairwise mean score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Mean score above the tie band: A wins.
+    Win,
+    /// Mean score within the tie band.
+    Tie,
+    /// Mean score below the tie band: A loses.
+    Loss,
+}
+
+impl Verdict {
+    /// Classifies a mean score using the paper's `[-0.3, 0.3]` tie band.
+    pub fn from_score(score: f64) -> Verdict {
+        if score > TIE_BAND {
+            Verdict::Win
+        } else if score < -TIE_BAND {
+            Verdict::Loss
+        } else {
+            Verdict::Tie
+        }
+    }
+}
+
+/// Accumulates pairwise scores into the paper's quality metrics.
+///
+/// # Examples
+///
+/// ```
+/// use ic_judge::PairwiseEval;
+///
+/// let mut eval = PairwiseEval::new();
+/// eval.record(1.5);   // win
+/// eval.record(0.0);   // tie
+/// eval.record(-2.0);  // loss
+/// assert_eq!(eval.win_rate(), 0.5); // (1 + 0.5*1) / 3
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PairwiseEval {
+    wins: u64,
+    ties: u64,
+    losses: u64,
+    score_sum: f64,
+}
+
+impl PairwiseEval {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the mean score of one query's balanced comparison.
+    pub fn record(&mut self, mean_score: f64) {
+        match Verdict::from_score(mean_score) {
+            Verdict::Win => self.wins += 1,
+            Verdict::Tie => self.ties += 1,
+            Verdict::Loss => self.losses += 1,
+        }
+        self.score_sum += mean_score;
+    }
+
+    /// Number of recorded queries.
+    pub fn total(&self) -> u64 {
+        self.wins + self.ties + self.losses
+    }
+
+    /// `(#wins + 0.5 * #ties) / #total` (§6.1); 0.5 when empty.
+    pub fn win_rate(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.5;
+        }
+        (self.wins as f64 + 0.5 * self.ties as f64) / n as f64
+    }
+
+    /// Mean pairwise score; 0.0 when empty.
+    pub fn average_score(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            return 0.0;
+        }
+        self.score_sum / n as f64
+    }
+
+    /// Win/tie/loss counts.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.wins, self.ties, self.losses)
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &PairwiseEval) {
+        self.wins += other.wins;
+        self.ties += other.ties;
+        self.losses += other.losses;
+        self.score_sum += other.score_sum;
+    }
+}
+
+/// Win rate of a score slice (convenience over [`PairwiseEval`]).
+pub fn win_rate(scores: &[f64]) -> f64 {
+    let mut e = PairwiseEval::new();
+    for &s in scores {
+        e.record(s);
+    }
+    e.win_rate()
+}
+
+/// Mean of a score slice; 0.0 when empty.
+pub fn average_score(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_uses_paper_tie_band() {
+        assert_eq!(Verdict::from_score(0.31), Verdict::Win);
+        assert_eq!(Verdict::from_score(0.3), Verdict::Tie);
+        assert_eq!(Verdict::from_score(-0.3), Verdict::Tie);
+        assert_eq!(Verdict::from_score(-0.31), Verdict::Loss);
+        assert_eq!(Verdict::from_score(0.0), Verdict::Tie);
+    }
+
+    #[test]
+    fn win_rate_formula_matches_paper() {
+        // 2 wins, 1 tie, 1 loss: (2 + 0.5) / 4.
+        let wr = win_rate(&[1.0, 2.0, 0.0, -1.0]);
+        assert!((wr - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_means_half() {
+        let mut e = PairwiseEval::new();
+        e.record(1.0);
+        e.record(-1.0);
+        assert_eq!(e.win_rate(), 0.5);
+        assert_eq!(e.average_score(), 0.0);
+    }
+
+    #[test]
+    fn empty_defaults_are_neutral() {
+        let e = PairwiseEval::new();
+        assert_eq!(e.win_rate(), 0.5);
+        assert_eq!(e.average_score(), 0.0);
+        assert_eq!(e.total(), 0);
+        assert_eq!(average_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = PairwiseEval::new();
+        a.record(1.0);
+        let mut b = PairwiseEval::new();
+        b.record(-1.0);
+        b.record(0.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts(), (1, 1, 1));
+        assert_eq!(a.win_rate(), 0.5);
+    }
+
+    #[test]
+    fn average_score_tracks_sum() {
+        let mut e = PairwiseEval::new();
+        for s in [3.0, -1.0, 1.0] {
+            e.record(s);
+        }
+        assert!((e.average_score() - 1.0).abs() < 1e-12);
+    }
+}

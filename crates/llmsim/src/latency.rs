@@ -1,0 +1,110 @@
+//! Zero-load latency model.
+//!
+//! Generation latency decomposes into prefill (time-to-first-token) and
+//! decode (time-between-tokens) phases (§2.1). At zero load:
+//!
+//! ```text
+//! TTFT   = overhead + input_tokens / prefill_rate
+//! decode = output_tokens / decode_rate
+//! ```
+//!
+//! Queueing and batching contention are layered on top by `ic-serving`.
+
+use crate::model::ModelSpec;
+
+/// Per-phase latency of one generation, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Time to first token (prefill + fixed overhead).
+    pub ttft: f64,
+    /// Total decode time for all output tokens.
+    pub decode: f64,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end completion time.
+    pub fn total(&self) -> f64 {
+        self.ttft + self.decode
+    }
+}
+
+/// Computes the zero-load latency of generating `output_tokens` from
+/// `input_tokens` on the given model.
+pub fn zero_load_latency(spec: &ModelSpec, input_tokens: u32, output_tokens: u32) -> LatencyBreakdown {
+    LatencyBreakdown {
+        ttft: spec.ttft_overhead_sec + f64::from(input_tokens) / spec.prefill_tokens_per_sec,
+        decode: f64::from(output_tokens) / spec.decode_tokens_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Catalog, ModelSpec};
+
+    #[test]
+    fn fig1a_gemini_ttft_calibration() {
+        // Fig. 1a: Flash TTFT 0.497s, Pro TTFT 0.755s on conversation
+        // prompts (~200 tokens).
+        let flash = zero_load_latency(&ModelSpec::gemini_15_flash(), 200, 1);
+        let pro = zero_load_latency(&ModelSpec::gemini_15_pro(), 200, 1);
+        assert!((flash.ttft - 0.497).abs() < 0.05, "flash {}", flash.ttft);
+        assert!((pro.ttft - 0.755).abs() < 0.05, "pro {}", pro.ttft);
+    }
+
+    #[test]
+    fn fig4b_qwen_prefill_ordering() {
+        // Fig. 4b: Qwen-3B TTFT 24ms bare, ~49ms with 5 examples, still
+        // far below Qwen-32B's 92ms.
+        let small = ModelSpec::qwen_25_3b();
+        let large = ModelSpec::qwen_25_32b();
+        let bare = zero_load_latency(&small, 120, 1).ttft;
+        let with_ic = zero_load_latency(&small, 120 + 650, 1).ttft;
+        let big = zero_load_latency(&large, 120, 1).ttft;
+        assert!(bare < with_ic, "examples must lengthen prefill");
+        assert!(with_ic < big, "augmented small must still beat large");
+    }
+
+    #[test]
+    fn fig18_gemma_zero_load_gap() {
+        // Fig. 18 left: 2B completes in ~2.6s, 27B in ~8.9s (71% slower)
+        // on ~200-in/250-out conversation traffic.
+        let small = zero_load_latency(&ModelSpec::gemma_2_2b(), 200, 250);
+        let large = zero_load_latency(&ModelSpec::gemma_2_27b(), 200, 250);
+        assert!(
+            (small.total() - 2.6).abs() < 0.5,
+            "gemma-2b total {}",
+            small.total()
+        );
+        assert!(
+            (large.total() - 8.9).abs() < 1.0,
+            "gemma-27b total {}",
+            large.total()
+        );
+        let reduction = 1.0 - small.total() / large.total();
+        assert!(
+            (0.6..0.8).contains(&reduction),
+            "latency reduction {reduction} should be near 71%"
+        );
+    }
+
+    #[test]
+    fn decode_scales_linearly_with_output() {
+        let spec = ModelSpec::gemma_2_2b();
+        let a = zero_load_latency(&spec, 100, 100);
+        let b = zero_load_latency(&spec, 100, 200);
+        assert!((b.decode - 2.0 * a.decode).abs() < 1e-9);
+        assert_eq!(a.ttft, b.ttft);
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        for id_spec in Catalog::standard().ids() {
+            let spec = Catalog::standard().get(id_spec).clone();
+            let l = zero_load_latency(&spec, 128, 64);
+            assert!((l.total() - (l.ttft + l.decode)).abs() < 1e-12);
+            assert!(l.ttft > 0.0);
+            assert!(l.decode > 0.0);
+        }
+    }
+}

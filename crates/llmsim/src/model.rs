@@ -1,0 +1,422 @@
+//! Model specifications and the preset catalog.
+//!
+//! Latency and footprint figures are calibrated to the paper's
+//! measurements: Fig. 1 (Gemini-1.5-Pro/Flash TTFT and TBT; Qwen2.5-7B vs
+//! DeepSeek-R1), Fig. 4b (Qwen-3B/32B prefill), Fig. 18 (Gemma-2-2B/27B
+//! zero-load latency and GPU cost), and §2.2 ("deploying DeepSeek-R1
+//! requires 16 A100 GPUs, whereas Qwen-7B can run on a single GPU").
+//! Capability vectors are calibrated so that relative quality orderings
+//! and win-rate gaps match the paper's side-by-side evaluations (Figs. 1,
+//! 17); absolute values are arbitrary units on the latent quality scale.
+
+use crate::skill::Skill;
+
+/// Index of a model in a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub usize);
+
+/// Model family, used for experiment grouping (Fig. 27 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Google Gemini (proprietary, API-served).
+    Gemini,
+    /// Google Gemma 2 (open weights).
+    Gemma,
+    /// Alibaba Qwen 2.5 (open weights).
+    Qwen,
+    /// DeepSeek R1 (open weights, reasoning).
+    DeepSeek,
+    /// Microsoft Phi-3 (open weights).
+    Phi,
+    /// Anything registered at runtime.
+    Custom,
+}
+
+/// Static description of one servable model.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Display name, e.g. `"gemma-2-27b"`.
+    pub name: String,
+    /// Family grouping.
+    pub family: ModelFamily,
+    /// Parameter count in billions (documentation only).
+    pub params_b: f64,
+    /// Per-skill capability in `[0, 1]`, indexed by [`Skill::index`].
+    pub capability: [f64; Skill::COUNT],
+    /// GPUs required per serving replica.
+    pub gpus_per_replica: u32,
+    /// Prefill throughput in tokens/second (per request, zero load).
+    pub prefill_tokens_per_sec: f64,
+    /// Decode throughput in tokens/second; `1 / TBT`.
+    pub decode_tokens_per_sec: f64,
+    /// Fixed per-request setup latency in seconds (scheduling, tokenizer,
+    /// network for API models).
+    pub ttft_overhead_sec: f64,
+    /// Context window in tokens.
+    pub context_window: u32,
+    /// Relative serving cost per 1K tokens (arbitrary units; used for the
+    /// router's cost bias and the manager's `G(e)` formula).
+    pub cost_per_1k_tokens: f64,
+}
+
+impl ModelSpec {
+    /// Mean capability across skills — a scalar summary used in logs.
+    pub fn mean_capability(&self) -> f64 {
+        self.capability.iter().sum::<f64>() / Skill::COUNT as f64
+    }
+
+    /// Time between tokens in seconds.
+    pub fn tbt_sec(&self) -> f64 {
+        1.0 / self.decode_tokens_per_sec
+    }
+
+    fn preset(
+        name: &str,
+        family: ModelFamily,
+        params_b: f64,
+        capability: [f64; 4],
+        gpus: u32,
+        prefill: f64,
+        decode: f64,
+        overhead: f64,
+        context: u32,
+        cost: f64,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            family,
+            params_b,
+            capability,
+            gpus_per_replica: gpus,
+            prefill_tokens_per_sec: prefill,
+            decode_tokens_per_sec: decode,
+            ttft_overhead_sec: overhead,
+            context_window: context,
+            cost_per_1k_tokens: cost,
+        }
+    }
+
+    /// Gemini-1.5-Pro: Fig. 1a — TTFT 0.755 s, TBT 15 ms.
+    pub fn gemini_15_pro() -> Self {
+        Self::preset(
+            "gemini-1.5-pro",
+            ModelFamily::Gemini,
+            500.0,
+            [0.92, 0.90, 0.93, 0.95],
+            16,
+            650.0,
+            66.7,
+            0.45,
+            128_000,
+            10.0,
+        )
+    }
+
+    /// Gemini-1.5-Flash: Fig. 1a — TTFT 0.497 s, TBT 5 ms.
+    pub fn gemini_15_flash() -> Self {
+        Self::preset(
+            "gemini-1.5-flash",
+            ModelFamily::Gemini,
+            32.0,
+            [0.80, 0.77, 0.86, 0.90],
+            4,
+            1000.0,
+            200.0,
+            0.30,
+            128_000,
+            1.0,
+        )
+    }
+
+    /// Gemma-2-27B: Fig. 18 — zero-load completion near 9 s.
+    pub fn gemma_2_27b() -> Self {
+        Self::preset(
+            "gemma-2-27b",
+            ModelFamily::Gemma,
+            27.0,
+            [0.84, 0.82, 0.87, 0.90],
+            8,
+            250.0,
+            33.0,
+            0.25,
+            8_192,
+            8.0,
+        )
+    }
+
+    /// Gemma-2-2B: Fig. 18 — zero-load completion near 2.6 s, 1 GPU.
+    pub fn gemma_2_2b() -> Self {
+        Self::preset(
+            "gemma-2-2b",
+            ModelFamily::Gemma,
+            2.6,
+            [0.60, 0.57, 0.73, 0.80],
+            1,
+            850.0,
+            105.0,
+            0.05,
+            8_192,
+            1.0,
+        )
+    }
+
+    /// Qwen2.5-32B: Fig. 4b — prefill TTFT 92 ms on short prompts.
+    pub fn qwen_25_32b() -> Self {
+        Self::preset(
+            "qwen-2.5-32b",
+            ModelFamily::Qwen,
+            32.0,
+            [0.86, 0.84, 0.87, 0.90],
+            4,
+            3500.0,
+            50.0,
+            0.035,
+            32_768,
+            6.0,
+        )
+    }
+
+    /// Qwen2.5-7B: Fig. 1b — TTFT 18 ms, TBT 6.62 ms, 1 GPU (§2.2).
+    pub fn qwen_25_7b() -> Self {
+        Self::preset(
+            "qwen-2.5-7b",
+            ModelFamily::Qwen,
+            7.0,
+            [0.70, 0.67, 0.78, 0.84],
+            1,
+            20_000.0,
+            151.0,
+            0.008,
+            32_768,
+            1.5,
+        )
+    }
+
+    /// Qwen2.5-3B: Fig. 4 — the edge-sized exemplar-learner.
+    pub fn qwen_25_3b() -> Self {
+        Self::preset(
+            "qwen-2.5-3b",
+            ModelFamily::Qwen,
+            3.0,
+            [0.60, 0.56, 0.71, 0.79],
+            1,
+            25_000.0,
+            200.0,
+            0.006,
+            32_768,
+            1.0,
+        )
+    }
+
+    /// DeepSeek-R1: Fig. 1b — TTFT 3.14 s, TBT 121.4 ms, 16 A100s (§2.2).
+    pub fn deepseek_r1() -> Self {
+        Self::preset(
+            "deepseek-r1",
+            ModelFamily::DeepSeek,
+            671.0,
+            [0.94, 0.97, 0.90, 0.92],
+            16,
+            400.0,
+            8.24,
+            2.6,
+            64_000,
+            16.0,
+        )
+    }
+
+    /// Phi-3-mini: small on-device model (edge deployment, §3).
+    pub fn phi_3_mini() -> Self {
+        Self::preset(
+            "phi-3-mini",
+            ModelFamily::Phi,
+            3.8,
+            [0.55, 0.60, 0.68, 0.77],
+            1,
+            12_000.0,
+            140.0,
+            0.01,
+            8_192,
+            1.0,
+        )
+    }
+
+    /// Phi-3-medium: the larger Phi counterpart.
+    pub fn phi_3_medium() -> Self {
+        Self::preset(
+            "phi-3-medium",
+            ModelFamily::Phi,
+            14.0,
+            [0.78, 0.77, 0.82, 0.86],
+            2,
+            4_000.0,
+            60.0,
+            0.05,
+            8_192,
+            4.0,
+        )
+    }
+}
+
+/// A registry of model specifications.
+///
+/// # Examples
+///
+/// ```
+/// use ic_llmsim::Catalog;
+///
+/// let catalog = Catalog::standard();
+/// let small = catalog.by_name("gemma-2-2b").unwrap();
+/// let large = catalog.by_name("gemma-2-27b").unwrap();
+/// assert!(catalog.get(large).mean_capability() > catalog.get(small).mean_capability());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    specs: Vec<ModelSpec>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ten presets used across the paper's evaluation.
+    pub fn standard() -> Self {
+        let mut c = Self::new();
+        for spec in [
+            ModelSpec::gemini_15_pro(),
+            ModelSpec::gemini_15_flash(),
+            ModelSpec::gemma_2_27b(),
+            ModelSpec::gemma_2_2b(),
+            ModelSpec::qwen_25_32b(),
+            ModelSpec::qwen_25_7b(),
+            ModelSpec::qwen_25_3b(),
+            ModelSpec::deepseek_r1(),
+            ModelSpec::phi_3_mini(),
+            ModelSpec::phi_3_medium(),
+        ] {
+            c.register(spec);
+        }
+        c
+    }
+
+    /// Registers a spec, returning its id.
+    pub fn register(&mut self, spec: ModelSpec) -> ModelId {
+        self.specs.push(spec);
+        ModelId(self.specs.len() - 1)
+    }
+
+    /// Looks up a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different catalog (programming error).
+    pub fn get(&self, id: ModelId) -> &ModelSpec {
+        &self.specs[id.0]
+    }
+
+    /// Finds a model by exact name.
+    pub fn by_name(&self, name: &str) -> Option<ModelId> {
+        self.specs.iter().position(|s| s.name == name).map(ModelId)
+    }
+
+    /// All registered ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ModelId> + '_ {
+        (0..self.specs.len()).map(ModelId)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_has_all_presets() {
+        let c = Catalog::standard();
+        assert_eq!(c.len(), 10);
+        for name in [
+            "gemini-1.5-pro",
+            "gemini-1.5-flash",
+            "gemma-2-27b",
+            "gemma-2-2b",
+            "qwen-2.5-32b",
+            "qwen-2.5-7b",
+            "qwen-2.5-3b",
+            "deepseek-r1",
+            "phi-3-mini",
+            "phi-3-medium",
+        ] {
+            assert!(c.by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn larger_family_member_is_more_capable_but_slower() {
+        let c = Catalog::standard();
+        let pairs = [
+            ("gemini-1.5-flash", "gemini-1.5-pro"),
+            ("gemma-2-2b", "gemma-2-27b"),
+            ("qwen-2.5-3b", "qwen-2.5-32b"),
+            ("qwen-2.5-7b", "deepseek-r1"),
+            ("phi-3-mini", "phi-3-medium"),
+        ];
+        for (small, large) in pairs {
+            let s = c.get(c.by_name(small).unwrap());
+            let l = c.get(c.by_name(large).unwrap());
+            assert!(
+                l.mean_capability() > s.mean_capability(),
+                "{large} should beat {small}"
+            );
+            assert!(l.tbt_sec() > s.tbt_sec(), "{large} should be slower");
+            assert!(l.gpus_per_replica >= s.gpus_per_replica);
+            assert!(l.cost_per_1k_tokens > s.cost_per_1k_tokens);
+        }
+    }
+
+    #[test]
+    fn fig1_tbt_calibration_holds() {
+        // Gemini: TBT 5ms vs 15ms (3x, Fig. 1a); Qwen vs R1: 6.62ms vs
+        // 121.4ms (Fig. 1b).
+        let c = Catalog::standard();
+        let flash = c.get(c.by_name("gemini-1.5-flash").unwrap());
+        let pro = c.get(c.by_name("gemini-1.5-pro").unwrap());
+        assert!((flash.tbt_sec() - 0.005).abs() < 5e-4);
+        assert!((pro.tbt_sec() - 0.015).abs() < 1e-3);
+        let qwen = c.get(c.by_name("qwen-2.5-7b").unwrap());
+        let r1 = c.get(c.by_name("deepseek-r1").unwrap());
+        assert!((qwen.tbt_sec() - 0.00662).abs() < 5e-4);
+        assert!((r1.tbt_sec() - 0.1214).abs() < 5e-3);
+        assert_eq!(r1.gpus_per_replica, 16);
+        assert_eq!(qwen.gpus_per_replica, 1);
+    }
+
+    #[test]
+    fn custom_registration_round_trips() {
+        let mut c = Catalog::new();
+        let id = c.register(ModelSpec::preset(
+            "tiny-test",
+            ModelFamily::Custom,
+            0.1,
+            [0.1, 0.1, 0.1, 0.1],
+            1,
+            1000.0,
+            100.0,
+            0.0,
+            2048,
+            0.1,
+        ));
+        assert_eq!(c.get(id).name, "tiny-test");
+        assert_eq!(c.by_name("tiny-test"), Some(id));
+        assert_eq!(c.by_name("nope"), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Skill dimensions of requests and model capabilities.
+//!
+//! Response quality depends on more than relevance — "accuracy, depth, and
+//! creativity" (§4.1). The simulator factors those into four skill axes; a
+//! request carries a mix over them and a model carries a capability per
+//! axis. The skill-gap term in example utility is what makes semantic
+//! similarity a weak proxy for helpfulness (Fig. 7).
+
+/// A capability/requirement axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Skill {
+    /// Factual recall (what RAG documents are good at supplying).
+    Knowledge,
+    /// Multi-step composition (what large-model exemplars transfer).
+    Reasoning,
+    /// Fluent open-ended text production.
+    Generation,
+    /// Output structure and instruction following.
+    Format,
+}
+
+impl Skill {
+    /// Number of skill axes.
+    pub const COUNT: usize = 4;
+
+    /// All skills in index order.
+    pub const ALL: [Skill; Skill::COUNT] = [
+        Skill::Knowledge,
+        Skill::Reasoning,
+        Skill::Generation,
+        Skill::Format,
+    ];
+
+    /// Stable index of this skill.
+    pub fn index(self) -> usize {
+        match self {
+            Skill::Knowledge => 0,
+            Skill::Reasoning => 1,
+            Skill::Generation => 2,
+            Skill::Format => 3,
+        }
+    }
+}
+
+/// A normalized mix of skill weights (sums to 1).
+///
+/// # Examples
+///
+/// ```
+/// use ic_llmsim::{Skill, SkillMix};
+///
+/// let mix = SkillMix::new([2.0, 1.0, 1.0, 0.0]);
+/// assert!((mix.weight(Skill::Knowledge) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkillMix {
+    weights: [f64; Skill::COUNT],
+}
+
+impl SkillMix {
+    /// Builds a mix from raw non-negative weights, normalizing to sum 1.
+    /// An all-zero input becomes the uniform mix.
+    pub fn new(raw: [f64; Skill::COUNT]) -> Self {
+        let mut w = raw.map(|x| x.max(0.0));
+        let sum: f64 = w.iter().sum();
+        if sum <= 0.0 {
+            w = [1.0 / Skill::COUNT as f64; Skill::COUNT];
+        } else {
+            for x in &mut w {
+                *x /= sum;
+            }
+        }
+        Self { weights: w }
+    }
+
+    /// The uniform mix.
+    pub fn uniform() -> Self {
+        Self::new([1.0; Skill::COUNT])
+    }
+
+    /// Weight of one skill.
+    pub fn weight(&self, s: Skill) -> f64 {
+        self.weights[s.index()]
+    }
+
+    /// Raw weight array in [`Skill::ALL`] order.
+    pub fn as_array(&self) -> [f64; Skill::COUNT] {
+        self.weights
+    }
+
+    /// Weighted average of per-skill scores under this mix — the model's
+    /// *effective capability* on a request with this mix.
+    pub fn weighted_score(&self, per_skill: &[f64; Skill::COUNT]) -> f64 {
+        self.weights
+            .iter()
+            .zip(per_skill)
+            .map(|(w, s)| w * s)
+            .sum()
+    }
+
+    /// Cosine similarity between two mixes — the skill-match factor in
+    /// example utility.
+    pub fn similarity(&self, other: &SkillMix) -> f64 {
+        let dot: f64 = self
+            .weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| a * b)
+            .sum();
+        let na: f64 = self.weights.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = other.weights.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_to_sum_one() {
+        let m = SkillMix::new([3.0, 1.0, 0.0, 0.0]);
+        let total: f64 = m.as_array().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((m.weight(Skill::Knowledge) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_weights_are_clamped() {
+        let m = SkillMix::new([-1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(m.weight(Skill::Knowledge), 0.0);
+        assert_eq!(m.weight(Skill::Reasoning), 1.0);
+    }
+
+    #[test]
+    fn zero_input_becomes_uniform() {
+        let m = SkillMix::new([0.0; 4]);
+        for s in Skill::ALL {
+            assert!((m.weight(s) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_score_blends_capabilities() {
+        let m = SkillMix::new([1.0, 1.0, 0.0, 0.0]);
+        let score = m.weighted_score(&[0.8, 0.4, 0.0, 0.0]);
+        assert!((score - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_of_identical_is_one() {
+        let m = SkillMix::new([0.4, 0.3, 0.2, 0.1]);
+        assert!((m.similarity(&m) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn similarity_of_disjoint_is_zero() {
+        let a = SkillMix::new([1.0, 0.0, 0.0, 0.0]);
+        let b = SkillMix::new([0.0, 1.0, 0.0, 0.0]);
+        assert!(a.similarity(&b) < 1e-9);
+    }
+
+    #[test]
+    fn skill_indices_are_stable() {
+        for (i, s) in Skill::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Auto-scaling signal from the overload bias (§4.2).
+//!
+//! "Importantly, the persistent magnitude of this applied bias can be used
+//! as a signal for infrastructure auto-scaling." A transient spike is
+//! absorbed by offloading; a bias that stays high for a sustained window
+//! means the fleet is undersized. This tracker smooths the applied bias
+//! and recommends scale-out when it persists above a trip point (and
+//! scale-in when the fleet has been idle long enough).
+
+use ic_stats::Ema;
+
+/// Scaling recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAdvice {
+    /// Capacity is adequate.
+    Hold,
+    /// Sustained overload bias: add large-model replicas.
+    ScaleOut,
+    /// Sustained idle: capacity can be reclaimed.
+    ScaleIn,
+}
+
+/// Tracks the persistent magnitude of the router's applied bias.
+#[derive(Debug, Clone)]
+pub struct AutoscaleSignal {
+    bias_ema: Ema,
+    /// EMA bias above this for `min_observations` trips scale-out.
+    out_threshold: f64,
+    /// EMA bias below this (and load below threshold) suggests scale-in.
+    in_threshold: f64,
+    /// Observations required before any recommendation (hysteresis).
+    min_observations: u64,
+    observations: u64,
+}
+
+impl AutoscaleSignal {
+    /// Creates a tracker. `out_threshold` is in bias units (the router's
+    /// `lambda0` bounds the bias, so thresholds are fractions of it).
+    pub fn new(out_threshold: f64, in_threshold: f64, min_observations: u64) -> Self {
+        assert!(
+            out_threshold > in_threshold,
+            "thresholds must leave a hold band"
+        );
+        Self {
+            bias_ema: Ema::new(0.05),
+            out_threshold,
+            in_threshold,
+            min_observations,
+            observations: 0,
+        }
+    }
+
+    /// Defaults tuned for the standard router (`lambda0 = 1.5`).
+    pub fn standard() -> Self {
+        Self::new(0.4, 0.02, 50)
+    }
+
+    /// Feeds one routing decision's applied bias.
+    pub fn observe(&mut self, applied_bias: f64) {
+        self.bias_ema.observe(applied_bias.max(0.0));
+        self.observations += 1;
+    }
+
+    /// The smoothed bias magnitude.
+    pub fn persistent_bias(&self) -> f64 {
+        self.bias_ema.value()
+    }
+
+    /// Current recommendation.
+    pub fn advice(&self) -> ScaleAdvice {
+        if self.observations < self.min_observations {
+            return ScaleAdvice::Hold;
+        }
+        let b = self.bias_ema.value();
+        if b >= self.out_threshold {
+            ScaleAdvice::ScaleOut
+        } else if b <= self.in_threshold {
+            ScaleAdvice::ScaleIn
+        } else {
+            ScaleAdvice::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_until_enough_observations() {
+        let mut s = AutoscaleSignal::standard();
+        for _ in 0..49 {
+            s.observe(1.5);
+        }
+        assert_eq!(s.advice(), ScaleAdvice::Hold);
+        s.observe(1.5);
+        assert_eq!(s.advice(), ScaleAdvice::ScaleOut);
+    }
+
+    #[test]
+    fn sustained_bias_trips_scale_out_transient_does_not() {
+        let mut s = AutoscaleSignal::standard();
+        // A long calm period, one spike, calm again.
+        for _ in 0..200 {
+            s.observe(0.0);
+        }
+        s.observe(1.5);
+        assert_ne!(s.advice(), ScaleAdvice::ScaleOut, "one spike is not a trend");
+        // Sustained overload.
+        for _ in 0..100 {
+            s.observe(1.2);
+        }
+        assert_eq!(s.advice(), ScaleAdvice::ScaleOut);
+    }
+
+    #[test]
+    fn idle_fleet_recommends_scale_in() {
+        let mut s = AutoscaleSignal::standard();
+        for _ in 0..100 {
+            s.observe(0.0);
+        }
+        assert_eq!(s.advice(), ScaleAdvice::ScaleIn);
+    }
+
+    #[test]
+    fn moderate_bias_holds() {
+        let mut s = AutoscaleSignal::standard();
+        for _ in 0..100 {
+            s.observe(0.2);
+        }
+        assert_eq!(s.advice(), ScaleAdvice::Hold);
+    }
+
+    #[test]
+    #[should_panic(expected = "hold band")]
+    fn inverted_thresholds_rejected() {
+        let _ = AutoscaleSignal::new(0.1, 0.5, 10);
+    }
+}

@@ -1,0 +1,155 @@
+//! Routing context features.
+//!
+//! The bandit's context is "the request's question and its selected
+//! examples" (§4.2). Everything here is observable by a production router:
+//! the prompt (length, task tag, a text-derived complexity estimate, a few
+//! random projections of its embedding) and the Example Selector's own
+//! predicted utilities for the chosen examples.
+
+use ic_embed::Embedding;
+use ic_llmsim::{Request, TaskKind};
+use ic_stats::rng::rng_from_seed;
+
+/// Dimensionality of the routing feature vector.
+pub const ROUTE_FEATURE_DIM: usize = 16;
+
+/// Number of random-projection features of the request embedding.
+const N_PROJECTIONS: usize = 4;
+
+/// Extracts routing features for (request, selection) pairs.
+///
+/// The random projection directions are fixed at construction so features
+/// are stable across the router's lifetime.
+#[derive(Debug, Clone)]
+pub struct RouteFeatures {
+    projections: Vec<Embedding>,
+}
+
+impl RouteFeatures {
+    /// Creates an extractor with `dim`-dimensional embedding projections.
+    pub fn new(embedding_dim: usize, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed ^ 0xF0_CA_CC_1A);
+        let projections = (0..N_PROJECTIONS)
+            .map(|_| Embedding::gaussian(embedding_dim, 1.0, &mut rng).normalized())
+            .collect();
+        Self { projections }
+    }
+
+    /// Builds the feature vector.
+    ///
+    /// `selection_utilities` are the selector's predicted utilities for the
+    /// examples that would accompany the request on an augmented arm.
+    pub fn extract(
+        &self,
+        request: &Request,
+        selection_utilities: &[f64],
+    ) -> [f64; ROUTE_FEATURE_DIM] {
+        let mut f = [0.0; ROUTE_FEATURE_DIM];
+        let mut i = 0;
+        // Bias.
+        f[i] = 1.0;
+        i += 1;
+        // Observable complexity (what a classifier reads off the text).
+        f[i] = request.complexity_signal;
+        i += 1;
+        // Prompt and target lengths, log-scaled into ~[0, 1].
+        f[i] = (f64::from(request.input_tokens).ln() / 9.0).clamp(0.0, 1.0);
+        i += 1;
+        f[i] = (f64::from(request.target_output_tokens).ln() / 9.0).clamp(0.0, 1.0);
+        i += 1;
+        // Task one-hot.
+        for task in TaskKind::ALL {
+            f[i] = if request.task == task { 1.0 } else { 0.0 };
+            i += 1;
+        }
+        // Selected-example statistics.
+        let count = selection_utilities.len() as f64;
+        let total: f64 = selection_utilities.iter().sum();
+        let max = selection_utilities.iter().fold(0.0f64, |a, &b| a.max(b));
+        f[i] = count / 8.0;
+        i += 1;
+        f[i] = total.clamp(-1.0, 3.0);
+        i += 1;
+        f[i] = max.clamp(-1.0, 1.0);
+        i += 1;
+        // Random projections of the observable embedding.
+        for p in &self.projections {
+            f[i] = request.embedding.dot(p).clamp(-1.0, 1.0);
+            i += 1;
+        }
+        debug_assert_eq!(i, ROUTE_FEATURE_DIM);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_workloads::{Dataset, WorkloadGenerator};
+
+    #[test]
+    fn feature_vector_has_fixed_dim_and_bias() {
+        let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 21);
+        let r = wg.generate_requests(1).pop().unwrap();
+        let fx = RouteFeatures::new(r.embedding.dim(), 5);
+        let f = fx.extract(&r, &[0.2, 0.4]);
+        assert_eq!(f.len(), ROUTE_FEATURE_DIM);
+        assert_eq!(f[0], 1.0);
+    }
+
+    #[test]
+    fn features_are_stable_across_calls() {
+        let mut wg = WorkloadGenerator::new(Dataset::Alpaca, 22);
+        let r = wg.generate_requests(1).pop().unwrap();
+        let fx = RouteFeatures::new(r.embedding.dim(), 9);
+        assert_eq!(fx.extract(&r, &[0.1]), fx.extract(&r, &[0.1]));
+    }
+
+    #[test]
+    fn task_one_hot_is_exclusive() {
+        let mut qa = WorkloadGenerator::new(Dataset::MsMarco, 23);
+        let mut code = WorkloadGenerator::new(Dataset::Nl2Bash, 23);
+        let rq = qa.generate_requests(1).pop().unwrap();
+        let rc = code.generate_requests(1).pop().unwrap();
+        let fx = RouteFeatures::new(rq.embedding.dim(), 1);
+        let fq = fx.extract(&rq, &[]);
+        let fc = fx.extract(&rc, &[]);
+        let hot = |f: &[f64; ROUTE_FEATURE_DIM]| -> usize {
+            (4..9).filter(|&i| f[i] == 1.0).count()
+        };
+        assert_eq!(hot(&fq), 1);
+        assert_eq!(hot(&fc), 1);
+        assert_ne!(
+            (4..9).position(|i| fq[i] == 1.0),
+            (4..9).position(|i| fc[i] == 1.0)
+        );
+    }
+
+    #[test]
+    fn selection_stats_flow_into_features() {
+        let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 24);
+        let r = wg.generate_requests(1).pop().unwrap();
+        let fx = RouteFeatures::new(r.embedding.dim(), 2);
+        let none = fx.extract(&r, &[]);
+        let some = fx.extract(&r, &[0.3, 0.5, 0.2]);
+        assert_eq!(none[9], 0.0);
+        assert!(some[9] > 0.0); // Count.
+        assert!(some[10] > none[10]); // Total utility.
+        assert!((some[11] - 0.5).abs() < 1e-12); // Max utility.
+    }
+
+    #[test]
+    fn projections_differ_between_unrelated_requests() {
+        let mut wg = WorkloadGenerator::new(Dataset::LmsysChat, 25);
+        let rs = wg.generate_requests(50);
+        let fx = RouteFeatures::new(rs[0].embedding.dim(), 3);
+        // Find two requests of different topics.
+        let a = &rs[0];
+        let b = rs.iter().find(|r| r.topic != a.topic).expect("varied topics");
+        let fa = fx.extract(a, &[]);
+        let fb = fx.extract(b, &[]);
+        let pa: Vec<f64> = fa[12..16].to_vec();
+        let pb: Vec<f64> = fb[12..16].to_vec();
+        assert_ne!(pa, pb);
+    }
+}

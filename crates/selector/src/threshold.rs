@@ -1,0 +1,188 @@
+//! Dynamic utility-threshold adaptation (§4.1).
+//!
+//! "During online deployment, IC-Cache periodically samples a subset of
+//! requests and evaluates the average efficiency gains achieved under
+//! different utility thresholds ... It then selects the threshold that
+//! maximizes overall performance and applies it globally."
+//!
+//! The controller keeps a small grid of candidate thresholds. A sampled
+//! fraction of requests is evaluated under a *probe* threshold (round-robin
+//! over the grid); each probe reports back its efficiency gain (offload
+//! savings minus quality loss, as measured downstream). Periodically the
+//! controller re-selects the grid point with the best average gain.
+
+use ic_stats::RunningStats;
+
+/// Online threshold controller.
+///
+/// # Examples
+///
+/// ```
+/// use ic_selector::DynamicThreshold;
+///
+/// let mut t = DynamicThreshold::new(&[0.1, 0.3, 0.5], 0.3, 10);
+/// assert_eq!(t.current(), 0.3);
+/// // Feed gains that favour 0.1.
+/// for _ in 0..30 {
+///     for (i, &c) in [0.1, 0.3, 0.5].iter().enumerate() {
+///         t.observe(c, 1.0 - i as f64 * 0.3);
+///     }
+/// }
+/// assert_eq!(t.current(), 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicThreshold {
+    candidates: Vec<f64>,
+    gains: Vec<RunningStats>,
+    current: f64,
+    /// Observations between re-selections.
+    period: u64,
+    observed: u64,
+    probe_cursor: usize,
+}
+
+impl DynamicThreshold {
+    /// Creates a controller over a candidate grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or `period` is zero.
+    pub fn new(candidates: &[f64], initial: f64, period: u64) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        assert!(period > 0, "period must be positive");
+        Self {
+            candidates: candidates.to_vec(),
+            gains: vec![RunningStats::new(); candidates.len()],
+            current: initial,
+            period,
+            observed: 0,
+            probe_cursor: 0,
+        }
+    }
+
+    /// The paper-calibrated default grid.
+    pub fn standard() -> Self {
+        Self::new(&[0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5], 0.1, 200)
+    }
+
+    /// The threshold to apply to non-probe traffic.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The threshold the next *probe* request should use (round-robin over
+    /// the grid so every candidate keeps fresh data).
+    pub fn next_probe(&mut self) -> f64 {
+        let t = self.candidates[self.probe_cursor];
+        self.probe_cursor = (self.probe_cursor + 1) % self.candidates.len();
+        t
+    }
+
+    /// Reports the efficiency gain measured for a request evaluated under
+    /// `threshold`. Unknown thresholds (not on the grid) are ignored.
+    pub fn observe(&mut self, threshold: f64, efficiency_gain: f64) {
+        let Some(idx) = self
+            .candidates
+            .iter()
+            .position(|&c| (c - threshold).abs() < 1e-9)
+        else {
+            return;
+        };
+        self.gains[idx].push(efficiency_gain);
+        self.observed += 1;
+        if self.observed.is_multiple_of(self.period) {
+            self.reselect();
+        }
+    }
+
+    /// Picks the candidate with the best average gain (requiring a minimum
+    /// of 3 samples so one lucky probe cannot hijack the global setting).
+    fn reselect(&mut self) {
+        let mut best = self.current;
+        let mut best_gain = f64::NEG_INFINITY;
+        for (c, g) in self.candidates.iter().zip(&self.gains) {
+            if g.count() >= 3 && g.mean() > best_gain {
+                best_gain = g.mean();
+                best = *c;
+            }
+        }
+        self.current = best;
+    }
+
+    /// Mean observed gain per candidate (for diagnostics/benches).
+    pub fn gain_profile(&self) -> Vec<(f64, f64, u64)> {
+        self.candidates
+            .iter()
+            .zip(&self.gains)
+            .map(|(&c, g)| (c, g.mean(), g.count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_best_candidate() {
+        let mut t = DynamicThreshold::new(&[0.1, 0.3, 0.5], 0.5, 30);
+        // Gain peaks at 0.3.
+        for _ in 0..50 {
+            t.observe(0.1, 0.2);
+            t.observe(0.3, 0.8);
+            t.observe(0.5, 0.4);
+        }
+        assert_eq!(t.current(), 0.3);
+    }
+
+    #[test]
+    fn probe_round_robins_the_grid() {
+        let mut t = DynamicThreshold::new(&[0.0, 0.2, 0.4], 0.2, 10);
+        assert_eq!(t.next_probe(), 0.0);
+        assert_eq!(t.next_probe(), 0.2);
+        assert_eq!(t.next_probe(), 0.4);
+        assert_eq!(t.next_probe(), 0.0);
+    }
+
+    #[test]
+    fn requires_minimum_samples_before_switching() {
+        let mut t = DynamicThreshold::new(&[0.1, 0.9], 0.1, 1);
+        // Two lucky samples for 0.9 are not enough (minimum is 3).
+        t.observe(0.9, 100.0);
+        t.observe(0.9, 100.0);
+        assert_eq!(t.current(), 0.1);
+        t.observe(0.9, 100.0);
+        assert_eq!(t.current(), 0.9);
+    }
+
+    #[test]
+    fn off_grid_observations_are_ignored() {
+        let mut t = DynamicThreshold::new(&[0.1, 0.2], 0.1, 1);
+        t.observe(0.77, 100.0);
+        assert_eq!(t.gain_profile()[0].2, 0);
+        assert_eq!(t.gain_profile()[1].2, 0);
+    }
+
+    #[test]
+    fn adapts_when_conditions_change() {
+        let mut t = DynamicThreshold::new(&[0.1, 0.5], 0.1, 20);
+        for _ in 0..30 {
+            t.observe(0.1, 0.9);
+            t.observe(0.5, 0.1);
+        }
+        assert_eq!(t.current(), 0.1);
+        // Regime shift: high threshold becomes better. The running means
+        // eventually cross.
+        for _ in 0..300 {
+            t.observe(0.1, 0.0);
+            t.observe(0.5, 1.0);
+        }
+        assert_eq!(t.current(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_grid_rejected() {
+        let _ = DynamicThreshold::new(&[], 0.1, 10);
+    }
+}

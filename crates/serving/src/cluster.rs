@@ -1,0 +1,302 @@
+//! The cluster simulator: pools + the discrete-event loop.
+
+use ic_desim::{SimDuration, SimTime, Simulator};
+
+use crate::job::{JobId, JobResult, JobSpec};
+use crate::pool::{ModelPool, PoolConfig};
+
+/// Index of a pool within a cluster.
+pub type PoolId = usize;
+
+/// Internal simulator events.
+#[derive(Debug)]
+enum Event {
+    Arrival(JobSpec),
+    Completion { pool: PoolId, job: JobSpec, started: SimTime },
+}
+
+/// A cluster of model pools replaying a job trace.
+///
+/// # Examples
+///
+/// ```
+/// use ic_desim::SimTime;
+/// use ic_serving::{ClusterSim, JobId, JobSpec, PoolConfig};
+///
+/// let mut cluster = ClusterSim::new(vec![PoolConfig::for_gpus("m", 4, 1, 4)]);
+/// let jobs = vec![JobSpec {
+///     id: JobId(0),
+///     pool: 0,
+///     arrival: SimTime::ZERO,
+///     ttft_secs: 0.1,
+///     decode_secs: 1.0,
+/// }];
+/// let results = cluster.run(jobs);
+/// assert_eq!(results.len(), 1);
+/// assert!(results[0].e2e_secs() >= 1.1);
+/// ```
+#[derive(Debug)]
+pub struct ClusterSim {
+    pools: Vec<ModelPool>,
+}
+
+impl ClusterSim {
+    /// Creates a cluster with one pool per config.
+    pub fn new(configs: Vec<PoolConfig>) -> Self {
+        Self {
+            pools: configs.into_iter().map(ModelPool::new).collect(),
+        }
+    }
+
+    /// Read access to a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range pool id.
+    pub fn pool(&self, id: PoolId) -> &ModelPool {
+        &self.pools[id]
+    }
+
+    /// Number of pools.
+    pub fn num_pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Replays the given jobs to completion and returns per-job results
+    /// sorted by completion time. Deterministic for a given input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job references an unknown pool.
+    pub fn run(&mut self, jobs: Vec<JobSpec>) -> Vec<JobResult> {
+        let mut sim: Simulator<Event> = Simulator::new();
+        for job in jobs {
+            assert!(job.pool < self.pools.len(), "unknown pool {}", job.pool);
+            sim.schedule(job.arrival, Event::Arrival(job));
+        }
+        let mut results = Vec::new();
+        let pools = &mut self.pools;
+        sim.run(|sim, event| match event {
+            Event::Arrival(job) => {
+                let pool = job.pool;
+                if pools[pool].offer(job.clone()) {
+                    let service = pools[pool].service_secs(&job);
+                    let started = sim.now();
+                    sim.schedule_in(
+                        SimDuration::from_secs_f64(service),
+                        Event::Completion { pool, job, started },
+                    );
+                }
+                // Queued jobs are re-launched by a later completion.
+            }
+            Event::Completion { pool, job, started } => {
+                let ttft = pools[pool].prefill_secs(&job);
+                results.push(JobResult {
+                    id: job.id,
+                    pool,
+                    arrival: job.arrival,
+                    started,
+                    first_token: started + SimDuration::from_secs_f64(ttft),
+                    completed: sim.now(),
+                });
+                if let Some(next) = pools[pool].complete() {
+                    let service = pools[pool].service_secs(&next);
+                    let started = sim.now();
+                    sim.schedule_in(
+                        SimDuration::from_secs_f64(service),
+                        Event::Completion {
+                            pool,
+                            job: next,
+                            started,
+                        },
+                    );
+                }
+            }
+        });
+        results
+    }
+}
+
+/// Convenience: builds `JobSpec`s from `(id, pool, arrival_secs, ttft,
+/// decode)` tuples.
+pub fn jobs_from_tuples(rows: &[(u64, usize, f64, f64, f64)]) -> Vec<JobSpec> {
+    rows.iter()
+        .map(|&(id, pool, at, ttft, decode)| JobSpec {
+            id: JobId(id),
+            pool,
+            arrival: SimTime::from_secs_f64(at),
+            ttft_secs: ttft,
+            decode_secs: decode,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_slot_pool() -> Vec<PoolConfig> {
+        vec![PoolConfig {
+            name: "p".into(),
+            replicas: 1,
+            slots_per_replica: 1,
+            congestion_beta: 0.0,
+        }]
+    }
+
+    #[test]
+    fn single_job_completes_at_service_time() {
+        let mut cluster = ClusterSim::new(one_slot_pool());
+        let results = cluster.run(jobs_from_tuples(&[(0, 0, 1.0, 0.2, 0.8)]));
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!((r.queue_wait_secs() - 0.0).abs() < 1e-6);
+        assert!((r.ttft_secs() - 0.2).abs() < 1e-6);
+        assert!((r.e2e_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contended_jobs_queue_fifo() {
+        let mut cluster = ClusterSim::new(one_slot_pool());
+        let results = cluster.run(jobs_from_tuples(&[
+            (0, 0, 0.0, 0.0, 1.0),
+            (1, 0, 0.0, 0.0, 1.0),
+            (2, 0, 0.0, 0.0, 1.0),
+        ]));
+        let by_id = |id: u64| results.iter().find(|r| r.id == JobId(id)).unwrap();
+        assert!((by_id(0).e2e_secs() - 1.0).abs() < 1e-6);
+        assert!((by_id(1).e2e_secs() - 2.0).abs() < 1e-6);
+        assert!((by_id(2).e2e_secs() - 3.0).abs() < 1e-6);
+        // Queue wait is visible in TTFT, the user-facing metric.
+        assert!((by_id(2).ttft_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_explodes_past_saturation() {
+        // Offered load 2x capacity: mean latency must blow up relative to
+        // a lightly-loaded run — the Fig. 12(c)/(d) mechanism.
+        let build_jobs = |rate: f64| -> Vec<JobSpec> {
+            (0..200)
+                .map(|i| JobSpec {
+                    id: JobId(i),
+                    pool: 0,
+                    arrival: SimTime::from_secs_f64(i as f64 / rate),
+                    ttft_secs: 0.05,
+                    decode_secs: 1.0,
+                })
+                .collect()
+        };
+        let cfg = vec![PoolConfig {
+            name: "p".into(),
+            replicas: 1,
+            slots_per_replica: 4,
+            congestion_beta: 0.0,
+        }];
+        // Capacity = 4 concurrent 1s jobs = 4 jobs/s.
+        let light: f64 = {
+            let mut c = ClusterSim::new(cfg.clone());
+            let rs = c.run(build_jobs(2.0));
+            rs.iter().map(|r| r.e2e_secs()).sum::<f64>() / rs.len() as f64
+        };
+        let heavy: f64 = {
+            let mut c = ClusterSim::new(cfg);
+            let rs = c.run(build_jobs(8.0));
+            rs.iter().map(|r| r.e2e_secs()).sum::<f64>() / rs.len() as f64
+        };
+        assert!(
+            heavy > 4.0 * light,
+            "saturation should blow up latency: {light} vs {heavy}"
+        );
+    }
+
+    #[test]
+    fn more_replicas_raise_throughput() {
+        let jobs: Vec<JobSpec> = (0..100)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                pool: 0,
+                arrival: SimTime::from_secs_f64(i as f64 * 0.1),
+                ttft_secs: 0.0,
+                decode_secs: 1.0,
+            })
+            .collect();
+        let makespan = |replicas: u32| -> f64 {
+            let mut c = ClusterSim::new(vec![PoolConfig {
+                name: "p".into(),
+                replicas,
+                slots_per_replica: 1,
+                congestion_beta: 0.0,
+            }]);
+            let rs = c.run(jobs.clone());
+            rs.iter().map(|r| r.completed.as_secs_f64()).fold(0.0, f64::max)
+        };
+        assert!(makespan(8) < makespan(2) / 2.0);
+    }
+
+    #[test]
+    fn contention_beta_stretches_decode() {
+        let jobs: Vec<JobSpec> = (0..8)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                pool: 0,
+                arrival: SimTime::ZERO,
+                ttft_secs: 0.0,
+                decode_secs: 1.0,
+            })
+            .collect();
+        let mean_e2e = |beta: f64| -> f64 {
+            let mut c = ClusterSim::new(vec![PoolConfig {
+                name: "p".into(),
+                replicas: 1,
+                slots_per_replica: 8,
+                congestion_beta: beta,
+            }]);
+            let rs = c.run(jobs.clone());
+            rs.iter().map(|r| r.e2e_secs()).sum::<f64>() / rs.len() as f64
+        };
+        assert!(mean_e2e(1.0) > mean_e2e(0.0) * 1.3);
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut cluster = ClusterSim::new(vec![
+            PoolConfig {
+                name: "a".into(),
+                replicas: 1,
+                slots_per_replica: 1,
+                congestion_beta: 0.0,
+            },
+            PoolConfig {
+                name: "b".into(),
+                replicas: 1,
+                slots_per_replica: 1,
+                congestion_beta: 0.0,
+            },
+        ]);
+        // Saturate pool 0; pool 1 job must be unaffected.
+        let results = cluster.run(jobs_from_tuples(&[
+            (0, 0, 0.0, 0.0, 5.0),
+            (1, 0, 0.0, 0.0, 5.0),
+            (2, 1, 0.0, 0.1, 0.4),
+        ]));
+        let r2 = results.iter().find(|r| r.id == JobId(2)).unwrap();
+        assert!((r2.e2e_secs() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let jobs = jobs_from_tuples(&[
+            (0, 0, 0.0, 0.1, 1.0),
+            (1, 0, 0.3, 0.1, 0.5),
+            (2, 0, 0.6, 0.1, 0.2),
+        ]);
+        let run = || {
+            let mut c = ClusterSim::new(one_slot_pool());
+            c.run(jobs.clone())
+                .iter()
+                .map(|r| (r.id, r.completed))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,27 @@
+//! Discrete-event GPU cluster simulator for the IC-Cache evaluation.
+//!
+//! The paper serves requests on a 16-A100 cluster behind vLLM-style
+//! continuous batching (§6.1). The latency/throughput claims — saturation
+//! of the large-model pool under bursts (Fig. 12), completion-time growth
+//! with load (Fig. 20), GPU-per-QPS cost (Fig. 18 right) — are queueing
+//! phenomena, so this crate models exactly that layer:
+//!
+//! - A [`ModelPool`] per servable model: `replicas x slots` concurrent
+//!   sequences with a FIFO admission queue. Each in-flight sequence slows
+//!   down with pool occupancy (the batching-contention factor), which is
+//!   the first-order behaviour of continuous batching between the
+//!   memory-bound and compute-bound regimes.
+//! - A [`ClusterSim`] that replays a set of [`JobSpec`]s (arrival time +
+//!   zero-load prefill/decode costs, produced upstream by `ic-llmsim`)
+//!   through the pools on the deterministic `ic-desim` kernel.
+//! - [`metrics`] — per-request TTFT/E2E recording and windowed throughput.
+
+pub mod cluster;
+pub mod job;
+pub mod metrics;
+pub mod pool;
+
+pub use cluster::{ClusterSim, PoolId};
+pub use job::{JobId, JobResult, JobSpec};
+pub use metrics::ServingMetrics;
+pub use pool::{ModelPool, PoolConfig};

@@ -1,0 +1,234 @@
+//! A model pool: replicas, slots, queue, and contention model.
+
+use std::collections::VecDeque;
+
+use crate::job::{JobId, JobSpec};
+
+/// Static configuration of one pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Human-readable label (usually the model name).
+    pub name: String,
+    /// Number of serving replicas.
+    pub replicas: u32,
+    /// Concurrent sequences one replica sustains (continuous-batching
+    /// slots; vLLM-style engines run dozens).
+    pub slots_per_replica: u32,
+    /// Decode slowdown at full occupancy: in-flight sequences run at
+    /// `1 + beta * occupancy` times their zero-load decode time.
+    pub congestion_beta: f64,
+}
+
+impl PoolConfig {
+    /// Pool sized for `total_gpus` GPUs at `gpus_per_replica` each (at
+    /// least one replica).
+    pub fn for_gpus(
+        name: &str,
+        total_gpus: u32,
+        gpus_per_replica: u32,
+        slots_per_replica: u32,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            replicas: (total_gpus / gpus_per_replica.max(1)).max(1),
+            slots_per_replica,
+            congestion_beta: 0.7,
+        }
+    }
+
+    /// Total concurrent sequences across replicas.
+    pub fn total_slots(&self) -> u32 {
+        self.replicas * self.slots_per_replica
+    }
+}
+
+/// Runtime state of one pool.
+#[derive(Debug)]
+pub struct ModelPool {
+    config: PoolConfig,
+    active: u32,
+    queue: VecDeque<JobSpec>,
+    /// Peak queue length observed (diagnostics).
+    peak_queue: usize,
+    /// Total jobs admitted to a slot.
+    admitted: u64,
+}
+
+impl ModelPool {
+    /// Creates an idle pool.
+    pub fn new(config: PoolConfig) -> Self {
+        Self {
+            config,
+            active: 0,
+            queue: VecDeque::new(),
+            peak_queue: 0,
+            admitted: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// In-flight sequence count.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// Queued (not yet admitted) jobs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Largest queue seen.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Jobs admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Occupancy fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        f64::from(self.active) / f64::from(self.config.total_slots().max(1))
+    }
+
+    /// Service time of a job if admitted right now: zero-load latency
+    /// stretched by the congestion factor at the *post-admission*
+    /// occupancy.
+    pub fn service_secs(&self, job: &JobSpec) -> f64 {
+        let occ_after =
+            f64::from(self.active + 1) / f64::from(self.config.total_slots().max(1));
+        let stretch = 1.0 + self.config.congestion_beta * occ_after;
+        job.ttft_secs + job.decode_secs * stretch
+    }
+
+    /// Prefill portion of the service (TTFT is not stretched by decode
+    /// contention in chunked-prefill engines; queueing dominates instead).
+    pub fn prefill_secs(&self, job: &JobSpec) -> f64 {
+        job.ttft_secs
+    }
+
+    /// Offers a job: admitted immediately (returns true) or queued.
+    pub fn offer(&mut self, job: JobSpec) -> bool {
+        if self.active < self.config.total_slots() {
+            self.active += 1;
+            self.admitted += 1;
+            true
+        } else {
+            self.queue.push_back(job);
+            self.peak_queue = self.peak_queue.max(self.queue.len());
+            false
+        }
+    }
+
+    /// Releases a slot on completion; returns the next queued job to
+    /// admit, if any (the caller schedules it, already counted active).
+    pub fn complete(&mut self) -> Option<JobSpec> {
+        debug_assert!(self.active > 0, "completion without active job");
+        self.active = self.active.saturating_sub(1);
+        let next = self.queue.pop_front();
+        if next.is_some() {
+            self.active += 1;
+            self.admitted += 1;
+        }
+        next
+    }
+
+    /// Drops every queued job (failover drain).
+    pub fn drain_queue(&mut self) -> Vec<JobId> {
+        let ids = self.queue.iter().map(|j| j.id).collect();
+        self.queue.clear();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_desim::SimTime;
+
+    fn job(id: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            pool: 0,
+            arrival: SimTime::ZERO,
+            ttft_secs: 0.1,
+            decode_secs: 1.0,
+        }
+    }
+
+    fn small_pool(slots: u32) -> ModelPool {
+        ModelPool::new(PoolConfig {
+            name: "test".into(),
+            replicas: 1,
+            slots_per_replica: slots,
+            congestion_beta: 0.5,
+        })
+    }
+
+    #[test]
+    fn admits_until_full_then_queues() {
+        let mut p = small_pool(2);
+        assert!(p.offer(job(1)));
+        assert!(p.offer(job(2)));
+        assert!(!p.offer(job(3)));
+        assert_eq!(p.active(), 2);
+        assert_eq!(p.queue_len(), 1);
+        assert_eq!(p.peak_queue(), 1);
+    }
+
+    #[test]
+    fn completion_promotes_queued_fifo() {
+        let mut p = small_pool(1);
+        assert!(p.offer(job(1)));
+        p.offer(job(2));
+        p.offer(job(3));
+        let next = p.complete().expect("queued job promoted");
+        assert_eq!(next.id, JobId(2));
+        assert_eq!(p.active(), 1);
+        let next = p.complete().expect("second queued job");
+        assert_eq!(next.id, JobId(3));
+        assert!(p.complete().is_none());
+        assert_eq!(p.active(), 0);
+    }
+
+    #[test]
+    fn service_time_grows_with_occupancy() {
+        let mut p = small_pool(10);
+        let empty = p.service_secs(&job(1));
+        for i in 0..9 {
+            p.offer(job(i));
+        }
+        let busy = p.service_secs(&job(99));
+        assert!(busy > empty, "contention must stretch decode: {empty} vs {busy}");
+        // TTFT portion is not stretched.
+        assert!((p.prefill_secs(&job(99)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_gpus_sizes_replicas() {
+        let large = PoolConfig::for_gpus("large", 16, 8, 16);
+        let small = PoolConfig::for_gpus("small", 16, 1, 16);
+        assert_eq!(large.replicas, 2);
+        assert_eq!(small.replicas, 16);
+        assert!(small.total_slots() > large.total_slots());
+        // A model bigger than the cluster still gets one replica.
+        let huge = PoolConfig::for_gpus("huge", 4, 16, 8);
+        assert_eq!(huge.replicas, 1);
+    }
+
+    #[test]
+    fn drain_returns_queued_ids() {
+        let mut p = small_pool(1);
+        p.offer(job(1));
+        p.offer(job(2));
+        p.offer(job(3));
+        let dropped = p.drain_queue();
+        assert_eq!(dropped, vec![JobId(2), JobId(3)]);
+        assert_eq!(p.queue_len(), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Inverted-file (IVF) index with the paper's `K = sqrt(N)` rule.
+//!
+//! Cached examples are clustered offline; a query finds its `nprobe`
+//! nearest centroids and scans only those posting lists, turning the O(N)
+//! scan into roughly `K + nprobe * N/K` comparisons. With `K = sqrt(N)`
+//! and a small probe width this is the paper's claimed sub-1% selection
+//! overhead (§4.1, Fig. 18 "Retrieval stage 1").
+//!
+//! The index retrains lazily: inserts are routed to the nearest existing
+//! centroid, and when the pool has grown or shrunk past a configurable
+//! factor since the last training, the next operation retrains with the
+//! sqrt rule. Small pools fall back to exact search automatically.
+
+use std::collections::HashMap;
+
+use ic_embed::Embedding;
+
+use crate::kmeans::{KMeansModel, kmeans};
+use crate::{ItemId, SearchHit, VectorIndex, finalize_hits, sqrt_cluster_count};
+
+/// Tuning knobs for [`IvfIndex`].
+#[derive(Debug, Clone)]
+pub struct IvfConfig {
+    /// Number of nearest clusters scanned per query.
+    pub nprobe: usize,
+    /// Below this size queries scan everything (clustering not worth it).
+    pub brute_force_below: usize,
+    /// Retrain when the pool grows/shrinks by this factor since training.
+    pub retrain_growth: f64,
+    /// Lloyd iterations per training run.
+    pub train_iters: usize,
+    /// Seed for K-means.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            nprobe: 4,
+            brute_force_below: 64,
+            retrain_growth: 2.0,
+            train_iters: 15,
+            seed: 0x1CC0FFEE,
+        }
+    }
+}
+
+/// An IVF index over example embeddings.
+///
+/// # Examples
+///
+/// ```
+/// use ic_embed::Embedding;
+/// use ic_vecindex::{IvfConfig, IvfIndex, VectorIndex};
+/// use ic_stats::rng::rng_from_seed;
+///
+/// let mut idx = IvfIndex::new(IvfConfig::default());
+/// let mut rng = rng_from_seed(1);
+/// for i in 0..200 {
+///     idx.insert(i, Embedding::gaussian(16, 1.0, &mut rng).normalized());
+/// }
+/// let q = Embedding::gaussian(16, 1.0, &mut rng).normalized();
+/// assert_eq!(idx.search(&q, 5).len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct IvfIndex {
+    config: IvfConfig,
+    items: HashMap<ItemId, Embedding>,
+    model: Option<KMeansModel>,
+    /// Posting lists: cluster -> member ids. Rebuilt on retrain; patched
+    /// incrementally on insert/remove.
+    lists: Vec<Vec<ItemId>>,
+    /// Cluster of each item (for O(1) removal bookkeeping).
+    cluster_of: HashMap<ItemId, usize>,
+    /// Pool size at the time of the last training.
+    trained_at_len: usize,
+}
+
+impl IvfIndex {
+    /// Creates an empty index.
+    pub fn new(config: IvfConfig) -> Self {
+        Self {
+            config,
+            items: HashMap::new(),
+            model: None,
+            lists: Vec::new(),
+            cluster_of: HashMap::new(),
+            trained_at_len: 0,
+        }
+    }
+
+    /// Current number of clusters (0 before first training).
+    pub fn num_clusters(&self) -> usize {
+        self.model.as_ref().map_or(0, |m| m.k())
+    }
+
+    /// Whether the next query would use the brute-force path.
+    pub fn is_brute_force(&self) -> bool {
+        self.items.len() < self.config.brute_force_below || self.model.is_none()
+    }
+
+    /// Forces retraining with `K = sqrt(N)` clusters.
+    pub fn retrain(&mut self) {
+        let n = self.items.len();
+        if n == 0 {
+            self.model = None;
+            self.lists.clear();
+            self.cluster_of.clear();
+            self.trained_at_len = 0;
+            return;
+        }
+        // Deterministic training order: sort by id.
+        let mut ids: Vec<ItemId> = self.items.keys().copied().collect();
+        ids.sort_unstable();
+        let data: Vec<Embedding> = ids.iter().map(|id| self.items[id].clone()).collect();
+        let k = sqrt_cluster_count(n);
+        let model = kmeans(&data, k, self.config.train_iters, self.config.seed)
+            .expect("non-empty data trains");
+        let mut lists = vec![Vec::new(); model.k()];
+        let mut cluster_of = HashMap::with_capacity(n);
+        for (id, emb) in ids.iter().zip(&data) {
+            let c = model.assign(emb);
+            lists[c].push(*id);
+            cluster_of.insert(*id, c);
+        }
+        self.model = Some(model);
+        self.lists = lists;
+        self.cluster_of = cluster_of;
+        self.trained_at_len = n;
+    }
+
+    fn maybe_retrain(&mut self) {
+        let n = self.items.len();
+        if n < self.config.brute_force_below {
+            return;
+        }
+        let stale = match self.model {
+            None => true,
+            Some(_) => {
+                let base = self.trained_at_len.max(1) as f64;
+                let ratio = n as f64 / base;
+                ratio >= self.config.retrain_growth || ratio <= 1.0 / self.config.retrain_growth
+            }
+        };
+        if stale {
+            self.retrain();
+        }
+    }
+
+    /// Expected comparison count per query under the current structure;
+    /// used by the overhead benchmarks.
+    pub fn expected_comparisons(&self) -> f64 {
+        if self.is_brute_force() {
+            return self.items.len() as f64;
+        }
+        let k = self.num_clusters() as f64;
+        let n = self.items.len() as f64;
+        k + self.config.nprobe as f64 * (n / k)
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn insert(&mut self, id: ItemId, embedding: Embedding) {
+        // Drop any stale posting-list entry first.
+        if self.items.contains_key(&id) {
+            self.remove(id);
+        }
+        if let Some(model) = &self.model {
+            let c = model.assign(&embedding);
+            self.lists[c].push(id);
+            self.cluster_of.insert(id, c);
+        }
+        self.items.insert(id, embedding);
+        self.maybe_retrain();
+    }
+
+    fn remove(&mut self, id: ItemId) -> bool {
+        if self.items.remove(&id).is_none() {
+            return false;
+        }
+        if let Some(c) = self.cluster_of.remove(&id)
+            && let Some(list) = self.lists.get_mut(c)
+            && let Some(pos) = list.iter().position(|&x| x == id)
+        {
+            list.swap_remove(pos);
+        }
+        true
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.items.is_empty() {
+            return Vec::new();
+        }
+        if self.is_brute_force() {
+            let hits = self
+                .items
+                .iter()
+                .map(|(&id, e)| SearchHit {
+                    id,
+                    similarity: query.cosine(e),
+                })
+                .collect();
+            return finalize_hits(hits, k);
+        }
+        let model = self.model.as_ref().expect("checked by is_brute_force");
+        let probes = model.assign_top_n(query, self.config.nprobe.max(1));
+        let mut hits = Vec::new();
+        for c in probes {
+            for &id in &self.lists[c] {
+                let e = &self.items[&id];
+                hits.push(SearchHit {
+                    id,
+                    similarity: query.cosine(e),
+                });
+            }
+        }
+        finalize_hits(hits, k)
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+    use ic_embed::{TopicSpace, TopicSpaceConfig};
+    use ic_stats::rng::rng_from_seed;
+
+    fn build_pair(n: usize) -> (IvfIndex, FlatIndex, Vec<Embedding>) {
+        let space = TopicSpace::generate(
+            21,
+            TopicSpaceConfig {
+                num_topics: 32,
+                ..TopicSpaceConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(22);
+        let mut ivf = IvfIndex::new(IvfConfig::default());
+        let mut flat = FlatIndex::new();
+        let mut queries = Vec::new();
+        for i in 0..n {
+            let e = space.sample_member(i % 32, &mut rng);
+            ivf.insert(i as ItemId, e.clone());
+            flat.insert(i as ItemId, e);
+        }
+        for t in 0..20 {
+            queries.push(space.sample_member(t % 32, &mut rng));
+        }
+        (ivf, flat, queries)
+    }
+
+    #[test]
+    fn small_pool_uses_brute_force_and_is_exact() {
+        let (ivf, flat, queries) = build_pair(40);
+        assert!(ivf.is_brute_force());
+        for q in &queries {
+            let a = ivf.search(q, 5);
+            let b = flat.search(q, 5);
+            assert_eq!(
+                a.iter().map(|h| h.id).collect::<Vec<_>>(),
+                b.iter().map(|h| h.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn large_pool_trains_sqrt_clusters() {
+        let (ivf, _, _) = build_pair(1000);
+        assert!(!ivf.is_brute_force());
+        let k = ivf.num_clusters();
+        // Trained at some point between 64 and 1000 items; K tracks sqrt(N)
+        // of the pool size at training time.
+        assert!((8..=40).contains(&k), "unexpected cluster count {k}");
+    }
+
+    #[test]
+    fn recall_against_flat_is_high() {
+        let (ivf, flat, queries) = build_pair(2000);
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let approx: Vec<ItemId> = ivf.search(q, 10).iter().map(|h| h.id).collect();
+            let exact: Vec<ItemId> = flat.search(q, 10).iter().map(|h| h.id).collect();
+            total += exact.len();
+            hit += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.8, "recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn expected_comparisons_beat_brute_force() {
+        let (ivf, _, _) = build_pair(4000);
+        assert!(ivf.expected_comparisons() < 4000.0 / 2.0);
+    }
+
+    #[test]
+    fn removal_excludes_items_from_results() {
+        let (mut ivf, _, queries) = build_pair(500);
+        let victim = ivf.search(&queries[0], 1)[0].id;
+        assert!(ivf.remove(victim));
+        assert!(!ivf.remove(victim));
+        let after = ivf.search(&queries[0], 10);
+        assert!(after.iter().all(|h| h.id != victim));
+        assert_eq!(ivf.len(), 499);
+    }
+
+    #[test]
+    fn reinsert_updates_embedding() {
+        let mut ivf = IvfIndex::new(IvfConfig::default());
+        let a = Embedding::from_vec(vec![1.0, 0.0]).normalized();
+        let b = Embedding::from_vec(vec![0.0, 1.0]).normalized();
+        ivf.insert(1, a);
+        ivf.insert(1, b.clone());
+        assert_eq!(ivf.len(), 1);
+        let hits = ivf.search(&b, 1);
+        assert!(hits[0].similarity > 0.99);
+    }
+
+    #[test]
+    fn retrain_after_mass_removal_shrinks_clusters() {
+        let (mut ivf, _, _) = build_pair(1000);
+        let before = ivf.num_clusters();
+        for id in 0..900u64 {
+            ivf.remove(id);
+        }
+        ivf.retrain();
+        assert!(ivf.num_clusters() < before);
+        assert_eq!(ivf.len(), 100);
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let mut ivf = IvfIndex::new(IvfConfig::default());
+        let q = Embedding::from_vec(vec![1.0, 0.0]);
+        assert!(ivf.search(&q, 5).is_empty());
+        assert!(!ivf.remove(3));
+        ivf.retrain();
+        assert_eq!(ivf.num_clusters(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Lloyd's K-means with k-means++ seeding.
+//!
+//! Used by [`crate::IvfIndex`] to cluster cached examples offline (§4.1 of
+//! the paper: "we can cluster cached examples offline into K groups using
+//! K-Means").
+
+use ic_embed::Embedding;
+use ic_stats::rng::rng_from_seed;
+use rand::{Rng, RngExt};
+
+/// A fitted K-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    centroids: Vec<Embedding>,
+}
+
+impl KMeansModel {
+    /// The cluster centroids.
+    pub fn centroids(&self) -> &[Embedding] {
+        &self.centroids
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index of the centroid nearest to `v` (squared Euclidean distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no centroids (cannot happen for models
+    /// produced by [`kmeans`]).
+    pub fn assign(&self, v: &Embedding) -> usize {
+        nearest_centroid(&self.centroids, v).0
+    }
+
+    /// Indices of the `n` nearest centroids, closest first.
+    pub fn assign_top_n(&self, v: &Embedding, n: usize) -> Vec<usize> {
+        let mut dists: Vec<(usize, f64)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.sq_dist(v)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists.truncate(n);
+        dists.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Total within-cluster squared distance of a dataset under this model.
+    pub fn inertia(&self, data: &[Embedding]) -> f64 {
+        data.iter()
+            .map(|v| nearest_centroid(&self.centroids, v).1)
+            .sum()
+    }
+}
+
+fn nearest_centroid(centroids: &[Embedding], v: &Embedding) -> (usize, f64) {
+    assert!(!centroids.is_empty(), "model has no centroids");
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = c.sq_dist(v);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Fits K-means to `data` with k-means++ initialization.
+///
+/// `k` is clamped to `data.len()`; an empty dataset yields an empty model
+/// is not allowed — returns `None` instead. Runs at most `max_iters` Lloyd
+/// iterations, stopping early when assignments stabilize.
+pub fn kmeans(data: &[Embedding], k: usize, max_iters: usize, seed: u64) -> Option<KMeansModel> {
+    if data.is_empty() || k == 0 {
+        return None;
+    }
+    let k = k.min(data.len());
+    let mut rng = rng_from_seed(seed);
+    let mut centroids = init_plus_plus(data, k, &mut rng);
+    let mut assignment = vec![usize::MAX; data.len()];
+
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, v) in data.iter().enumerate() {
+            let a = nearest_centroid(&centroids, v).0;
+            if a != assignment[i] {
+                assignment[i] = a;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update step.
+        let mut sums: Vec<Embedding> = (0..k).map(|_| Embedding::zeros(data[0].dim())).collect();
+        let mut counts = vec![0usize; k];
+        for (i, v) in data.iter().enumerate() {
+            sums[assignment[i]].add_scaled(v, 1.0);
+            counts[assignment[i]] += 1;
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                let inv = 1.0 / *count as f64;
+                let mut m = sum.clone();
+                for x in m.as_mut_slice() {
+                    *x = (f64::from(*x) * inv) as f32;
+                }
+                *c = m;
+            }
+            // Empty clusters keep their previous centroid; k-means++ makes
+            // this rare and harmless.
+        }
+    }
+    Some(KMeansModel { centroids })
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled
+/// proportionally to squared distance from the nearest chosen center.
+fn init_plus_plus(data: &[Embedding], k: usize, rng: &mut impl Rng) -> Vec<Embedding> {
+    let mut centroids: Vec<Embedding> = Vec::with_capacity(k);
+    centroids.push(data[rng.random_range(0..data.len())].clone());
+    let mut d2: Vec<f64> = data.iter().map(|v| v.sq_dist(&centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with chosen centers; pick uniformly.
+            rng.random_range(0..data.len())
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut idx = data.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        centroids.push(data[next].clone());
+        let newest = centroids.last().expect("just pushed");
+        for (i, v) in data.iter().enumerate() {
+            d2[i] = d2[i].min(v.sq_dist(newest));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_embed::{TopicSpace, TopicSpaceConfig};
+
+    fn clustered_data(topics: usize, per_topic: usize) -> (Vec<Embedding>, Vec<usize>) {
+        let space = TopicSpace::generate(
+            5,
+            TopicSpaceConfig {
+                num_topics: topics,
+                ..TopicSpaceConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(6);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for t in 0..topics {
+            for _ in 0..per_topic {
+                data.push(space.sample_member(t, &mut rng));
+                labels.push(t);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let (data, labels) = clustered_data(4, 50);
+        let model = kmeans(&data, 4, 50, 7).unwrap();
+        // Same-topic points should overwhelmingly share an assigned cluster.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..data.len() {
+            for j in (i + 1)..data.len() {
+                if labels[i] == labels[j] {
+                    total += 1;
+                    if model.assign(&data[i]) == model.assign(&data[j]) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        let purity = agree as f64 / total as f64;
+        assert!(purity > 0.9, "cluster purity too low: {purity}");
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = clustered_data(8, 30);
+        let m2 = kmeans(&data, 2, 30, 1).unwrap();
+        let m8 = kmeans(&data, 8, 30, 1).unwrap();
+        assert!(m8.inertia(&data) < m2.inertia(&data));
+    }
+
+    #[test]
+    fn k_clamped_to_data_len() {
+        let (data, _) = clustered_data(1, 3);
+        let model = kmeans(&data, 10, 10, 2).unwrap();
+        assert_eq!(model.k(), 3);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(kmeans(&[], 3, 10, 0).is_none());
+        let (data, _) = clustered_data(1, 2);
+        assert!(kmeans(&data, 0, 10, 0).is_none());
+    }
+
+    #[test]
+    fn assign_top_n_is_sorted_by_distance() {
+        let (data, _) = clustered_data(5, 20);
+        let model = kmeans(&data, 5, 30, 3).unwrap();
+        let q = &data[0];
+        let top = model.assign_top_n(q, 5);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0], model.assign(q));
+        let d: Vec<f64> = top
+            .iter()
+            .map(|&i| model.centroids()[i].sq_dist(q))
+            .collect();
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![Embedding::from_vec(vec![1.0, 2.0]); 10];
+        let model = kmeans(&data, 3, 10, 4).unwrap();
+        assert_eq!(model.assign(&data[0]), model.assign(&data[9]));
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let (data, _) = clustered_data(4, 25);
+        let a = kmeans(&data, 4, 25, 9).unwrap();
+        let b = kmeans(&data, 4, 25, 9).unwrap();
+        for (ca, cb) in a.centroids().iter().zip(b.centroids()) {
+            assert_eq!(ca.as_slice(), cb.as_slice());
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Vector similarity index substrate for IC-Cache example retrieval.
+//!
+//! Stage 1 of the Example Selector retrieves relevance candidates with a
+//! dense similarity search (the paper uses GPU FAISS, §5). To keep
+//! per-request cost sub-linear, cached examples are clustered offline with
+//! K-means into `K = sqrt(N)` groups — the paper derives this by minimizing
+//! `K + N/K` comparisons per query (§4.1) — and queries probe only the
+//! nearest clusters.
+//!
+//! This crate provides:
+//! - [`FlatIndex`] — exact brute-force search (the ground truth and the
+//!   small-pool fast path),
+//! - [`kmeans`] — Lloyd's algorithm with k-means++ seeding,
+//! - [`IvfIndex`] — the inverted-file index with the `sqrt(N)` rule,
+//!   incremental inserts, lazy retraining, and configurable probe width.
+//!
+//! # Examples
+//!
+//! ```
+//! use ic_embed::Embedding;
+//! use ic_vecindex::{FlatIndex, VectorIndex};
+//!
+//! let mut idx = FlatIndex::new();
+//! idx.insert(1, Embedding::from_vec(vec![1.0, 0.0]));
+//! idx.insert(2, Embedding::from_vec(vec![0.0, 1.0]));
+//! let hits = idx.search(&Embedding::from_vec(vec![0.9, 0.1]), 1);
+//! assert_eq!(hits[0].id, 1);
+//! ```
+
+pub mod flat;
+pub mod ivf;
+pub mod kmeans;
+
+pub use flat::FlatIndex;
+pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::{KMeansModel, kmeans};
+
+use ic_embed::Embedding;
+
+/// Identifier of an indexed item (an example id in IC-Cache).
+pub type ItemId = u64;
+
+/// One search result: item id plus cosine similarity to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The matched item.
+    pub id: ItemId,
+    /// Cosine similarity in `[-1, 1]`.
+    pub similarity: f64,
+}
+
+/// Common interface over the index implementations.
+pub trait VectorIndex {
+    /// Inserts (or replaces) an item.
+    fn insert(&mut self, id: ItemId, embedding: Embedding);
+
+    /// Removes an item; returns whether it was present.
+    fn remove(&mut self, id: ItemId) -> bool;
+
+    /// Returns up to `k` most-similar items, sorted by descending
+    /// similarity (ties broken by ascending id for determinism).
+    fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit>;
+
+    /// Number of indexed items.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Sorts hits by descending similarity, then ascending id, and truncates
+/// to `k`. Shared by the index implementations.
+pub(crate) fn finalize_hits(mut hits: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    hits.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .expect("similarities are finite")
+            .then(a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+/// The paper's cluster-count rule: `K = sqrt(N)`, minimizing the per-query
+/// comparison count `K + N/K` (§4.1). Always at least 1.
+pub fn sqrt_cluster_count(n: usize) -> usize {
+    ((n as f64).sqrt().round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_rule_matches_paper_argument() {
+        // K + N/K is minimized at K = sqrt(N); check a few sizes.
+        for n in [4usize, 100, 10_000, 123_456] {
+            let k = sqrt_cluster_count(n);
+            let cost = |k: usize| k as f64 + n as f64 / k as f64;
+            // Neighboring K values must not be cheaper by more than
+            // rounding slack.
+            assert!(cost(k) <= cost((k + 1).max(1)) + 1.0);
+            assert!(cost(k) <= cost(k.saturating_sub(1).max(1)) + 1.0);
+        }
+    }
+
+    #[test]
+    fn sqrt_rule_handles_small_pools() {
+        assert_eq!(sqrt_cluster_count(0), 1);
+        assert_eq!(sqrt_cluster_count(1), 1);
+        assert_eq!(sqrt_cluster_count(2), 1);
+        assert_eq!(sqrt_cluster_count(4), 2);
+    }
+
+    #[test]
+    fn finalize_orders_and_truncates() {
+        let hits = vec![
+            SearchHit {
+                id: 3,
+                similarity: 0.5,
+            },
+            SearchHit {
+                id: 1,
+                similarity: 0.9,
+            },
+            SearchHit {
+                id: 2,
+                similarity: 0.9,
+            },
+        ];
+        let out = finalize_hits(hits, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 1); // Tie broken by id.
+        assert_eq!(out[1].id, 2);
+    }
+}

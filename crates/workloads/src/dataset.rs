@@ -1,0 +1,274 @@
+//! The eight evaluation datasets of Table 1 and their generator parameters.
+
+use ic_llmsim::TaskKind;
+
+/// One of the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Stanford Alpaca — instruction conversation (32,392 / 1,800).
+    Alpaca,
+    /// LMSys-Chat-1M — real-user conversation (273,043 / 15,170).
+    LmsysChat,
+    /// OpenOrca — GPT-augmented reasoning traces (774,285 / 43,016).
+    OpenOrca,
+    /// MS MARCO — Bing search Q&A (808,731 / 101,092).
+    MsMarco,
+    /// Natural Questions — Google search Q&A (300,000 / 7,830).
+    NaturalQuestions,
+    /// WMT-16 — machine translation (600,000 / 1,000).
+    Wmt16,
+    /// NL2Bash — bash code generation (8,090 / 609).
+    Nl2Bash,
+    /// Math500 level 5 — hard math reasoning (7,500 / 5,000).
+    Math500,
+}
+
+impl Dataset {
+    /// All datasets in Table 1 order.
+    pub const ALL: [Dataset; 8] = [
+        Dataset::Alpaca,
+        Dataset::LmsysChat,
+        Dataset::OpenOrca,
+        Dataset::MsMarco,
+        Dataset::NaturalQuestions,
+        Dataset::Wmt16,
+        Dataset::Nl2Bash,
+        Dataset::Math500,
+    ];
+
+    /// The generator parameters for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Alpaca => DatasetSpec {
+                name: "Alpaca",
+                task: TaskKind::Conversation,
+                example_size: 32_392,
+                request_size: 1_800,
+                topics_per_1k_examples: 14.0,
+                topic_zipf: 0.95,
+                difficulty_mean: 0.58,
+                difficulty_concentration: 14.0,
+                input_tokens_median: 90.0,
+                input_tokens_sigma: 0.5,
+                output_tokens_median: 180.0,
+                output_tokens_sigma: 0.5,
+                sensitive_rate: 0.01,
+            },
+            Dataset::LmsysChat => DatasetSpec {
+                name: "lmsys-chat-1m",
+                task: TaskKind::Conversation,
+                example_size: 273_043,
+                request_size: 15_170,
+                topics_per_1k_examples: 9.0,
+                topic_zipf: 1.05,
+                difficulty_mean: 0.60,
+                difficulty_concentration: 10.0,
+                input_tokens_median: 140.0,
+                input_tokens_sigma: 0.7,
+                output_tokens_median: 220.0,
+                output_tokens_sigma: 0.6,
+                sensitive_rate: 0.04,
+            },
+            Dataset::OpenOrca => DatasetSpec {
+                name: "OpenOrca",
+                task: TaskKind::Conversation,
+                example_size: 774_285,
+                request_size: 43_016,
+                topics_per_1k_examples: 7.0,
+                topic_zipf: 1.0,
+                difficulty_mean: 0.63,
+                difficulty_concentration: 12.0,
+                input_tokens_median: 170.0,
+                input_tokens_sigma: 0.6,
+                output_tokens_median: 240.0,
+                output_tokens_sigma: 0.6,
+                sensitive_rate: 0.01,
+            },
+            Dataset::MsMarco => DatasetSpec {
+                name: "MS MARCO",
+                task: TaskKind::QuestionAnswering,
+                example_size: 808_731,
+                request_size: 101_092,
+                topics_per_1k_examples: 6.0,
+                topic_zipf: 1.1,
+                difficulty_mean: 0.60,
+                difficulty_concentration: 12.0,
+                input_tokens_median: 40.0,
+                input_tokens_sigma: 0.4,
+                output_tokens_median: 120.0,
+                output_tokens_sigma: 0.5,
+                sensitive_rate: 0.03,
+            },
+            Dataset::NaturalQuestions => DatasetSpec {
+                name: "Natural Questions",
+                task: TaskKind::QuestionAnswering,
+                example_size: 300_000,
+                request_size: 7_830,
+                topics_per_1k_examples: 8.0,
+                topic_zipf: 1.05,
+                difficulty_mean: 0.66,
+                difficulty_concentration: 12.0,
+                input_tokens_median: 35.0,
+                input_tokens_sigma: 0.35,
+                output_tokens_median: 110.0,
+                output_tokens_sigma: 0.5,
+                sensitive_rate: 0.01,
+            },
+            Dataset::Wmt16 => DatasetSpec {
+                name: "WMT-16-PM",
+                task: TaskKind::Translation,
+                example_size: 600_000,
+                request_size: 1_000,
+                topics_per_1k_examples: 5.0,
+                topic_zipf: 0.9,
+                difficulty_mean: 0.55,
+                difficulty_concentration: 16.0,
+                input_tokens_median: 60.0,
+                input_tokens_sigma: 0.4,
+                output_tokens_median: 70.0,
+                output_tokens_sigma: 0.4,
+                sensitive_rate: 0.0,
+            },
+            Dataset::Nl2Bash => DatasetSpec {
+                name: "Nl2bash",
+                task: TaskKind::CodeGeneration,
+                example_size: 8_090,
+                request_size: 609,
+                topics_per_1k_examples: 22.0,
+                topic_zipf: 0.9,
+                difficulty_mean: 0.68,
+                difficulty_concentration: 12.0,
+                input_tokens_median: 45.0,
+                input_tokens_sigma: 0.4,
+                output_tokens_median: 50.0,
+                output_tokens_sigma: 0.5,
+                sensitive_rate: 0.0,
+            },
+            Dataset::Math500 => DatasetSpec {
+                name: "Math500-Level5",
+                task: TaskKind::MathReasoning,
+                example_size: 7_500,
+                request_size: 5_000,
+                topics_per_1k_examples: 18.0,
+                topic_zipf: 0.85,
+                difficulty_mean: 0.78,
+                difficulty_concentration: 16.0,
+                input_tokens_median: 160.0,
+                input_tokens_sigma: 0.45,
+                output_tokens_median: 380.0,
+                output_tokens_sigma: 0.5,
+                sensitive_rate: 0.0,
+            },
+        }
+    }
+}
+
+/// Generator parameters of one dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Display name matching Table 1.
+    pub name: &'static str,
+    /// Task family (drives skill mix and model behaviour).
+    pub task: TaskKind,
+    /// Example-bank size from Table 1.
+    pub example_size: usize,
+    /// Online request-set size from Table 1.
+    pub request_size: usize,
+    /// Topic density: distinct topics per 1,000 examples. Lower density ⇒
+    /// more same-topic neighbours ⇒ higher similarity prevalence (Fig. 3a).
+    pub topics_per_1k_examples: f64,
+    /// Zipf exponent of topic popularity (long-tail reuse, Fig. 10).
+    pub topic_zipf: f64,
+    /// Mean of the difficulty distribution.
+    pub difficulty_mean: f64,
+    /// Beta-distribution concentration (higher = tighter around the mean).
+    pub difficulty_concentration: f64,
+    /// Median prompt length in tokens (log-normal).
+    pub input_tokens_median: f64,
+    /// Log-sigma of prompt length.
+    pub input_tokens_sigma: f64,
+    /// Median response length in tokens (log-normal).
+    pub output_tokens_median: f64,
+    /// Log-sigma of response length.
+    pub output_tokens_sigma: f64,
+    /// Fraction of prompts carrying sensitive spans (admission control).
+    pub sensitive_rate: f64,
+}
+
+impl DatasetSpec {
+    /// Number of topics for a pool of `n` examples.
+    pub fn topics_for(&self, n: usize) -> usize {
+        ((n as f64 / 1000.0) * self.topics_per_1k_examples).ceil() as usize + 1
+    }
+}
+
+/// Table 1 rows: `(name, task, example_size, request_size)`.
+pub fn table1() -> Vec<(&'static str, TaskKind, usize, usize)> {
+    Dataset::ALL
+        .iter()
+        .map(|d| {
+            let s = d.spec();
+            (s.name, s.task, s.example_size, s.request_size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 8);
+        let find = |n: &str| rows.iter().find(|r| r.0 == n).unwrap();
+        assert_eq!(find("Alpaca").2, 32_392);
+        assert_eq!(find("Alpaca").3, 1_800);
+        assert_eq!(find("lmsys-chat-1m").2, 273_043);
+        assert_eq!(find("lmsys-chat-1m").3, 15_170);
+        assert_eq!(find("OpenOrca").2, 774_285);
+        assert_eq!(find("OpenOrca").3, 43_016);
+        assert_eq!(find("MS MARCO").2, 808_731);
+        assert_eq!(find("MS MARCO").3, 101_092);
+        assert_eq!(find("Natural Questions").2, 300_000);
+        assert_eq!(find("Natural Questions").3, 7_830);
+        assert_eq!(find("WMT-16-PM").2, 600_000);
+        assert_eq!(find("WMT-16-PM").3, 1_000);
+        assert_eq!(find("Nl2bash").2, 8_090);
+        assert_eq!(find("Nl2bash").3, 609);
+        assert_eq!(find("Math500-Level5").2, 7_500);
+        assert_eq!(find("Math500-Level5").3, 5_000);
+    }
+
+    #[test]
+    fn total_request_volume_is_paper_scale() {
+        // §6: "millions of realistic requests" across examples + requests.
+        let total: usize = table1().iter().map(|r| r.2 + r.3).sum();
+        assert!(total > 2_500_000, "total {total}");
+    }
+
+    #[test]
+    fn math_is_hardest_translation_easiest() {
+        let math = Dataset::Math500.spec();
+        let wmt = Dataset::Wmt16.spec();
+        let qa = Dataset::MsMarco.spec();
+        assert!(math.difficulty_mean > qa.difficulty_mean);
+        assert!(qa.difficulty_mean > wmt.difficulty_mean);
+    }
+
+    #[test]
+    fn topics_for_scales_with_pool() {
+        let s = Dataset::MsMarco.spec();
+        assert!(s.topics_for(10_000) > s.topics_for(1_000));
+        assert!(s.topics_for(0) >= 1);
+    }
+
+    #[test]
+    fn tasks_match_table1_rows() {
+        assert_eq!(Dataset::Nl2Bash.spec().task, TaskKind::CodeGeneration);
+        assert_eq!(Dataset::Math500.spec().task, TaskKind::MathReasoning);
+        assert_eq!(Dataset::Wmt16.spec().task, TaskKind::Translation);
+        assert_eq!(Dataset::MsMarco.spec().task, TaskKind::QuestionAnswering);
+        assert_eq!(Dataset::Alpaca.spec().task, TaskKind::Conversation);
+    }
+}

@@ -1,0 +1,128 @@
+//! External-document corpus for the LongRAG baseline (§6.1, Table 2).
+//!
+//! LongRAG retrieves the top-5 documents and appends them to the prompt.
+//! Documents carry factual knowledge about topics; retrieval is imperfect
+//! (some retrieved documents are off-topic or low quality, §7's "RAG ...
+//! is vulnerable to out-of-domain or low-quality documents").
+
+use ic_llmsim::{RagDoc, Request};
+use ic_stats::dist::Beta;
+use ic_stats::rng::rng_from_seed;
+use rand::RngExt;
+use rand::rngs::StdRng;
+
+/// A synthetic retrieval corpus.
+///
+/// # Examples
+///
+/// ```
+/// use ic_workloads::{Dataset, RagCorpus, WorkloadGenerator};
+///
+/// let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 1);
+/// let req = wg.generate_requests(1).pop().unwrap();
+/// let mut corpus = RagCorpus::new(0.75, 9);
+/// let docs = corpus.retrieve(&req, 5);
+/// assert_eq!(docs.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct RagCorpus {
+    /// Probability that a retrieved document is actually on-topic.
+    retrieval_precision: f64,
+    doc_quality: Beta,
+    rng: StdRng,
+}
+
+impl RagCorpus {
+    /// Creates a corpus with the given retrieval precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retrieval_precision` is not a probability.
+    pub fn new(retrieval_precision: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&retrieval_precision),
+            "precision must be a probability"
+        );
+        Self {
+            retrieval_precision,
+            doc_quality: Beta::new(8.0, 2.0).expect("valid beta"),
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Retrieves `k` documents for a request (LongRAG uses k = 5).
+    pub fn retrieve(&mut self, request: &Request, k: usize) -> Vec<RagDoc> {
+        (0..k)
+            .map(|rank| {
+                let on_topic = self.rng.random::<f64>() < self.retrieval_precision;
+                // Relevance decays with rank; off-topic hits are near-useless.
+                let rank_decay = 1.0 / (1.0 + 0.25 * rank as f64);
+                let relevance = if on_topic {
+                    (0.55 + 0.4 * self.rng.random::<f64>()) * rank_decay
+                } else {
+                    0.1 * self.rng.random::<f64>()
+                };
+                // Harder requests tend to have less directly-usable docs.
+                let difficulty_discount = 1.0 - 0.3 * request.difficulty;
+                RagDoc {
+                    relevance: (relevance * difficulty_discount).clamp(0.0, 1.0),
+                    quality: self.doc_quality.sample(&mut self.rng),
+                    tokens: self.rng.random_range(120..400),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::generator::WorkloadGenerator;
+
+    fn req() -> Request {
+        WorkloadGenerator::new(Dataset::MsMarco, 3)
+            .generate_requests(1)
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn retrieves_requested_count() {
+        let mut c = RagCorpus::new(0.8, 1);
+        let docs = c.retrieve(&req(), 5);
+        assert_eq!(docs.len(), 5);
+        for d in &docs {
+            assert!((0.0..=1.0).contains(&d.relevance));
+            assert!((0.0..=1.0).contains(&d.quality));
+            assert!(d.tokens >= 120);
+        }
+    }
+
+    #[test]
+    fn precision_controls_relevance() {
+        let r = req();
+        let mut good = RagCorpus::new(1.0, 2);
+        let mut bad = RagCorpus::new(0.0, 2);
+        let rel = |docs: Vec<RagDoc>| {
+            docs.iter().map(|d| d.relevance).sum::<f64>() / docs.len() as f64
+        };
+        let g: f64 = (0..50).map(|_| rel(good.retrieve(&r, 5))).sum::<f64>() / 50.0;
+        let b: f64 = (0..50).map(|_| rel(bad.retrieve(&r, 5))).sum::<f64>() / 50.0;
+        assert!(g > 3.0 * b, "precision should separate: {g} vs {b}");
+    }
+
+    #[test]
+    fn top_ranked_documents_are_more_relevant() {
+        let r = req();
+        let mut c = RagCorpus::new(1.0, 4);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let docs = c.retrieve(&r, 5);
+            first += docs[0].relevance;
+            last += docs[4].relevance;
+        }
+        assert!(first > last, "rank decay missing: {first} vs {last}");
+    }
+}

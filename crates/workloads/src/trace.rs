@@ -1,0 +1,246 @@
+//! Arrival-time traces.
+//!
+//! Figure 2 of the paper analyzes Microsoft's Azure LLM serving trace:
+//! beyond the diurnal cycle, minute-level load spikes reach up to 25x the
+//! median. Figure 22 shows the 30-minute excerpt used for the end-to-end
+//! evaluation, and §6.4 uses fixed-QPS Poisson loads (1/2/4 QPS).
+
+use ic_stats::dist::{Exponential, Poisson};
+use ic_stats::rng::rng_from_seed;
+use rand::RngExt;
+
+/// Configuration for the Azure-like bursty trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Trace length in seconds.
+    pub duration_s: f64,
+    /// Baseline request rate (requests/second).
+    pub base_rps: f64,
+    /// Diurnal modulation amplitude in `[0, 1)`.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in seconds (86,400 for a day).
+    pub diurnal_period_s: f64,
+    /// Expected number of load spikes per hour.
+    pub spikes_per_hour: f64,
+    /// Peak multiplier of a spike (the paper observes up to 25x median).
+    pub spike_peak_mult: f64,
+    /// Mean spike duration in seconds (spikes decay exponentially).
+    pub spike_duration_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 42.0 * 3600.0,
+            base_rps: 2.0,
+            diurnal_amplitude: 0.6,
+            diurnal_period_s: 86_400.0,
+            spikes_per_hour: 1.2,
+            spike_peak_mult: 25.0,
+            spike_duration_s: 90.0,
+            seed: 7,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Instantaneous rate multiplier at time `t` from the diurnal cycle.
+    fn diurnal(&self, t: f64) -> f64 {
+        1.0 + self.diurnal_amplitude
+            * (std::f64::consts::TAU * t / self.diurnal_period_s - std::f64::consts::FRAC_PI_2)
+                .sin()
+    }
+
+    /// Generates sorted arrival timestamps (seconds) via a
+    /// non-homogeneous Poisson process with diurnal modulation and
+    /// exponentially-decaying spikes.
+    pub fn generate(&self) -> Vec<f64> {
+        let mut rng = rng_from_seed(self.seed);
+        // Draw spike times and magnitudes first.
+        let expected_spikes = self.spikes_per_hour * self.duration_s / 3600.0;
+        let n_spikes = Poisson::new(expected_spikes)
+            .expect("non-negative rate")
+            .sample(&mut rng);
+        let mut spikes: Vec<(f64, f64, f64)> = (0..n_spikes)
+            .map(|_| {
+                let at = rng.random::<f64>() * self.duration_s;
+                let peak = 2.0 + rng.random::<f64>() * (self.spike_peak_mult - 2.0);
+                let dur = Exponential::new(1.0 / self.spike_duration_s)
+                    .expect("positive rate")
+                    .sample(&mut rng)
+                    .max(10.0);
+                (at, peak, dur)
+            })
+            .collect();
+        spikes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+        let rate_at = |t: f64| -> f64 {
+            let mut rate = self.base_rps * self.diurnal(t);
+            for &(at, peak, dur) in &spikes {
+                if t >= at {
+                    let decay = (-(t - at) / dur).exp();
+                    if decay > 1e-3 {
+                        rate += self.base_rps * (peak - 1.0) * decay;
+                    }
+                }
+            }
+            rate
+        };
+
+        // Thinning (Lewis–Shedler) against a per-window rate bound.
+        let lambda_max = self.base_rps * (1.0 + self.diurnal_amplitude) * self.spike_peak_mult;
+        let mut arrivals = Vec::new();
+        let mut t = 0.0;
+        let exp = Exponential::new(lambda_max).expect("positive rate");
+        loop {
+            t += exp.sample(&mut rng);
+            if t >= self.duration_s {
+                break;
+            }
+            if rng.random::<f64>() < rate_at(t) / lambda_max {
+                arrivals.push(t);
+            }
+        }
+        arrivals
+    }
+}
+
+/// Homogeneous Poisson arrivals at `qps` for `duration_s` seconds (the
+/// light/medium/heavy loads of §6.4, Fig. 20).
+pub fn fixed_qps_arrivals(qps: f64, duration_s: f64, seed: u64) -> Vec<f64> {
+    assert!(qps > 0.0, "qps must be positive");
+    let mut rng = rng_from_seed(seed);
+    let exp = Exponential::new(qps).expect("positive rate");
+    let mut arrivals = Vec::with_capacity((qps * duration_s) as usize + 16);
+    let mut t = 0.0;
+    loop {
+        t += exp.sample(&mut rng);
+        if t >= duration_s {
+            break;
+        }
+        arrivals.push(t);
+    }
+    arrivals
+}
+
+/// The 30-minute evaluation excerpt (Fig. 22): moderate base load with a
+/// couple of sharp bursts, scaled by `rps_scale`.
+pub fn thirty_minute_trace(rps_scale: f64, seed: u64) -> Vec<f64> {
+    TraceConfig {
+        duration_s: 30.0 * 60.0,
+        base_rps: 0.8 * rps_scale,
+        diurnal_amplitude: 0.3,
+        diurnal_period_s: 1800.0,
+        spikes_per_hour: 6.0,
+        spike_peak_mult: 8.0,
+        spike_duration_s: 60.0,
+        seed,
+    }
+    .generate()
+}
+
+/// Counts arrivals per window of `window_s` seconds over `duration_s`.
+pub fn window_counts(arrivals: &[f64], window_s: f64, duration_s: f64) -> Vec<usize> {
+    assert!(window_s > 0.0, "window must be positive");
+    let n = (duration_s / window_s).ceil() as usize;
+    let mut counts = vec![0usize; n.max(1)];
+    for &a in arrivals {
+        let idx = ((a / window_s) as usize).min(counts.len() - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        let cfg = TraceConfig {
+            duration_s: 3600.0,
+            ..TraceConfig::default()
+        };
+        let a = cfg.generate();
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(*a.last().unwrap() < 3600.0);
+        assert!(a[0] >= 0.0);
+    }
+
+    #[test]
+    fn fig2b_peak_to_median_ratio() {
+        // Minute-level peak should reach far above the median — the paper
+        // reports up to 25x.
+        let cfg = TraceConfig {
+            duration_s: 6.0 * 3600.0,
+            base_rps: 2.0,
+            ..TraceConfig::default()
+        };
+        let a = cfg.generate();
+        let counts = window_counts(&a, 60.0, cfg.duration_s);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2].max(1);
+        let peak = *sorted.last().unwrap();
+        let ratio = peak as f64 / median as f64;
+        assert!(
+            ratio > 4.0,
+            "peak/median {ratio} too tame for a bursty trace"
+        );
+    }
+
+    #[test]
+    fn diurnal_cycle_shapes_hourly_load() {
+        let cfg = TraceConfig {
+            duration_s: 86_400.0,
+            base_rps: 1.0,
+            spikes_per_hour: 0.0,
+            ..TraceConfig::default()
+        };
+        let a = cfg.generate();
+        let hourly = window_counts(&a, 3600.0, cfg.duration_s);
+        let max = *hourly.iter().max().unwrap() as f64;
+        let min = *hourly.iter().min().unwrap() as f64;
+        // Amplitude 0.6 ⇒ max/min ≈ (1.6/0.4) = 4, modulo Poisson noise.
+        assert!(max / min.max(1.0) > 2.0, "diurnal swing too flat");
+    }
+
+    #[test]
+    fn fixed_qps_matches_target_rate() {
+        let a = fixed_qps_arrivals(4.0, 1000.0, 3);
+        let rate = a.len() as f64 / 1000.0;
+        assert!((rate - 4.0).abs() < 0.4, "rate {rate}");
+    }
+
+    #[test]
+    fn thirty_minute_trace_is_bounded_and_busy() {
+        let a = thirty_minute_trace(1.0, 11);
+        assert!(*a.last().unwrap() < 1800.0);
+        // Fig. 22 shows tens of requests per 30s window at peak.
+        let counts = window_counts(&a, 30.0, 1800.0);
+        assert!(*counts.iter().max().unwrap() >= 10);
+    }
+
+    #[test]
+    fn window_counts_cover_all_arrivals() {
+        let a = vec![0.5, 1.5, 2.5, 59.9, 60.0, 119.9];
+        let c = window_counts(&a, 60.0, 120.0);
+        assert_eq!(c.iter().sum::<usize>(), a.len());
+        assert_eq!(c[0], 4);
+        assert_eq!(c[1], 2);
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = thirty_minute_trace(1.0, 5);
+        let b = thirty_minute_trace(1.0, 5);
+        assert_eq!(a, b);
+        let c = thirty_minute_trace(1.0, 6);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: the Figure 6 workflow in a dozen lines.
+//!
+//! Builds an IC-Cache client over the Gemma-2 pair, seeds the example
+//! cache with historical large-model responses, serves a small batch of
+//! MS MARCO-like requests, and registers the new pairs back into the
+//! cache.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ic_cache::{IcCacheClient, IcCacheConfig};
+use ic_llmsim::{Generator, ModelSpec};
+use ic_workloads::{Dataset, WorkloadGenerator};
+
+fn main() {
+    // 1. Configuration: offload Gemma-2-27B traffic to Gemma-2-2B.
+    let config = IcCacheConfig::gemma_pair();
+    let large = config.primary;
+    let client = IcCacheClient::new(config);
+
+    // 2. Seed the example cache with historical request-response pairs
+    //    answered by the large model (Appendix A.4 initialization).
+    let mut workload = WorkloadGenerator::new(Dataset::MsMarco, 42);
+    let examples =
+        workload.generate_examples(2_000, &ModelSpec::gemma_2_27b(), large, &Generator::new());
+    client.seed_examples(examples);
+
+    // 3. Serve traffic (Fig. 6: client.generate).
+    let requests = workload.generate_requests(50);
+    let responses = client.generate(&requests);
+
+    // 4. Register the fresh pairs for future reuse (Fig. 6:
+    //    client.update_cache).
+    client.update_cache(&requests, &responses);
+
+    let offloaded = responses.iter().filter(|r| r.offloaded).count();
+    let mean_quality: f64 =
+        responses.iter().map(|r| r.outcome.quality).sum::<f64>() / responses.len() as f64;
+    println!("served {} requests", responses.len());
+    println!(
+        "offloaded to the small model: {offloaded} ({}%)",
+        100 * offloaded / responses.len()
+    );
+    println!("mean latent response quality: {mean_quality:.3}");
+    println!("cached examples after update: {}", client.cached_examples());
+
+    client.stop();
+}

@@ -1,0 +1,19 @@
+//! Workspace-level re-exports for the IC-Cache reproduction.
+//!
+//! This crate exists so the runnable `examples/` and the cross-crate
+//! `tests/` have a single dependency surface. Library users should depend
+//! on the individual crates (`ic-cache`, `ic-llmsim`, ...) directly.
+
+pub use ic_baselines as baselines;
+pub use ic_cache as cache;
+pub use ic_desim as desim;
+pub use ic_embed as embed;
+pub use ic_judge as judge;
+pub use ic_llmsim as llmsim;
+pub use ic_manager as manager;
+pub use ic_router as router;
+pub use ic_selector as selector;
+pub use ic_serving as serving;
+pub use ic_stats as stats;
+pub use ic_vecindex as vecindex;
+pub use ic_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Cross-crate property-based tests on system invariants.
+
+use ic_embed::Embedding;
+use ic_llmsim::{GenSetup, Generator, ModelSpec, Request, RequestId, SkillMix, TaskKind};
+use ic_stats::rng::rng_from_seed;
+use ic_vecindex::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use proptest::prelude::*;
+
+fn arb_unit_embedding(dim: usize) -> impl Strategy<Value = Embedding> {
+    proptest::collection::vec(-1.0f32..1.0, dim).prop_map(|v| {
+        let e = Embedding::from_vec(v).normalized();
+        if e.norm() < 0.5 {
+            // Degenerate all-zero draw: replace with a basis vector.
+            let mut basis = vec![0.0f32; e.dim()];
+            basis[0] = 1.0;
+            Embedding::from_vec(basis)
+        } else {
+            e
+        }
+    })
+}
+
+fn request_with(difficulty: f64, tokens: u32, latent: Embedding) -> Request {
+    Request {
+        id: RequestId(0),
+        topic: 0,
+        embedding: latent.clone(),
+        latent,
+        difficulty,
+        complexity_signal: difficulty,
+        skills: SkillMix::uniform(),
+        task: TaskKind::Conversation,
+        input_tokens: tokens,
+        target_output_tokens: tokens.max(8),
+        text: String::new(),
+        sensitive: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generation output is always well-formed, whatever the inputs.
+    #[test]
+    fn generation_is_always_well_formed(
+        difficulty in 0.0f64..1.0,
+        tokens in 1u32..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let sim = Generator::new();
+        let mut rng = rng_from_seed(seed);
+        let latent = Embedding::gaussian(16, 1.0, &mut rng).normalized();
+        let r = request_with(difficulty, tokens, latent);
+        for spec in [ModelSpec::gemma_2_2b(), ModelSpec::deepseek_r1()] {
+            let out = sim.generate(&spec, &r, &GenSetup::bare(), &mut rng);
+            prop_assert!((0.0..=1.0).contains(&out.quality));
+            prop_assert!(out.output_tokens >= 1);
+            prop_assert!(out.input_tokens >= tokens);
+            prop_assert!(out.latency.ttft > 0.0);
+            prop_assert!(out.latency.decode > 0.0);
+        }
+    }
+
+    /// Harder requests never have higher expected base quality.
+    #[test]
+    fn base_quality_is_monotone_in_difficulty(
+        d1 in 0.0f64..1.0,
+        d2 in 0.0f64..1.0,
+    ) {
+        let sim = Generator::new();
+        let mut rng = rng_from_seed(1);
+        let latent = Embedding::gaussian(8, 1.0, &mut rng).normalized();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let spec = ModelSpec::gemma_2_27b();
+        let q_easy = sim.base_quality(&spec, &request_with(lo, 50, latent.clone()));
+        let q_hard = sim.base_quality(&spec, &request_with(hi, 50, latent));
+        prop_assert!(q_easy >= q_hard);
+    }
+
+    /// IVF search results are a subset of the item universe, sorted by
+    /// similarity, and never contain duplicates.
+    #[test]
+    fn ivf_search_is_sorted_and_unique(
+        vectors in proptest::collection::vec(arb_unit_embedding(8), 1..120),
+        k in 1usize..20,
+    ) {
+        let mut ivf = IvfIndex::new(IvfConfig::default());
+        let mut flat = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            ivf.insert(i as u64, v.clone());
+            flat.insert(i as u64, v.clone());
+        }
+        let q = &vectors[0];
+        let hits = ivf.search(q, k);
+        prop_assert!(hits.len() <= k.min(vectors.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].similarity >= w[1].similarity);
+        }
+        let mut ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), hits.len());
+        // The top hit of an exact query is the query itself.
+        prop_assert_eq!(flat.search(q, 1)[0].id, 0);
+    }
+
+    /// More in-context examples never lengthen decoding (the shortening
+    /// factor applies once) and never shrink the prompt.
+    #[test]
+    fn examples_grow_prompt_monotonically(n_examples in 0usize..6) {
+        let sim = Generator::new();
+        let mut rng = rng_from_seed(42);
+        let mut wl = ic_workloads::WorkloadGenerator::sized(
+            ic_workloads::Dataset::MsMarco, 5, 500);
+        let examples = wl.generate_examples(
+            6,
+            &ModelSpec::gemma_2_27b(),
+            ic_llmsim::ModelId(0),
+            &sim,
+        );
+        let request = wl.generate_requests(1).pop().expect("one request");
+        let refs: Vec<&ic_llmsim::Example> = examples.iter().take(n_examples).collect();
+        let with_n = sim.generate(
+            &ModelSpec::gemma_2_2b(), &request, &GenSetup::with_examples(refs), &mut rng);
+        let bare = sim.generate(
+            &ModelSpec::gemma_2_2b(), &request, &GenSetup::bare(), &mut rng);
+        if n_examples > 0 {
+            prop_assert!(with_n.input_tokens > bare.input_tokens);
+        } else {
+            prop_assert_eq!(with_n.input_tokens, bare.input_tokens);
+        }
+    }
+}
