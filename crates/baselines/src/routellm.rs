@@ -148,8 +148,12 @@ mod tests {
         let labels = requests
             .iter()
             .map(|r| {
-                let qs = generator.generate(&small, r, &GenSetup::bare(), &mut rng).quality;
-                let ql = generator.generate(&large, r, &GenSetup::bare(), &mut rng).quality;
+                let qs = generator
+                    .generate(&small, r, &GenSetup::bare(), &mut rng)
+                    .quality;
+                let ql = generator
+                    .generate(&large, r, &GenSetup::bare(), &mut rng)
+                    .quality;
                 judge.score_balanced(qs, ql, 4, &mut rng) >= 0.0
             })
             .collect();
@@ -168,8 +172,7 @@ mod tests {
     fn training_learns_difficulty_signal() {
         let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 102);
         let (requests, labels) = preference_data(&mut wg, 800, 103);
-        let data: Vec<(&Request, bool)> =
-            requests.iter().zip(labels.iter().copied()).collect();
+        let data: Vec<(&Request, bool)> = requests.iter().zip(labels.iter().copied()).collect();
         let mut router = RouteLlm::new(ModelId(0), ModelId(1), 0.5);
         router.train(&data, 30, 0.1);
         // Easy requests should get higher small-win probability than hard
@@ -197,13 +200,14 @@ mod tests {
     fn threshold_controls_offload_fraction() {
         let mut wg = WorkloadGenerator::new(Dataset::NaturalQuestions, 104);
         let (requests, labels) = preference_data(&mut wg, 500, 105);
-        let data: Vec<(&Request, bool)> =
-            requests.iter().zip(labels.iter().copied()).collect();
+        let data: Vec<(&Request, bool)> = requests.iter().zip(labels.iter().copied()).collect();
         let mut router = RouteLlm::new(ModelId(0), ModelId(1), 0.5);
         router.train(&data, 30, 0.1);
         let eval = wg.generate_requests(300);
         let offload_at = |router: &RouteLlm| {
-            eval.iter().filter(|r| router.route(r) == ModelId(0)).count()
+            eval.iter()
+                .filter(|r| router.route(r) == ModelId(0))
+                .count()
         };
         let mid = offload_at(&router);
         router.set_threshold(0.05);

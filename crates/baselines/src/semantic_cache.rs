@@ -147,12 +147,7 @@ mod tests {
 
     fn filled_cache(n: usize, threshold: f64) -> (SemanticCache, WorkloadGenerator) {
         let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 111);
-        let exs = wg.generate_examples(
-            n,
-            &ModelSpec::gemma_2_27b(),
-            ModelId(0),
-            &Generator::new(),
-        );
+        let exs = wg.generate_examples(n, &ModelSpec::gemma_2_27b(), ModelId(0), &Generator::new());
         let mut cache = SemanticCache::new(SemanticCacheConfig {
             similarity_threshold: threshold,
         });

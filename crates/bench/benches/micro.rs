@@ -42,7 +42,12 @@ fn bench_selector(c: &mut Criterion) {
     let sim = Generator::new();
     let small = ModelSpec::gemma_2_2b();
     let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 2);
-    let examples = wg.generate_examples(10_000, &ModelSpec::gemma_2_27b(), ic_llmsim::ModelId(0), &sim);
+    let examples = wg.generate_examples(
+        10_000,
+        &ModelSpec::gemma_2_27b(),
+        ic_llmsim::ModelId(0),
+        &sim,
+    );
     let mut selector = ExampleSelector::standard();
     let mut store: HashMap<ExampleId, ic_llmsim::Example> = HashMap::new();
     for e in examples {

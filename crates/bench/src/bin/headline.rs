@@ -1,5 +1,23 @@
-//! Regenerates the `headline` experiment. Pass `--quick` for a fast run.
+//! Regenerates the `headline` experiment (abstract-level claims), which
+//! replays the bursty trace through the unified `ServingEngine`; the
+//! engine metrics are written to `BENCH_e2e.json`. Pass `--quick` for a
+//! fast run.
+
+use ic_bench::Scale;
+use ic_bench::experiments::e2e;
 
 fn main() {
-    ic_bench::cli_main("headline");
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let (report, engine_report) = e2e::headline_full(scale);
+    std::fs::write("BENCH_e2e.json", engine_report.to_json()).expect("write BENCH_e2e.json");
+    println!("{}", report.to_markdown());
+    println!(
+        "wrote BENCH_e2e.json (engine={}, served={}, offload {:.1}%, p50 {:.3}s, p99 {:.3}s)",
+        engine_report.engine,
+        engine_report.served,
+        engine_report.offload_ratio() * 100.0,
+        engine_report.latency.p50_e2e,
+        engine_report.latency.p99_e2e,
+    );
 }

@@ -3,6 +3,7 @@
 
 use ic_baselines::{RouteLlm, RoutePolicy};
 
+use ic_engine::{EngineConfig, EngineReport, EventDrivenEngine, ServingEngine};
 use ic_judge::Autorater;
 use ic_llmsim::GenSetup;
 use ic_serving::ServingMetrics;
@@ -27,6 +28,9 @@ struct OnlineRun {
     offload_series: Vec<f64>,
     /// Mean latency per 5-minute bucket (Fig. 12c/d).
     latency_series: Vec<f64>,
+    /// The raw engine report, when this run went through the unified
+    /// engine (the IC-Cache policy).
+    engine: Option<EngineReport>,
 }
 
 /// Replays the 30-minute trace under one policy and measures everything.
@@ -69,17 +73,24 @@ fn online_run(
     }
 
     let mut rng = rng_from_seed(scale.seed ^ 23);
+
+    // IC-Cache runs through the unified event-driven engine: admission,
+    // selection, routing, continuous batching and completion feedback all
+    // happen inside the simulation clock (the other policies have no
+    // load-adaptive logic, so they keep the replay path below).
+    if matches!(policy, Policy::IcCache) {
+        let mut engine = EventDrivenEngine::new(setup.system, EngineConfig::default());
+        let report = engine.serve_workload(&requests, arrivals);
+        return online_run_from_engine(name, report, reference_large, judge, &mut rng);
+    }
+
     let mut rows = Vec::new();
     let mut qualities = Vec::new();
     let mut offloaded_flags = Vec::new();
     for (i, (r, &at)) in requests.iter().zip(arrivals).enumerate() {
         let rps = recent_rps(arrivals, i, 30);
         let (pool, outcome) = match policy {
-            Policy::IcCache => {
-                setup.system.observe_load(rps);
-                let out = setup.system.serve(r);
-                (if out.offloaded { 0 } else { 1 }, out.outcome)
-            }
+            Policy::IcCache => unreachable!("handled by the engine path above"),
             Policy::RouteLlmPlus => {
                 // RouteLLM decides; offloaded requests still benefit from
                 // the example cache (the "+"), but routing ignores load.
@@ -95,10 +106,9 @@ fn online_run(
                     );
                     (0, out)
                 } else {
-                    let out =
-                        setup
-                            .sim
-                            .generate(&setup.large_spec, r, &GenSetup::bare(), &mut rng);
+                    let out = setup
+                        .sim
+                        .generate(&setup.large_spec, r, &GenSetup::bare(), &mut rng);
                     (1, out)
                 }
             }
@@ -165,8 +175,8 @@ fn online_run(
     let mut lat_series = vec![0.0; n_buckets];
     let mut lat_count = vec![0usize; n_buckets];
     for r in &results {
-        let b = ((r.arrival.as_secs_f64() / horizon * n_buckets as f64) as usize)
-            .min(n_buckets - 1);
+        let b =
+            ((r.arrival.as_secs_f64() / horizon * n_buckets as f64) as usize).min(n_buckets - 1);
         lat_series[b] += r.e2e_secs();
         lat_count[b] += 1;
     }
@@ -183,7 +193,68 @@ fn online_run(
         win_rate_vs_large: wr,
         offload_series: off_series,
         latency_series: lat_series,
+        engine: None,
     }
+}
+
+/// Converts an engine report into the per-policy result shape shared
+/// with the replay-path baselines.
+fn online_run_from_engine(
+    name: &str,
+    report: EngineReport,
+    reference_large: &[f64],
+    judge: &Autorater,
+    rng: &mut rand::rngs::StdRng,
+) -> OnlineRun {
+    let qualities: Vec<f64> = report.per_request.iter().map(|r| r.quality).collect();
+    let (_, wr) = side_by_side(judge, &qualities, reference_large, rng);
+    let horizon = report
+        .per_request
+        .iter()
+        .map(|r| r.arrival_s)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let n_buckets = 6usize;
+    let mut off_series = vec![0.0; n_buckets];
+    let mut off_count = vec![0usize; n_buckets];
+    let mut lat_series = vec![0.0; n_buckets];
+    for r in &report.per_request {
+        let b = ((r.arrival_s / horizon * n_buckets as f64) as usize).min(n_buckets - 1);
+        off_count[b] += 1;
+        if r.offloaded {
+            off_series[b] += 1.0;
+        }
+        lat_series[b] += r.e2e_s;
+    }
+    for ((o, l), c) in off_series.iter_mut().zip(&mut lat_series).zip(&off_count) {
+        *o /= (*c).max(1) as f64;
+        *l /= (*c).max(1) as f64;
+    }
+    OnlineRun {
+        name: name.to_owned(),
+        offload_ratio: report.offload_ratio(),
+        mean_latency: report.latency.mean_e2e,
+        p99_latency: report.latency.p99_e2e,
+        win_rate_vs_large: wr,
+        offload_series: off_series,
+        latency_series: lat_series,
+        engine: Some(report),
+    }
+}
+
+/// Replays the 30-minute trace through the unified [`EventDrivenEngine`]
+/// (IC-Cache policy, sharded example cache, continuous batching) and
+/// returns the raw engine report — the `BENCH_e2e.json` payload of the
+/// `fig12_e2e` and `headline` binaries. Deterministic: the same scale
+/// yields a byte-identical [`EngineReport::to_json`].
+pub fn engine_e2e_run(scale: Scale, dataset: Dataset) -> EngineReport {
+    let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
+    let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
+    let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
+    setup.warm_up(scale.count(5_000, 300));
+    let requests = setup.generator.generate_requests(arrivals.len());
+    let mut engine = EventDrivenEngine::new(setup.system, EngineConfig::default());
+    engine.serve_workload(&requests, &arrivals)
 }
 
 #[derive(Clone, Copy)]
@@ -213,17 +284,24 @@ fn large_reference(dataset: Dataset, n: usize, scale: Scale) -> Vec<f64> {
 /// Fig. 12: online offload ratio, latency and quality under the
 /// 30-minute bursty trace.
 pub fn fig12_e2e(scale: Scale) -> Report {
+    fig12_e2e_full(scale).0
+}
+
+/// [`fig12_e2e`] plus the raw engine report of the MS MARCO IC-Cache run
+/// — the `BENCH_e2e.json` payload — so binaries do not re-run the trace.
+pub fn fig12_e2e_full(scale: Scale) -> (Report, EngineReport) {
     let mut report = Report::new(
         "fig12_e2e",
         "Online offloading, latency and quality under a bursty trace",
         "Fig. 12",
     );
+    let mut engine_report: Option<EngineReport> = None;
     let judge = Autorater::standard();
     for dataset in [Dataset::MsMarco, Dataset::NaturalQuestions] {
         let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
         let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
         let reference = large_reference(dataset, arrivals.len(), scale);
-        let runs: Vec<OnlineRun> = [
+        let mut runs: Vec<OnlineRun> = [
             ("IC-Cache", Policy::IcCache),
             ("RouteLLM+", Policy::RouteLlmPlus),
             ("Always-Small", Policy::AlwaysSmall),
@@ -232,6 +310,9 @@ pub fn fig12_e2e(scale: Scale) -> Report {
         .into_iter()
         .map(|(name, p)| online_run(name, dataset, &arrivals, p, &reference, scale, &judge))
         .collect();
+        if engine_report.is_none() {
+            engine_report = runs[0].engine.take();
+        }
         let ds_name = Dataset::ALL
             .iter()
             .find(|d| **d == dataset)
@@ -239,7 +320,13 @@ pub fn fig12_e2e(scale: Scale) -> Report {
             .unwrap_or("?");
         let mut t = Table::new(
             &format!("{ds_name}: online policies over the 30-min trace"),
-            &["policy", "offload ratio", "mean latency (s)", "P99 latency (s)", "win rate vs large"],
+            &[
+                "policy",
+                "offload ratio",
+                "mean latency (s)",
+                "P99 latency (s)",
+                "win rate vs large",
+            ],
         );
         for r in &runs {
             t.row(vec![
@@ -263,7 +350,12 @@ pub fn fig12_e2e(scale: Scale) -> Report {
         ));
         let mut ts = Table::new(
             &format!("{ds_name}: 5-min bucket series (IC-Cache vs Always-Large)"),
-            &["bucket", "IC offload ratio", "IC mean latency (s)", "Large mean latency (s)"],
+            &[
+                "bucket",
+                "IC offload ratio",
+                "IC mean latency (s)",
+                "Large mean latency (s)",
+            ],
         );
         for b in 0..ic.offload_series.len() {
             ts.row(vec![
@@ -275,7 +367,8 @@ pub fn fig12_e2e(scale: Scale) -> Report {
         }
         report.table(ts);
     }
-    report
+    let engine_report = engine_report.expect("the IC-Cache policy always runs through the engine");
+    (report, engine_report)
 }
 
 /// Sweeps an IC-Cache-style policy over offload aggressiveness and
@@ -482,8 +575,16 @@ pub fn fig13_tradeoff_curves(scale: Scale) -> Report {
         report.finding(format!(
             "{name}: at >=2x normalized throughput, IC-Cache reaches {} win rate vs \
              RouteLLM's {} (paper: IC-Cache dominates at every throughput target)",
-            if ic_best.is_finite() { pct(ic_best) } else { "n/a".into() },
-            if rl_best.is_finite() { pct(rl_best) } else { "n/a".into() },
+            if ic_best.is_finite() {
+                pct(ic_best)
+            } else {
+                "n/a".into()
+            },
+            if rl_best.is_finite() {
+                pct(rl_best)
+            } else {
+                "n/a".into()
+            },
         ));
     }
     report
@@ -536,7 +637,11 @@ pub fn fig18_breakdown(scale: Scale) -> Report {
         "IC-Cache adds negligible overhead while cutting serving cost",
         "Fig. 18",
     );
-    let mut setup = PairSetup::gemma(Dataset::Alpaca, scale.count(150_000, 2_000), scale.seed ^ 28);
+    let mut setup = PairSetup::gemma(
+        Dataset::Alpaca,
+        scale.count(150_000, 2_000),
+        scale.seed ^ 28,
+    );
     setup.warm_up(scale.count(2_000, 200));
     let requests = setup.generator.generate_requests(scale.count(1_000, 120));
     let mut rng = rng_from_seed(scale.seed ^ 29);
@@ -553,9 +658,12 @@ pub fn fig18_breakdown(scale: Scale) -> Report {
         let bare = setup
             .sim
             .generate(&setup.small_spec, r, &GenSetup::bare(), &mut rng);
-        let ic = setup
-            .sim
-            .generate(&setup.small_spec, r, &GenSetup::with_examples(refs), &mut rng);
+        let ic = setup.sim.generate(
+            &setup.small_spec,
+            r,
+            &GenSetup::with_examples(refs),
+            &mut rng,
+        );
         let large = setup
             .sim
             .generate(&setup.large_spec, r, &GenSetup::bare(), &mut rng);
@@ -571,7 +679,12 @@ pub fn fig18_breakdown(scale: Scale) -> Report {
     let mut t = Table::new(
         "Zero-load request latency (paper: 2.66s / 2.57s / 8.94s) and relative \
          GPU-per-QPS (paper: 1.00 / 1.18 / 7.17)",
-        &["config", "zero-load latency (s)", "retrieval+routing overhead (s)", "GPU/QPS (norm.)"],
+        &[
+            "config",
+            "zero-load latency (s)",
+            "retrieval+routing overhead (s)",
+            "GPU/QPS (norm.)",
+        ],
     );
     let base_gpu = gpu_secs[0] / n;
     for (i, label) in ["gemma-2-2b", "gemma-2-2b + IC-Cache", "gemma-2-27b"]
@@ -617,7 +730,7 @@ pub fn fig20_loads(scale: Scale) -> Report {
          11-35% of 2b alone; 75-83% below 27b)",
         &["load (QPS)", "system", "P50 (s)", "P99 (s)"],
     );
-    let duration = 600.0 * scale.fraction.max(0.25).min(1.0) * 4.0;
+    let duration = 600.0 * scale.fraction.clamp(0.25, 1.0) * 4.0;
     for qps in [1.0, 2.0, 4.0] {
         let arrivals = fixed_qps_arrivals(qps, duration, scale.seed ^ 30);
         for system_kind in ["gemma-2-2b", "gemma-2-2b + IC-Cache", "gemma-2-27b"] {
@@ -677,6 +790,12 @@ pub fn fig20_loads(scale: Scale) -> Report {
 /// The abstract's headline claims: 1.4-5.9x throughput, 28-71% latency
 /// reduction, no quality loss.
 pub fn headline(scale: Scale) -> Report {
+    headline_full(scale).0
+}
+
+/// [`headline`] plus the raw engine report of its unified-engine trace
+/// run, so binaries can write `BENCH_e2e.json` without re-running it.
+pub fn headline_full(scale: Scale) -> (Report, EngineReport) {
     let mut report = Report::new(
         "headline",
         "Headline claims: throughput, latency, quality",
@@ -684,7 +803,11 @@ pub fn headline(scale: Scale) -> Report {
     );
     let mut t = Table::new(
         "Throughput gain at quality parity, per dataset",
-        &["dataset", "max norm. throughput with win rate >= 48%", "win rate there"],
+        &[
+            "dataset",
+            "max norm. throughput with win rate >= 48%",
+            "win rate there",
+        ],
     );
     let mut gains = Vec::new();
     for dataset in [Dataset::MsMarco, Dataset::Alpaca, Dataset::NaturalQuestions] {
@@ -724,7 +847,12 @@ pub fn headline(scale: Scale) -> Report {
         let refs = sel.resolve(setup.system.manager().cache());
         ic_lat += setup
             .sim
-            .generate(&setup.small_spec, r, &GenSetup::with_examples(refs), &mut rng)
+            .generate(
+                &setup.small_spec,
+                r,
+                &GenSetup::with_examples(refs),
+                &mut rng,
+            )
             .latency
             .total();
         large_lat += setup
@@ -738,12 +866,39 @@ pub fn headline(scale: Scale) -> Report {
          reduction = {}",
         pct(1.0 - ic_lat / large_lat)
     ));
-    report
+    // The unified engine's view of the same bursty trace (Fig. 12
+    // conditions): sharded cache + continuous batching + closed-loop
+    // load feedback.
+    let er = engine_e2e_run(scale, Dataset::MsMarco);
+    report.finding(format!(
+        "unified engine on the 30-min trace: offload {}, p50 {}s, p99 {}s, \
+         selection hit rate {}, {} cache shards",
+        pct(er.offload_ratio()),
+        f3(er.latency.p50_e2e),
+        f3(er.latency.p99_e2e),
+        pct(er.selection_hit_rate()),
+        er.cache.shards
+    ));
+    (report, er)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_e2e_runs_sharded_and_is_byte_identical() {
+        let a = engine_e2e_run(Scale::quick(), Dataset::MsMarco);
+        assert!(a.served > 0);
+        assert!(a.cache.shards >= 2, "engine must run a sharded cache");
+        assert!(
+            a.offload_ratio() > 0.0,
+            "IC-Cache should offload some traffic"
+        );
+        assert!(a.latency.p99_e2e >= a.latency.p50_e2e);
+        let b = engine_e2e_run(Scale::quick(), Dataset::MsMarco);
+        assert_eq!(a.to_json(), b.to_json(), "same seed must be byte-identical");
+    }
 
     #[test]
     fn fig13_ic_dominates_routellm_at_high_throughput() {

@@ -70,7 +70,11 @@ pub fn fig01_tradeoff(scale: Scale) -> Report {
             pair.clone(),
             "TBT".into(),
             paper_ttft.1.into(),
-            format!("{:.1}ms vs {:.1}ms", small.tbt_sec() * 1e3, large.tbt_sec() * 1e3),
+            format!(
+                "{:.1}ms vs {:.1}ms",
+                small.tbt_sec() * 1e3,
+                large.tbt_sec() * 1e3
+            ),
         ]);
         table.row(vec![
             pair.clone(),
@@ -98,7 +102,7 @@ pub fn fig02_trace(scale: Scale) -> Report {
         "Fig. 2 (and Fig. 22)",
     );
     let cfg = TraceConfig {
-        duration_s: 42.0 * 3600.0 * scale.fraction.max(0.05).min(1.0),
+        duration_s: 42.0 * 3600.0 * scale.fraction.clamp(0.05, 1.0),
         seed: scale.seed,
         ..TraceConfig::default()
     };
@@ -123,7 +127,10 @@ pub fn fig02_trace(scale: Scale) -> Report {
         "diurnal swing (hourly max/min) = {:.1}x — the Fig. 2a pattern",
         hmax / hmin
     ));
-    let mut t = Table::new("Minute-level request-rate summary", &["stat", "requests/min"]);
+    let mut t = Table::new(
+        "Minute-level request-rate summary",
+        &["stat", "requests/min"],
+    );
     t.row(vec!["min".into(), low.to_string()]);
     t.row(vec!["median".into(), median.to_string()]);
     t.row(vec!["max".into(), peak.to_string()]);
@@ -144,7 +151,11 @@ pub fn fig03_similarity(scale: Scale) -> Report {
         "Fraction of requests with a >0.8-cosine neighbour (paper: >70%)",
         &["dataset", "measured fraction"],
     );
-    for ds in [Dataset::MsMarco, Dataset::NaturalQuestions, Dataset::LmsysChat] {
+    for ds in [
+        Dataset::MsMarco,
+        Dataset::NaturalQuestions,
+        Dataset::LmsysChat,
+    ] {
         let mut wg = WorkloadGenerator::new(ds, scale.seed);
         let n = scale.count(20_000, 800);
         let requests = wg.generate_requests(n);
@@ -195,14 +206,11 @@ pub fn fig03_similarity(scale: Scale) -> Report {
         let mut hits = 0usize;
         for r in &requests {
             let fresh = sim.generate(&small, r, &GenSetup::bare(), &mut rng).quality;
-            match cache.lookup(r) {
-                Some(hit) => {
-                    hits += 1;
-                    let entry = cache.entry(hit.entry).expect("hit entry exists").clone();
-                    cached_q.push(ic_baselines::SemanticCache::effective_quality(&entry, r));
-                    fresh_q.push(fresh);
-                }
-                None => {}
+            if let Some(hit) = cache.lookup(r) {
+                hits += 1;
+                let entry = cache.entry(hit.entry).expect("hit entry exists").clone();
+                cached_q.push(ic_baselines::SemanticCache::effective_quality(&entry, r));
+                fresh_q.push(fresh);
             }
         }
         let hit_rate = hits as f64 / requests.len() as f64;
@@ -235,7 +243,15 @@ pub fn fig04_icl_gain(scale: Scale) -> Report {
     let mut table = Table::new(
         "Mean latent quality on code generation and math reasoning (paper accuracy: \
          37.4/24.8/54.5 code, 37.5/34.4/46.0 math for bare/random/IC)",
-        &["task", "bare", "+5 random ex.", "+5 IC ex.", "TTFT bare", "TTFT +IC", "TTFT large"],
+        &[
+            "task",
+            "bare",
+            "+5 random ex.",
+            "+5 IC ex.",
+            "TTFT bare",
+            "TTFT +IC",
+            "TTFT large",
+        ],
     );
     for ds in [Dataset::Nl2Bash, Dataset::Math500] {
         let mut wg = WorkloadGenerator::new(ds, scale.seed ^ 4);
@@ -269,7 +285,10 @@ pub fn fig04_icl_gain(scale: Scale) -> Report {
             let oi = sim.generate(&small, r, &GenSetup::with_examples(ic_refs), &mut rng);
             ic += oi.quality;
             ttft_ic += oi.latency.ttft;
-            ttft_large += sim.generate(&large, r, &GenSetup::bare(), &mut rng).latency.ttft;
+            ttft_large += sim
+                .generate(&large, r, &GenSetup::bare(), &mut rng)
+                .latency
+                .ttft;
         }
         let n = requests.len() as f64;
         table.row(vec![
@@ -343,11 +362,7 @@ pub fn fig07_correlation(scale: Scale) -> Report {
             }
         }
         let r_val = pearson(&sims, &helps).unwrap_or(0.0);
-        table.row(vec![
-            wg.spec().name.to_string(),
-            f3(paper_r),
-            f3(r_val),
-        ]);
+        table.row(vec![wg.spec().name.to_string(), f3(paper_r), f3(r_val)]);
     }
     report.table(table);
     report.finding(

@@ -48,7 +48,12 @@ fn pair_qualities(
         ic.push(
             setup
                 .sim
-                .generate(&setup.small_spec, r, &GenSetup::with_examples(refs), &mut rng_ic)
+                .generate(
+                    &setup.small_spec,
+                    r,
+                    &GenSetup::with_examples(refs),
+                    &mut rng_ic,
+                )
                 .quality,
         );
         large.push(
@@ -233,7 +238,12 @@ pub fn fig15_sft_rag(scale: Scale) -> Report {
         ragv.push(
             setup2
                 .sim
-                .generate(&setup2.small_spec, r, &GenSetup::with_rag(docs.clone()), &mut rng2)
+                .generate(
+                    &setup2.small_spec,
+                    r,
+                    &GenSetup::with_rag(docs.clone()),
+                    &mut rng2,
+                )
                 .quality,
         );
         let sel = setup2.system.with_selection(r);
@@ -289,7 +299,12 @@ pub fn fig17_sidebyside(scale: Scale) -> Report {
     let mut t = Table::new(
         "Small-model win rate vs large, w/o and w/ IC (paper: LMSys 36.7->44.2, \
          OpenOrca 44.6->57.0, NQ Qwen-vs-R1 7.9->24.4)",
-        &["pair / dataset", "paper w/o -> w/", "measured w/o IC", "measured w/ IC"],
+        &[
+            "pair / dataset",
+            "paper w/o -> w/",
+            "measured w/o IC",
+            "measured w/ IC",
+        ],
     );
     for (config, dataset, label, paper) in [
         (
@@ -412,7 +427,14 @@ pub fn fig27_distributions(scale: Scale) -> Report {
     let mut t = Table::new(
         "Mean pairwise score of small vs large, baseline and with IC, plus the \
          fraction of scores at -3 (Fig. 28's left-tail mass)",
-        &["family", "dataset", "baseline mean", "IC mean", "baseline P(-3)", "IC P(-3)"],
+        &[
+            "family",
+            "dataset",
+            "baseline mean",
+            "IC mean",
+            "baseline P(-3)",
+            "IC P(-3)",
+        ],
     );
     let pairs: Vec<(IcCacheConfig, &str)> = vec![
         (IcCacheConfig::gemini_pair(), "Gemini"),
@@ -466,11 +488,7 @@ fn config_clone(c: &IcCacheConfig) -> IcCacheConfig {
 
 /// Table 2: IC vs RAG vs IC+RAG on MS MARCO.
 pub fn tab02_rag(scale: Scale) -> Report {
-    let mut report = Report::new(
-        "tab02_rag",
-        "IC-Cache complements LongRAG",
-        "Table 2",
-    );
+    let mut report = Report::new("tab02_rag", "IC-Cache complements LongRAG", "Table 2");
     let judge = Autorater::standard();
     let mut setup = PairSetup::gemma(
         Dataset::MsMarco,
@@ -496,7 +514,12 @@ pub fn tab02_rag(scale: Scale) -> Report {
         q[1].push(
             setup
                 .sim
-                .generate(&setup.small_spec, r, &GenSetup::with_rag(docs.clone()), &mut rng)
+                .generate(
+                    &setup.small_spec,
+                    r,
+                    &GenSetup::with_rag(docs.clone()),
+                    &mut rng,
+                )
                 .quality,
         );
         q[2].push(
@@ -537,7 +560,12 @@ pub fn tab02_rag(scale: Scale) -> Report {
          0.067/56.4%, 0.297/62.4%)",
         &["config", "avg score", "win rate"],
     );
-    let labels = ["Gemma-2B", "Gemma-2B + RAG", "Gemma-2B + IC", "Gemma-2B + IC + RAG"];
+    let labels = [
+        "Gemma-2B",
+        "Gemma-2B + RAG",
+        "Gemma-2B + IC",
+        "Gemma-2B + IC + RAG",
+    ];
     let mut win_rates = Vec::new();
     for (label, qs) in labels.iter().zip(&q) {
         let (score, wr) = side_by_side(&judge, qs, &q_large, &mut rng);
@@ -557,11 +585,7 @@ pub fn tab02_rag(scale: Scale) -> Report {
 
 /// Table 3: IC vs SFT, in-domain and out-of-domain.
 pub fn tab03_sft(scale: Scale) -> Report {
-    let mut report = Report::new(
-        "tab03_sft",
-        "IC-Cache vs supervised fine-tuning",
-        "Table 3",
-    );
+    let mut report = Report::new("tab03_sft", "IC-Cache vs supervised fine-tuning", "Table 3");
     let judge = Autorater::standard();
     // The adapter is tuned on NQ (QuestionAnswering); Alpaca is OOD.
     let adapter = SftAdapter::standard(TaskKind::QuestionAnswering);
@@ -570,11 +594,7 @@ pub fn tab03_sft(scale: Scale) -> Report {
          OOD-SFT -0.59/32.3%, in-domain IC -0.18/47.3%, OOD IC -0.21/46.7%)",
         &["config", "avg score", "win rate"],
     );
-    let mut setup = PairSetup::gemma(
-        Dataset::Alpaca,
-        scale.count(30_000, 800),
-        scale.seed ^ 0xA1,
-    );
+    let mut setup = PairSetup::gemma(Dataset::Alpaca, scale.count(30_000, 800), scale.seed ^ 0xA1);
     setup.warm_up(scale.count(1_500, 150));
     let requests = setup.generator.generate_requests(scale.count(1_800, 150));
     let mut rng = rng_from_seed(scale.seed ^ 0xA2);
@@ -608,7 +628,12 @@ pub fn tab03_sft(scale: Scale) -> Report {
         q_ic.push(
             setup
                 .sim
-                .generate(&setup.small_spec, r, &GenSetup::with_examples(refs), &mut rng)
+                .generate(
+                    &setup.small_spec,
+                    r,
+                    &GenSetup::with_examples(refs),
+                    &mut rng,
+                )
                 .quality,
         );
         q_large.push(
@@ -623,7 +648,11 @@ pub fn tab03_sft(scale: Scale) -> Report {
     let (s_ic, w_ic) = side_by_side(&judge, &q_ic, &q_large, &mut rng);
     t.row(vec!["Gemma-2B".into(), f3(s_bare), pct(w_bare)]);
     t.row(vec!["Gemma-2B + OOD SFT".into(), f3(s_sft), pct(w_sft)]);
-    t.row(vec!["Gemma-2B + IC (Alpaca cache)".into(), f3(s_ic), pct(w_ic)]);
+    t.row(vec![
+        "Gemma-2B + IC (Alpaca cache)".into(),
+        f3(s_ic),
+        pct(w_ic),
+    ]);
     report.table(t);
     report.finding(format!(
         "paper's key contrast holds: OOD fine-tuning regresses ({} vs bare {}) while \

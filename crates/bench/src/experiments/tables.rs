@@ -1,7 +1,7 @@
 //! Dataset and judge tables: Tables 1 and 4.
 
-use ic_judge::agreement::{Rater, agreement_matrix, mtbench_pairs};
 use ic_judge::JudgeConfig;
+use ic_judge::agreement::{Rater, agreement_matrix, mtbench_pairs};
 use ic_workloads::table1;
 
 use crate::harness::Scale;

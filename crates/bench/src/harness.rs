@@ -140,11 +140,7 @@ pub fn gpu_seconds(spec: &ModelSpec, e2e_secs: f64) -> f64 {
 /// Normalized serving throughput of a policy that offloads fraction `p`
 /// of requests to the small model, relative to always-large (Fig. 13's
 /// x-axis): the reciprocal of relative GPU-time per request.
-pub fn normalized_throughput(
-    p_offload: f64,
-    small_gpu_secs: f64,
-    large_gpu_secs: f64,
-) -> f64 {
+pub fn normalized_throughput(p_offload: f64, small_gpu_secs: f64, large_gpu_secs: f64) -> f64 {
     let rel = (1.0 - p_offload) + p_offload * (small_gpu_secs / large_gpu_secs);
     1.0 / rel.max(1e-9)
 }
@@ -152,7 +148,11 @@ pub fn normalized_throughput(
 /// Builds a two-pool cluster (pool 0 = small, pool 1 = large) over
 /// `total_gpus`, split as in the evaluation: the large model keeps one
 /// replica's worth of GPUs, the rest go to the small pool.
-pub fn mixed_cluster(small_spec: &ModelSpec, large_spec: &ModelSpec, total_gpus: u32) -> ClusterSim {
+pub fn mixed_cluster(
+    small_spec: &ModelSpec,
+    large_spec: &ModelSpec,
+    total_gpus: u32,
+) -> ClusterSim {
     let large_gpus = large_spec.gpus_per_replica.min(total_gpus);
     let small_gpus = (total_gpus - large_gpus).max(1);
     ClusterSim::new(vec![

@@ -42,10 +42,7 @@ impl Table {
             out.push_str(&format!("**{}**\n\n", self.caption));
         }
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -91,7 +88,10 @@ impl Report {
 
     /// Renders the full report as markdown.
     pub fn to_markdown(&self) -> String {
-        let mut out = format!("## {} — {}\n\n*Reproduces {}.*\n\n", self.id, self.title, self.paper_ref);
+        let mut out = format!(
+            "## {} — {}\n\n*Reproduces {}.*\n\n",
+            self.id, self.title, self.paper_ref
+        );
         for f in &self.findings {
             out.push_str(&format!("- {f}\n"));
         }

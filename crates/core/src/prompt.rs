@@ -94,12 +94,7 @@ mod tests {
 
     fn fixture() -> (Request, Vec<Example>) {
         let mut wg = WorkloadGenerator::new(Dataset::Alpaca, 141);
-        let exs = wg.generate_examples(
-            3,
-            &ModelSpec::gemma_2_27b(),
-            ModelId(0),
-            &Generator::new(),
-        );
+        let exs = wg.generate_examples(3, &ModelSpec::gemma_2_27b(), ModelId(0), &Generator::new());
         let r = wg.generate_requests(1).pop().unwrap();
         (r, exs)
     }

@@ -227,7 +227,12 @@ impl IcCacheSystem {
             let d = self
                 .router
                 .route(request, &selection.predicted_utility, &mut self.rng);
-            (d.chosen, d.solicit_feedback, d.second_choice, d.applied_bias)
+            (
+                d.chosen,
+                d.solicit_feedback,
+                d.second_choice,
+                d.applied_bias,
+            )
         } else {
             (self.config.primary, false, None, 0.0)
         };
@@ -255,8 +260,7 @@ impl IcCacheSystem {
 
         // 4. Learn from feedback. User feedback arrives for solicited
         //    requests and for a sampled fraction of the rest.
-        let give_feedback =
-            solicit || self.rng.random::<f64>() < self.config.feedback_sample_rate;
+        let give_feedback = solicit || self.rng.random::<f64>() < self.config.feedback_sample_rate;
         if give_feedback {
             self.absorb_feedback(request, &selection, chosen, second, &outcome, &used_ids);
         }
@@ -304,26 +308,17 @@ impl IcCacheSystem {
             } else {
                 GenSetup::bare()
             };
-            let alt = self
-                .config
-                .generator
-                .generate(other_spec, request, &other_setup, &mut self.rng);
-            let alt_fb =
-                (alt.quality + 0.1 * (self.rng.random::<f64>() - 0.5)).clamp(0.0, 1.0);
+            let alt =
+                self.config
+                    .generator
+                    .generate(other_spec, request, &other_setup, &mut self.rng);
+            let alt_fb = (alt.quality + 0.1 * (self.rng.random::<f64>() - 0.5)).clamp(0.0, 1.0);
             if fb >= alt_fb {
-                self.router.record_preference(
-                    request,
-                    &selection.predicted_utility,
-                    chosen,
-                    other,
-                );
+                self.router
+                    .record_preference(request, &selection.predicted_utility, chosen, other);
             } else {
-                self.router.record_preference(
-                    request,
-                    &selection.predicted_utility,
-                    other,
-                    chosen,
-                );
+                self.router
+                    .record_preference(request, &selection.predicted_utility, other, chosen);
             }
         }
 
@@ -337,10 +332,7 @@ impl IcCacheSystem {
         } else {
             // Augmented serving: attribute the lift over the bare baseline
             // to the used examples, proportionally to predicted utility.
-            let baseline = self
-                .bare_quality
-                .get(&chosen)
-                .map_or(0.5, |e| e.value());
+            let baseline = self.bare_quality.get(&chosen).map_or(0.5, |e| e.value());
             let lift = (fb - baseline).max(0.0);
             // Attribute the lift to each example relative to the *best*
             // prediction (not the sum): under diminishing returns each
@@ -428,15 +420,32 @@ impl IcCacheSystem {
         let replay = self
             .manager
             .run_replay(&primary_spec, &self.config.generator, &mut self.rng);
+        let evicted = self.run_rebalance(now);
+        MaintenanceReport {
+            replayed: replay.replayed,
+            replay_improvement: replay.total_improvement,
+            evicted,
+        }
+    }
+
+    /// Adjusts the example-cache byte budget at runtime; takes effect at
+    /// the next maintenance or rebalance cycle.
+    pub fn set_cache_capacity(&mut self, bytes: Option<usize>) {
+        self.manager.set_capacity_bytes(bytes);
+        self.config.manager.capacity_bytes = bytes;
+    }
+
+    /// Periodic cross-shard budget rebalance: enforces the byte budget
+    /// through the manager's quantum-knapsack division and unindexes the
+    /// evicted examples. Capacity-only maintenance — no replay — so an
+    /// event-driven engine can run it far more often than
+    /// [`IcCacheSystem::run_maintenance`]. Returns the eviction count.
+    pub fn run_rebalance(&mut self, now: f64) -> usize {
         let evicted = self.manager.enforce_capacity(now);
         for id in &evicted {
             self.selector.unindex_example(*id);
         }
-        MaintenanceReport {
-            replayed: replay.replayed,
-            replay_improvement: replay.total_improvement,
-            evicted: evicted.len(),
-        }
+        evicted.len()
     }
 
     /// Serves a request with IC disabled (primary model, no examples) —
@@ -630,6 +639,9 @@ mod tests {
             overload_ratio > low_ratio,
             "overload should push offloading up: {low_ratio} -> {overload_ratio}"
         );
-        assert!(overload_ratio > 0.8, "deep overload should offload most: {overload_ratio}");
+        assert!(
+            overload_ratio > 0.8,
+            "deep overload should offload most: {overload_ratio}"
+        );
     }
 }

@@ -109,7 +109,11 @@ impl<E> Simulator<E> {
     /// Scheduling in the past is a logic error; the event is clamped to
     /// "now" so time never runs backwards, and debug builds assert.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.heap.push(Reverse(Scheduled {
             at,
@@ -130,6 +134,11 @@ impl<E> Simulator<E> {
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
+    ///
+    /// Deliberately *not* an `Iterator` impl: drivers interleave `next`
+    /// with `schedule` calls on the same simulator, which an iterator
+    /// borrow would forbid.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let Reverse(s) = self.heap.pop()?;
         self.now = s.at;

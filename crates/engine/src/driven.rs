@@ -1,0 +1,471 @@
+//! The event-driven serving engine (see the crate docs for the event
+//! flow diagram).
+
+use ic_cache::IcCacheSystem;
+use ic_desim::{SimDuration, SimTime, Simulator};
+use ic_llmsim::{ModelId, Request};
+use ic_serving::{JobId, JobSpec, ModelPool, PoolConfig};
+use ic_stats::Ema;
+use std::collections::VecDeque;
+
+use ic_serving::busy_interval_rps;
+
+use crate::engine::{ServingEngine, cache_stats};
+use crate::report::{EngineReport, LatencyStats, RequestRecord};
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// GPUs across the whole cluster. The primary model keeps one
+    /// replica's worth; the remainder is split evenly across the offload
+    /// models (mirroring the paper's 16-A100 evaluation split).
+    pub total_gpus: u32,
+    /// Concurrent sequences per replica (continuous-batching slots).
+    pub slots_per_replica: u32,
+    /// Period of full maintenance (replay + capacity), seconds; `0`
+    /// disables.
+    pub maintenance_period_s: f64,
+    /// Period of the cheap capacity-only cross-shard rebalance, seconds;
+    /// `0` disables. A no-op while the manager has no byte cap.
+    pub rebalance_period_s: f64,
+    /// Arrivals in the sliding window of the arrival-rate estimator.
+    pub load_window: usize,
+    /// Smoothing factor of the completion-latency EMA that drives the
+    /// Little's-law load estimate.
+    pub latency_ema_alpha: f64,
+    /// Cache served request-response pairs back into the example store
+    /// (Fig. 6 `update_cache`) at completion time.
+    pub admit_served_pairs: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            total_gpus: 16,
+            slots_per_replica: 8,
+            maintenance_period_s: 0.0,
+            rebalance_period_s: 60.0,
+            load_window: 30,
+            latency_ema_alpha: 0.2,
+            admit_served_pairs: false,
+        }
+    }
+}
+
+/// Simulator events.
+#[derive(Debug)]
+enum Event {
+    /// Request `i` of the workload arrives.
+    Arrival(usize),
+    /// A job finishes decoding on `pool`.
+    Completion {
+        pool: usize,
+        job: JobSpec,
+        started: SimTime,
+    },
+    /// Full offline maintenance (replay + capacity enforcement).
+    Maintenance,
+    /// Capacity-only cross-shard budget rebalance.
+    Rebalance,
+}
+
+/// The production-shaped serving path: IC-Cache admission, selection and
+/// routing run inside a discrete-event simulation whose per-model pools
+/// apply continuous batching and queueing; completions feed measured
+/// latency back into the router's load estimate.
+#[derive(Debug)]
+pub struct EventDrivenEngine {
+    system: IcCacheSystem,
+    config: EngineConfig,
+    /// `(model, pool index)` in routing order.
+    model_pools: Vec<(ModelId, usize)>,
+    pool_configs: Vec<PoolConfig>,
+}
+
+impl EventDrivenEngine {
+    /// Builds the engine over a (typically example-seeded) system.
+    pub fn new(system: IcCacheSystem, config: EngineConfig) -> Self {
+        let sys_cfg = system.config();
+        let primary = sys_cfg.primary;
+        let offload = sys_cfg.offload_models();
+        let catalog = &sys_cfg.catalog;
+
+        let primary_spec = catalog.get(primary);
+        let primary_gpus = primary_spec.gpus_per_replica.min(config.total_gpus);
+        let small_share = if offload.is_empty() {
+            0
+        } else {
+            (config.total_gpus.saturating_sub(primary_gpus) / offload.len() as u32).max(1)
+        };
+
+        let mut model_pools = Vec::new();
+        let mut pool_configs = Vec::new();
+        for &m in &sys_cfg.models {
+            let spec = catalog.get(m);
+            let gpus = if m == primary {
+                primary_gpus.max(1)
+            } else {
+                small_share
+            };
+            model_pools.push((m, pool_configs.len()));
+            pool_configs.push(PoolConfig::for_gpus(
+                &spec.name,
+                gpus,
+                spec.gpus_per_replica,
+                config.slots_per_replica,
+            ));
+        }
+        Self {
+            system,
+            config,
+            model_pools,
+            pool_configs,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Consumes the engine, returning the system.
+    pub fn into_system(self) -> IcCacheSystem {
+        self.system
+    }
+
+    fn pool_of(&self, model: ModelId) -> usize {
+        self.model_pools
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map(|&(_, p)| p)
+            .expect("routed model has a pool")
+    }
+}
+
+impl ServingEngine for EventDrivenEngine {
+    fn name(&self) -> &'static str {
+        "event-driven"
+    }
+
+    fn serve_workload(&mut self, requests: &[Request], arrivals: &[f64]) -> EngineReport {
+        assert_eq!(
+            requests.len(),
+            arrivals.len(),
+            "one arrival time per request"
+        );
+        let n = requests.len();
+        // Fresh pools per run: queue state never leaks across workloads.
+        let mut pools: Vec<ModelPool> = self
+            .pool_configs
+            .iter()
+            .cloned()
+            .map(ModelPool::new)
+            .collect();
+
+        let mut sim: Simulator<Event> = Simulator::new();
+        for (i, &at) in arrivals.iter().enumerate() {
+            sim.schedule(SimTime::from_secs_f64(at), Event::Arrival(i));
+        }
+        if self.config.maintenance_period_s > 0.0 {
+            sim.schedule(
+                SimTime::from_secs_f64(self.config.maintenance_period_s),
+                Event::Maintenance,
+            );
+        }
+        if self.config.rebalance_period_s > 0.0 {
+            sim.schedule(
+                SimTime::from_secs_f64(self.config.rebalance_period_s),
+                Event::Rebalance,
+            );
+        }
+
+        let mut records: Vec<Option<RequestRecord>> = (0..n).map(|_| None).collect();
+        let mut arrival_window: VecDeque<f64> = VecDeque::new();
+        let mut e2e_ema = Ema::new(self.config.latency_ema_alpha);
+        let mut completions: Vec<f64> = Vec::with_capacity(n);
+        let mut completed = 0usize;
+        let mut offloaded = 0u64;
+        let mut solicited = 0u64;
+        let mut selection_hits = 0u64;
+        let mut examples_used = 0u64;
+        let mut evicted = 0u64;
+        let mut quality_sum = 0.0f64;
+
+        while let Some((at, event)) = sim.next() {
+            let now = at.as_secs_f64();
+            match event {
+                Event::Arrival(i) => {
+                    // Windowed arrival-rate estimate feeds the router's
+                    // load tracker before the routing decision.
+                    arrival_window.push_back(now);
+                    while arrival_window.len() > self.config.load_window {
+                        arrival_window.pop_front();
+                    }
+                    if arrival_window.len() >= 2 {
+                        let dt = now - arrival_window.front().expect("non-empty window");
+                        if dt > 0.0 {
+                            self.system
+                                .observe_load((arrival_window.len() - 1) as f64 / dt);
+                        }
+                    }
+
+                    let request = &requests[i];
+                    let out = self.system.serve(request);
+                    if self.config.admit_served_pairs {
+                        let _ = self
+                            .system
+                            .update_cache(request, &out.outcome, out.model, now);
+                    }
+                    if out.offloaded {
+                        offloaded += 1;
+                    }
+                    if out.solicited_feedback {
+                        solicited += 1;
+                    }
+                    if !out.selection.ids.is_empty() {
+                        selection_hits += 1;
+                        examples_used += out.selection.ids.len() as u64;
+                    }
+                    quality_sum += out.outcome.quality;
+                    records[i] = Some(RequestRecord {
+                        index: i,
+                        model: out.model.0,
+                        offloaded: out.offloaded,
+                        quality: out.outcome.quality,
+                        solicited: out.solicited_feedback,
+                        examples: out.selection.ids.len(),
+                        arrival_s: now,
+                        queue_s: 0.0,
+                        ttft_s: 0.0,
+                        e2e_s: 0.0,
+                    });
+
+                    let pool = self.pool_of(out.model);
+                    let job = JobSpec {
+                        id: JobId(i as u64),
+                        pool,
+                        arrival: at,
+                        ttft_secs: out.outcome.latency.ttft,
+                        decode_secs: out.outcome.latency.decode,
+                    };
+                    // Continuous batching: admitted into a sequence slot
+                    // immediately, or queued until a completion frees one.
+                    if pools[pool].offer(job.clone()) {
+                        let service = pools[pool].service_secs(&job);
+                        sim.schedule_in(
+                            SimDuration::from_secs_f64(service),
+                            Event::Completion {
+                                pool,
+                                job,
+                                started: at,
+                            },
+                        );
+                    }
+                }
+                Event::Completion { pool, job, started } => {
+                    let i = job.id.0 as usize;
+                    let prefill = pools[pool].prefill_secs(&job);
+                    let record = records[i].as_mut().expect("completion follows arrival");
+                    record.queue_s = (started - job.arrival).as_secs_f64();
+                    record.ttft_s =
+                        (started + SimDuration::from_secs_f64(prefill) - job.arrival).as_secs_f64();
+                    record.e2e_s = (at - job.arrival).as_secs_f64();
+                    completions.push(now);
+                    completed += 1;
+
+                    // Measured-latency feedback: Little's law turns the
+                    // observed end-to-end latency and the work in flight
+                    // into a demand estimate for the router.
+                    e2e_ema.observe(record.e2e_s);
+                    let in_system: u32 = pools
+                        .iter()
+                        .map(|p| p.active() + p.queue_len() as u32)
+                        .sum();
+                    if e2e_ema.value() > 0.0 {
+                        self.system
+                            .observe_load(f64::from(in_system) / e2e_ema.value());
+                    }
+
+                    if let Some(next) = pools[pool].complete() {
+                        let service = pools[pool].service_secs(&next);
+                        sim.schedule_in(
+                            SimDuration::from_secs_f64(service),
+                            Event::Completion {
+                                pool,
+                                job: next,
+                                started: at,
+                            },
+                        );
+                    }
+                }
+                Event::Maintenance => {
+                    let report = self.system.run_maintenance(now);
+                    evicted += report.evicted as u64;
+                    if completed < n {
+                        sim.schedule_in(
+                            SimDuration::from_secs_f64(self.config.maintenance_period_s),
+                            Event::Maintenance,
+                        );
+                    }
+                }
+                Event::Rebalance => {
+                    evicted += self.system.run_rebalance(now) as u64;
+                    if completed < n {
+                        sim.schedule_in(
+                            SimDuration::from_secs_f64(self.config.rebalance_period_s),
+                            Event::Rebalance,
+                        );
+                    }
+                }
+            }
+        }
+
+        let per_request: Vec<RequestRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every request served"))
+            .collect();
+        let latency = LatencyStats::from_records(&per_request);
+        EngineReport {
+            engine: self.name().to_owned(),
+            served: n as u64,
+            offloaded,
+            solicited,
+            latency,
+            throughput_rps: busy_interval_rps(&completions),
+            mean_quality: if n == 0 { 0.0 } else { quality_sum / n as f64 },
+            cache: cache_stats(&self.system, selection_hits, examples_used, evicted),
+            per_request,
+        }
+    }
+
+    fn system(&self) -> &IcCacheSystem {
+        &self.system
+    }
+
+    fn system_mut(&mut self) -> &mut IcCacheSystem {
+        &mut self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_cache::IcCacheConfig;
+    use ic_llmsim::Generator;
+    use ic_workloads::{Dataset, WorkloadGenerator, fixed_qps_arrivals};
+
+    fn seeded_engine(
+        n_examples: usize,
+        config: EngineConfig,
+        seed: u64,
+    ) -> (EventDrivenEngine, WorkloadGenerator) {
+        let sys_cfg = IcCacheConfig::gemma_pair();
+        let large = sys_cfg.primary;
+        let large_spec = sys_cfg.catalog.get(large).clone();
+        let mut wg = WorkloadGenerator::sized(Dataset::MsMarco, seed, n_examples.max(10));
+        let examples = wg.generate_examples(n_examples, &large_spec, large, &Generator::new());
+        let mut system = IcCacheSystem::new(sys_cfg);
+        system.seed_examples(examples, 0.0);
+        (EventDrivenEngine::new(system, config), wg)
+    }
+
+    #[test]
+    fn serves_a_trace_end_to_end() {
+        let (mut engine, mut wg) = seeded_engine(600, EngineConfig::default(), 401);
+        let arrivals = fixed_qps_arrivals(2.0, 60.0, 402);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert_eq!(report.served, arrivals.len() as u64);
+        assert_eq!(report.per_request.len(), arrivals.len());
+        assert!(report.latency.mean_e2e > 0.0);
+        assert!(report.latency.p99_e2e >= report.latency.p50_e2e);
+        assert!(report.cache.shards >= 2);
+        assert!(report.throughput_rps > 0.0);
+        for r in &report.per_request {
+            assert!(r.e2e_s >= r.ttft_s);
+            assert!(r.ttft_s >= r.queue_s);
+        }
+    }
+
+    #[test]
+    fn saturation_builds_queues_and_latency() {
+        let run = |qps: f64, duration: f64| {
+            let (mut engine, mut wg) = seeded_engine(400, EngineConfig::default(), 403);
+            let arrivals = fixed_qps_arrivals(qps, duration, 404);
+            let requests = wg.generate_requests(arrivals.len());
+            engine.serve_workload(&requests, &arrivals)
+        };
+        let light = run(0.3, 120.0);
+        // 15 small-model replicas x 8 slots absorb roughly 45 rps even
+        // with everything offloaded; 60 rps exceeds cluster capacity.
+        let heavy = run(60.0, 30.0);
+        assert!(
+            heavy.latency.mean_e2e > light.latency.mean_e2e,
+            "saturation must raise latency: {} vs {}",
+            light.latency.mean_e2e,
+            heavy.latency.mean_e2e
+        );
+        assert!(
+            heavy.latency.mean_queue > light.latency.mean_queue,
+            "saturation must build queues"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_traffic_to_the_small_pool() {
+        // The closed loop: fast arrivals -> load estimate spikes ->
+        // router bias pushes decisions off the expensive primary.
+        let run = |qps: f64| {
+            let (mut engine, mut wg) = seeded_engine(800, EngineConfig::default(), 405);
+            let arrivals = fixed_qps_arrivals(qps, 240.0, 406);
+            let requests = wg.generate_requests(arrivals.len());
+            engine.serve_workload(&requests, &arrivals).offload_ratio()
+        };
+        let calm = run(0.2);
+        let overloaded = run(10.0);
+        assert!(
+            overloaded > calm,
+            "overload should raise the offload ratio: {calm} vs {overloaded}"
+        );
+        assert!(
+            overloaded > 0.5,
+            "deep overload should mostly offload: {overloaded}"
+        );
+    }
+
+    #[test]
+    fn rebalance_keeps_the_sharded_cache_under_budget() {
+        let config = EngineConfig {
+            rebalance_period_s: 5.0,
+            admit_served_pairs: true,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(300, config, 407);
+        let cap = engine.system().manager().cache().total_bytes() / 2;
+        engine.system_mut().set_cache_capacity(Some(cap));
+        let arrivals = fixed_qps_arrivals(4.0, 120.0, 408);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert!(report.cache.evicted > 0, "budget pressure must evict");
+        assert!(
+            report.cache.bytes <= cap,
+            "cache must respect the byte budget: {} > {cap}",
+            report.cache.bytes
+        );
+        assert_eq!(
+            report.cache.shard_sizes.iter().sum::<usize>(),
+            report.cache.examples
+        );
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let run = || {
+            let (mut engine, mut wg) = seeded_engine(500, EngineConfig::default(), 409);
+            let arrivals = fixed_qps_arrivals(3.0, 90.0, 410);
+            let requests = wg.generate_requests(arrivals.len());
+            engine.serve_workload(&requests, &arrivals).to_json()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,84 @@
+//! The unified IC-Cache serving engine.
+//!
+//! Before this crate, the repository had two serving paths that could not
+//! talk to each other: the synchronous, timeless `IcCacheSystem::serve`
+//! loop (all of the IC-Cache logic, none of the queueing) and the
+//! discrete-event `ClusterSim` (all of the queueing, replaying pre-baked
+//! job traces with no IC-Cache logic). Every load-dependent claim of the
+//! paper — Fig. 12's bursty-trace latency, Fig. 20's completion-time
+//! growth, the router's overload bias — lives in the gap between them.
+//! This crate closes the gap behind one trait, [`ServingEngine`], with
+//! two implementations:
+//!
+//! - [`EventDrivenEngine`] — the production-shaped path. Drives a full
+//!   [`IcCacheSystem`] through `ic_desim::Simulator`, with continuous
+//!   batching on per-model [`ic_serving::ModelPool`]s.
+//! - [`DirectEngine`] — the legacy zero-load path (serve immediately, no
+//!   queueing), kept behind the same trait so experiments can quantify
+//!   exactly what queueing adds.
+//!
+//! # Event flow (`EventDrivenEngine`)
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────────┐
+//!            │                  ic_desim::Simulator               │
+//!            └────────────────────────────────────────────────────┘
+//!  Arrival(i) --> admission --> selection --> routing --> pool queue
+//!      |          (rps estimate      (sharded        (ModelPool slots:
+//!      |           -> router load)    example cache)  continuous batching)
+//!      |                                                    |
+//!      v                                                    v
+//!  Maintenance / Rebalance (periodic)               Completion{pool, job}
+//!   - replay best-of-n (off-peak)                    - record TTFT / E2E
+//!   - cross-shard budget rebalance                   - Little's-law load
+//!     (knapsack DP over gain quanta)                   estimate -> router
+//!                                                    - admit next queued job
+//! ```
+//!
+//! Each **arrival** event runs Algorithm 1 (`IcCacheSystem::serve`):
+//! example selection against the sharded cache, load-aware routing (the
+//! engine has just fed the router a windowed arrival-rate estimate), and
+//! simulated generation, producing the job's zero-load prefill/decode
+//! demand. The job then queues on its model's pool, whose
+//! `slots_per_replica` concurrent sequences model vLLM-style continuous
+//! batching — admission is per sequence slot, never one-shot `run(jobs)`.
+//!
+//! Each **completion** event feeds measured latency back into the
+//! system: the engine maintains an EMA of end-to-end latency and converts
+//! in-flight + queued work into a requests/second estimate via Little's
+//! law (`lambda = L / W`), which it reports to `ic_router`'s load
+//! tracker. Under saturation the queues grow, the estimate spikes, and
+//! the router's tanh bias sheds traffic to the cheap pool — the paper's
+//! overload mechanism, now closed-loop. Feedback solicitation runs inside
+//! the serve step as in Algorithm 1; the solicitation count is surfaced
+//! in the report.
+//!
+//! **Maintenance** events run cost-aware replay plus capacity
+//! enforcement off the hot path; **rebalance** events run the cheaper
+//! capacity-only pass: the example cache's N topic-hash shards get their
+//! byte budgets re-divided by the knapsack DP according to where the
+//! decayed offload gains currently live (see `ic_manager::shard`).
+//!
+//! # Shard layout
+//!
+//! The example cache behind the engine is an
+//! `ic_manager::ShardedExampleCache`: `split_mix64(topic) % N` buckets,
+//! per-shard eviction, cross-shard budget rebalance. [`CacheStats`] in
+//! the report exposes per-shard sizes so scaling experiments can watch
+//! the layout.
+//!
+//! # Determinism
+//!
+//! Everything is event-ordered by the desim kernel (stable FIFO for
+//! simultaneous events) and every stochastic choice flows through the
+//! system's seeded RNG, so a given `(config, seed, workload)` triple
+//! produces a byte-identical [`EngineReport::to_json`] — pinned by tests
+//! and by the `fig12_e2e` bench's `BENCH_e2e.json`.
+
+pub mod driven;
+pub mod engine;
+pub mod report;
+
+pub use driven::{EngineConfig, EventDrivenEngine};
+pub use engine::{DirectEngine, ServingEngine};
+pub use report::{CacheStats, EngineReport, LatencyStats, RequestRecord};

@@ -1,0 +1,265 @@
+//! Engine output: per-request records and byte-stable aggregate metrics.
+
+use ic_serving::JobResult;
+use ic_stats::Percentiles;
+
+/// What happened to one request, joining the serving decision (model,
+/// selection) with the measured cluster timing.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Index of the request in the submitted workload.
+    pub index: usize,
+    /// Model that served it (catalog id).
+    pub model: usize,
+    /// Whether it was offloaded off the primary model.
+    pub offloaded: bool,
+    /// Latent response quality (evaluation only).
+    pub quality: f64,
+    /// Whether preference feedback was solicited.
+    pub solicited: bool,
+    /// In-context examples selected for it.
+    pub examples: usize,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Queueing delay in seconds.
+    pub queue_s: f64,
+    /// User-perceived time-to-first-token in seconds.
+    pub ttft_s: f64,
+    /// End-to-end completion time in seconds.
+    pub e2e_s: f64,
+}
+
+/// Latency aggregates over one run, in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Mean end-to-end completion time.
+    pub mean_e2e: f64,
+    /// Median end-to-end completion time.
+    pub p50_e2e: f64,
+    /// 99th-percentile end-to-end completion time.
+    pub p99_e2e: f64,
+    /// Mean time-to-first-token.
+    pub mean_ttft: f64,
+    /// 99th-percentile time-to-first-token.
+    pub p99_ttft: f64,
+    /// Mean queueing delay.
+    pub mean_queue: f64,
+}
+
+impl LatencyStats {
+    /// Computes the aggregates from job results.
+    pub fn from_results(results: &[JobResult]) -> Self {
+        Self::from_samples(
+            results
+                .iter()
+                .map(|r| (r.e2e_secs(), r.ttft_secs(), r.queue_wait_secs())),
+        )
+    }
+
+    /// Computes the aggregates from per-request records.
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        Self::from_samples(records.iter().map(|r| (r.e2e_s, r.ttft_s, r.queue_s)))
+    }
+
+    /// Single-pass aggregation over `(e2e, ttft, queue)` samples.
+    fn from_samples(samples: impl Iterator<Item = (f64, f64, f64)>) -> Self {
+        let mut e2e = Percentiles::default();
+        let mut ttft = Percentiles::default();
+        let mut queue = Percentiles::default();
+        for (e, t, q) in samples {
+            e2e.record(e);
+            ttft.record(t);
+            queue.record(q);
+        }
+        Self {
+            mean_e2e: e2e.mean().unwrap_or(0.0),
+            p50_e2e: e2e.quantile(0.5).unwrap_or(0.0),
+            p99_e2e: e2e.quantile(0.99).unwrap_or(0.0),
+            mean_ttft: ttft.mean().unwrap_or(0.0),
+            p99_ttft: ttft.quantile(0.99).unwrap_or(0.0),
+            mean_queue: queue.mean().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Example-cache statistics at the end of a run.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Number of topic-hash shards.
+    pub shards: usize,
+    /// Cached examples across all shards.
+    pub examples: usize,
+    /// Plaintext bytes across all shards.
+    pub bytes: usize,
+    /// Examples per shard.
+    pub shard_sizes: Vec<usize>,
+    /// Requests whose selection returned at least one example.
+    pub selection_hits: u64,
+    /// Total examples prepended across all requests.
+    pub examples_used: u64,
+    /// Admissions since system construction.
+    pub admitted: u64,
+    /// Admission rejections since system construction.
+    pub rejected: u64,
+    /// Examples evicted by capacity enforcement during the run.
+    pub evicted: u64,
+}
+
+/// Aggregate result of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineReport {
+    /// Engine name (`"event-driven"` / `"direct"`).
+    pub engine: String,
+    /// Requests served.
+    pub served: u64,
+    /// Requests offloaded off the primary model.
+    pub offloaded: u64,
+    /// Requests tagged for preference feedback.
+    pub solicited: u64,
+    /// Latency aggregates.
+    pub latency: LatencyStats,
+    /// Completions per second over the busy interval.
+    pub throughput_rps: f64,
+    /// Mean latent quality (evaluation only).
+    pub mean_quality: f64,
+    /// Example-cache statistics.
+    pub cache: CacheStats,
+    /// Per-request join of decisions and timing, in arrival order.
+    pub per_request: Vec<RequestRecord>,
+}
+
+/// Fixed-precision float formatting so serialized reports are
+/// byte-identical across runs (and platforms) whenever the underlying
+/// metrics are.
+fn f6(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+impl EngineReport {
+    /// Offload ratio in `[0, 1]`.
+    pub fn offload_ratio(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.offloaded as f64 / self.served as f64
+        }
+    }
+
+    /// Fraction of requests whose selection found at least one example.
+    pub fn selection_hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.cache.selection_hits as f64 / self.served as f64
+        }
+    }
+
+    /// Serializes the aggregate metrics (not the per-request records) as
+    /// a deterministic, byte-stable JSON object: fixed key order, fixed
+    /// float precision, no whitespace variation.
+    pub fn to_json(&self) -> String {
+        let shard_sizes: Vec<String> = self
+            .cache
+            .shard_sizes
+            .iter()
+            .map(usize::to_string)
+            .collect();
+        format!(
+            concat!(
+                "{{\"engine\":\"{}\",\"served\":{},\"offloaded\":{},",
+                "\"offload_ratio\":{},\"solicited\":{},",
+                "\"latency\":{{\"mean_e2e_s\":{},\"p50_e2e_s\":{},\"p99_e2e_s\":{},",
+                "\"mean_ttft_s\":{},\"p99_ttft_s\":{},\"mean_queue_s\":{}}},",
+                "\"throughput_rps\":{},\"mean_quality\":{},",
+                "\"cache\":{{\"shards\":{},\"examples\":{},\"bytes\":{},",
+                "\"shard_sizes\":[{}],\"selection_hits\":{},\"selection_hit_rate\":{},",
+                "\"examples_used\":{},\"admitted\":{},\"rejected\":{},\"evicted\":{}}}}}"
+            ),
+            self.engine,
+            self.served,
+            self.offloaded,
+            f6(self.offload_ratio()),
+            self.solicited,
+            f6(self.latency.mean_e2e),
+            f6(self.latency.p50_e2e),
+            f6(self.latency.p99_e2e),
+            f6(self.latency.mean_ttft),
+            f6(self.latency.p99_ttft),
+            f6(self.latency.mean_queue),
+            f6(self.throughput_rps),
+            f6(self.mean_quality),
+            self.cache.shards,
+            self.cache.examples,
+            self.cache.bytes,
+            shard_sizes.join(","),
+            self.cache.selection_hits,
+            f6(self.selection_hit_rate()),
+            self.cache.examples_used,
+            self.cache.admitted,
+            self.cache.rejected,
+            self.cache.evicted,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_desim::SimTime;
+    use ic_serving::JobId;
+
+    fn result(arrival: f64, start: f64, first: f64, done: f64) -> JobResult {
+        JobResult {
+            id: JobId(0),
+            pool: 0,
+            arrival: SimTime::from_secs_f64(arrival),
+            started: SimTime::from_secs_f64(start),
+            first_token: SimTime::from_secs_f64(first),
+            completed: SimTime::from_secs_f64(done),
+        }
+    }
+
+    #[test]
+    fn latency_stats_aggregate() {
+        let rs = vec![result(0.0, 0.0, 0.5, 2.0), result(1.0, 2.0, 2.5, 4.0)];
+        let s = LatencyStats::from_results(&rs);
+        assert!((s.mean_e2e - 2.5).abs() < 1e-9);
+        assert!((s.mean_ttft - 1.0).abs() < 1e-9);
+        assert!((s.mean_queue - 0.5).abs() < 1e-9);
+        assert!(s.p99_e2e >= s.p50_e2e);
+    }
+
+    #[test]
+    fn empty_results_are_neutral() {
+        let s = LatencyStats::from_results(&[]);
+        assert_eq!(s.mean_e2e, 0.0);
+        assert_eq!(s.p99_e2e, 0.0);
+    }
+
+    #[test]
+    fn json_is_stable_and_wellformed() {
+        let mut r = EngineReport {
+            engine: "event-driven".into(),
+            served: 10,
+            offloaded: 4,
+            ..EngineReport::default()
+        };
+        r.cache.shard_sizes = vec![3, 7];
+        r.cache.shards = 2;
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"offload_ratio\":0.400000"));
+        assert!(a.contains("\"shard_sizes\":[3,7]"));
+        // Balanced braces (cheap well-formedness check without a parser).
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn ratios_handle_zero_served() {
+        let r = EngineReport::default();
+        assert_eq!(r.offload_ratio(), 0.0);
+        assert_eq!(r.selection_hit_rate(), 0.0);
+    }
+}

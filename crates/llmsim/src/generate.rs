@@ -186,9 +186,9 @@ impl Generator {
             .expect("valid params")
             .sample(rng)
             .clamp(0.3, 2.0);
-        let output_tokens =
-            ((f64::from(request.target_output_tokens) * shortening * length_mult).round() as u32)
-                .max(1);
+        let output_tokens = ((f64::from(request.target_output_tokens) * shortening * length_mult)
+            .round() as u32)
+            .max(1);
 
         let input_tokens = fixed + used;
         GenOutcome {
@@ -279,8 +279,22 @@ mod tests {
         let mut rng = rng_from_seed(1);
         let generator = Generator::new();
         let req = request(&sp, 0, 0.62, &mut rng);
-        let small = mean_quality(&generator, &ModelSpec::gemma_2_2b(), &req, &GenSetup::bare(), 200, 2);
-        let large = mean_quality(&generator, &ModelSpec::gemma_2_27b(), &req, &GenSetup::bare(), 200, 3);
+        let small = mean_quality(
+            &generator,
+            &ModelSpec::gemma_2_2b(),
+            &req,
+            &GenSetup::bare(),
+            200,
+            2,
+        );
+        let large = mean_quality(
+            &generator,
+            &ModelSpec::gemma_2_27b(),
+            &req,
+            &GenSetup::bare(),
+            200,
+            3,
+        );
         assert!(large > small + 0.1, "large {large} vs small {small}");
     }
 
@@ -294,8 +308,14 @@ mod tests {
         let refs: Vec<&Example> = exs.iter().collect();
         let spec = ModelSpec::qwen_25_3b();
         let bare = mean_quality(&generator, &spec, &req, &GenSetup::bare(), 300, 5);
-        let with_ic =
-            mean_quality(&generator, &spec, &req, &GenSetup::with_examples(refs), 300, 6);
+        let with_ic = mean_quality(
+            &generator,
+            &spec,
+            &req,
+            &GenSetup::with_examples(refs),
+            300,
+            6,
+        );
         assert!(
             with_ic > bare + 0.08,
             "IC must lift quality: {bare} -> {with_ic}"
@@ -315,8 +335,14 @@ mod tests {
         let refs: Vec<&Example> = exs.iter().collect();
         let spec = ModelSpec::qwen_25_3b();
         let bare = mean_quality(&generator, &spec, &req, &GenSetup::bare(), 300, 8);
-        let with_random =
-            mean_quality(&generator, &spec, &req, &GenSetup::with_examples(refs), 300, 9);
+        let with_random = mean_quality(
+            &generator,
+            &spec,
+            &req,
+            &GenSetup::with_examples(refs),
+            300,
+            9,
+        );
         assert!(
             with_random < bare - 0.03,
             "random examples must hurt: {bare} -> {with_random}"
@@ -384,7 +410,11 @@ mod tests {
         let spec = ModelSpec::gemma_2_27b();
         let mut qualities = RunningStats::new();
         for _ in 0..100 {
-            qualities.push(generator.generate(&spec, &req, &GenSetup::bare(), &mut rng).quality);
+            qualities.push(
+                generator
+                    .generate(&spec, &req, &GenSetup::bare(), &mut rng)
+                    .quality,
+            );
         }
         assert!(
             qualities.std_dev() > 0.03,
@@ -412,10 +442,23 @@ mod tests {
         ];
         let spec = ModelSpec::gemma_2_2b();
         let qa_bare = mean_quality(&generator, &spec, &qa_req, &GenSetup::bare(), 300, 16);
-        let qa_rag = mean_quality(&generator, &spec, &qa_req, &GenSetup::with_rag(docs.clone()), 300, 17);
+        let qa_rag = mean_quality(
+            &generator,
+            &spec,
+            &qa_req,
+            &GenSetup::with_rag(docs.clone()),
+            300,
+            17,
+        );
         let math_bare = mean_quality(&generator, &spec, &math_req, &GenSetup::bare(), 300, 18);
-        let math_rag =
-            mean_quality(&generator, &spec, &math_req, &GenSetup::with_rag(docs), 300, 19);
+        let math_rag = mean_quality(
+            &generator,
+            &spec,
+            &math_req,
+            &GenSetup::with_rag(docs),
+            300,
+            19,
+        );
         let qa_gain = qa_rag - qa_bare;
         let math_gain = math_rag - math_bare;
         assert!(qa_gain > 0.02, "RAG should help QA: {qa_gain}");
@@ -458,7 +501,11 @@ mod tests {
         let exs: Vec<Example> = (0..6).map(|_| example(&sp, 2, 0.9, &mut rng)).collect();
         let refs: Vec<&Example> = exs.iter().collect();
         let out = generator.generate(&spec, &req, &GenSetup::with_examples(refs), &mut rng);
-        assert!(out.examples_dropped >= 3, "dropped {}", out.examples_dropped);
+        assert!(
+            out.examples_dropped >= 3,
+            "dropped {}",
+            out.examples_dropped
+        );
         assert!(out.input_tokens <= 600);
     }
 

@@ -197,9 +197,7 @@ mod tests {
         let r = req_with_latent(unit(vec![1.0, 0.0, 0.0]));
         let good = ex_with(unit(vec![1.0, 0.05, 0.0]), 0.9, r.skills);
         let bad = ex_with(unit(vec![1.0, 0.05, 0.0]), 0.3, r.skills);
-        assert!(
-            example_effectiveness(&good, &r, &p) > 2.0 * example_effectiveness(&bad, &r, &p)
-        );
+        assert!(example_effectiveness(&good, &r, &p) > 2.0 * example_effectiveness(&bad, &r, &p));
     }
 
     #[test]

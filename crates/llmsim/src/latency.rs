@@ -30,7 +30,11 @@ impl LatencyBreakdown {
 
 /// Computes the zero-load latency of generating `output_tokens` from
 /// `input_tokens` on the given model.
-pub fn zero_load_latency(spec: &ModelSpec, input_tokens: u32, output_tokens: u32) -> LatencyBreakdown {
+pub fn zero_load_latency(
+    spec: &ModelSpec,
+    input_tokens: u32,
+    output_tokens: u32,
+) -> LatencyBreakdown {
     LatencyBreakdown {
         ttft: spec.ttft_overhead_sec + f64::from(input_tokens) / spec.prefill_tokens_per_sec,
         decode: f64::from(output_tokens) / spec.decode_tokens_per_sec,

@@ -91,11 +91,7 @@ impl SkillMix {
     /// Weighted average of per-skill scores under this mix — the model's
     /// *effective capability* on a request with this mix.
     pub fn weighted_score(&self, per_skill: &[f64; Skill::COUNT]) -> f64 {
-        self.weights
-            .iter()
-            .zip(per_skill)
-            .map(|(w, s)| w * s)
-            .sum()
+        self.weights.iter().zip(per_skill).map(|(w, s)| w * s).sum()
     }
 
     /// Cosine similarity between two mixes — the skill-match factor in

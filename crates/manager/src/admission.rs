@@ -67,8 +67,8 @@ impl AdmissionPolicy {
         if example.response_tokens < self.min_response_tokens {
             return Admission::Reject("response too short");
         }
-        let sensitive = contains_sensitive(&example.request_text)
-            || contains_sensitive(&example.response_text);
+        let sensitive =
+            contains_sensitive(&example.request_text) || contains_sensitive(&example.response_text);
         if sensitive {
             if self.reject_sensitive {
                 return Admission::Reject("sensitive content");

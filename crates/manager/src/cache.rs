@@ -111,12 +111,7 @@ impl ExampleCache {
     /// Records usage feedback and folds it into the replay-gain EMA:
     /// `G(e) = (1 - normalized_response_quality) * normalized_model_cost`
     /// (§4.3).
-    pub fn record_usage_feedback(
-        &mut self,
-        id: ExampleId,
-        response_quality: f64,
-        model_cost: f64,
-    ) {
+    pub fn record_usage_feedback(&mut self, id: ExampleId, response_quality: f64, model_cost: f64) {
         if let Some(e) = self.entries.get_mut(&id) {
             let g = (1.0 - response_quality.clamp(0.0, 1.0)) * model_cost.clamp(0.0, 1.0);
             e.replay_gain.observe(g);

@@ -68,7 +68,10 @@ pub fn synthesize_pool(originals: &[Example], config: &DpConfig, seed: u64) -> V
         .map(|(i, orig)| {
             let per_component = sigma / (orig.latent.dim() as f64).sqrt();
             let mut latent = orig.latent.clone();
-            latent.add_scaled(&Embedding::gaussian(latent.dim(), per_component, &mut rng), 1.0);
+            latent.add_scaled(
+                &Embedding::gaussian(latent.dim(), per_component, &mut rng),
+                1.0,
+            );
             let latent = latent.normalized();
             let mut embedding = orig.embedding.clone();
             embedding.add_scaled(

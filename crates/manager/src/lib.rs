@@ -5,6 +5,10 @@
 //! - [`cache`] — the plaintext example cache with access statistics,
 //!   decayed offload-gain counters (0.9/hour, §4.3), and the replay-gain
 //!   EMA `G(e) = (1 - normalized_response_quality) * normalized_model_cost`.
+//! - [`shard`] — N topic-hash shards over that cache with per-shard
+//!   eviction and a periodic cross-shard budget rebalance (the knapsack DP
+//!   re-divides the global byte budget by where the gains live), so
+//!   selection and eviction bookkeeping scale with shard size.
 //! - [`replay`] — cost-aware example replay: rank by `G(e)`, replay
 //!   best-of-n during off-peak hours, stop at the online cut-off where
 //!   resource savings no longer exceed the one-time replay cost, and cap
@@ -27,6 +31,7 @@ pub mod dp;
 pub mod evict;
 pub mod manager;
 pub mod replay;
+pub mod shard;
 
 pub use admission::{Admission, AdmissionPolicy};
 pub use cache::{CachedExample, ExampleCache};
@@ -34,3 +39,4 @@ pub use dp::{DpConfig, synthesize_pool};
 pub use evict::{KnapsackItem, dp_knapsack, greedy_knapsack};
 pub use manager::{ExampleManager, ManagerConfig, ReplayReport};
 pub use replay::{ReplayConfig, plan_replay, replay_example};
+pub use shard::{DEFAULT_SHARDS, ShardedExampleCache};

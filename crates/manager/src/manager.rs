@@ -4,20 +4,33 @@ use ic_llmsim::{Example, ExampleId, Generator, ModelSpec};
 use rand::Rng;
 
 use crate::admission::{Admission, AdmissionPolicy};
-use crate::cache::ExampleCache;
-use crate::evict::plan_eviction;
 use crate::replay::{ReplayConfig, plan_replay, replay_example};
+use crate::shard::{DEFAULT_SHARDS, ShardedExampleCache};
 
 /// Manager configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ManagerConfig {
     /// Byte cap on the plaintext cache; `None` = unbounded (§4.3 notes
     /// plaintext footprints are small, so many deployments can skip caps).
     pub capacity_bytes: Option<usize>,
+    /// Number of topic-hash cache shards (at least 1; see
+    /// [`crate::shard`]).
+    pub shards: usize,
     /// Admission policy.
     pub admission: AdmissionPolicy,
     /// Replay policy.
     pub replay: ReplayConfig,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: None,
+            shards: DEFAULT_SHARDS,
+            admission: AdmissionPolicy::default(),
+            replay: ReplayConfig::default(),
+        }
+    }
 }
 
 /// Result of one offline replay round.
@@ -53,7 +66,7 @@ pub struct ReplayReport {
 /// ```
 #[derive(Debug)]
 pub struct ExampleManager {
-    cache: ExampleCache,
+    cache: ShardedExampleCache,
     config: ManagerConfig,
     admitted: u64,
     rejected: u64,
@@ -63,23 +76,23 @@ impl ExampleManager {
     /// Creates a manager.
     pub fn new(config: ManagerConfig) -> Self {
         Self {
-            cache: ExampleCache::new(),
+            cache: ShardedExampleCache::new(config.shards),
             config,
             admitted: 0,
             rejected: 0,
         }
     }
 
-    /// The underlying cache (read access; also the [`ExampleStore`] the
-    /// selector resolves against).
+    /// The underlying sharded cache (read access; also the
+    /// [`ExampleStore`] the selector resolves against).
     ///
     /// [`ExampleStore`]: ic_llmsim::ExampleStore
-    pub fn cache(&self) -> &ExampleCache {
+    pub fn cache(&self) -> &ShardedExampleCache {
         &self.cache
     }
 
     /// Mutable cache access for feedback recording.
-    pub fn cache_mut(&mut self) -> &mut ExampleCache {
+    pub fn cache_mut(&mut self) -> &mut ShardedExampleCache {
         &mut self.cache
     }
 
@@ -111,14 +124,38 @@ impl ExampleManager {
         (self.admitted, self.rejected)
     }
 
+    /// Adjusts the byte cap at runtime (an operations knob; takes effect
+    /// at the next capacity enforcement).
+    pub fn set_capacity_bytes(&mut self, bytes: Option<usize>) {
+        self.config.capacity_bytes = bytes;
+    }
+
     /// Plans and executes one off-peak replay round on the source model.
+    ///
+    /// Planning runs per shard (each plan is O(shard size)), then the
+    /// per-shard plans merge by replay gain so the global off-peak budget
+    /// (`replay.batch_limit`) still goes to the highest-G(e) examples.
     pub fn run_replay(
         &mut self,
         source_spec: &ModelSpec,
         generator: &Generator,
         rng: &mut impl Rng,
     ) -> ReplayReport {
-        let plan = plan_replay(&self.cache, &self.config.replay);
+        let mut ranked: Vec<(ExampleId, f64)> = Vec::new();
+        for s in 0..self.cache.num_shards() {
+            let shard = self.cache.shard(s);
+            for id in plan_replay(shard, &self.config.replay) {
+                let gain = shard.entry(id).map_or(0.0, |e| e.replay_gain.value());
+                ranked.push((id, gain));
+            }
+        }
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite gains")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(self.config.replay.batch_limit);
+        let plan: Vec<ExampleId> = ranked.into_iter().map(|(id, _)| id).collect();
         let mut report = ReplayReport::default();
         for id in plan {
             if let Some(entry) = self.cache.entry_mut(id) {
@@ -139,17 +176,14 @@ impl ExampleManager {
         report
     }
 
-    /// Enforces the byte capacity via knapsack eviction. Returns evicted
-    /// ids (callers must unindex them from the selector).
+    /// Enforces the byte capacity: cross-shard budget rebalance followed
+    /// by per-shard knapsack eviction. Returns evicted ids (callers must
+    /// unindex them from the selector).
     pub fn enforce_capacity(&mut self, now: f64) -> Vec<ExampleId> {
         let Some(cap) = self.config.capacity_bytes else {
             return Vec::new();
         };
-        let victims = plan_eviction(&self.cache, cap, now);
-        for id in &victims {
-            self.cache.remove(*id);
-        }
-        victims
+        self.cache.rebalance(cap, now)
     }
 }
 
@@ -162,17 +196,9 @@ mod tests {
 
     fn manager_with(n: usize, config: ManagerConfig) -> (ExampleManager, Vec<ExampleId>) {
         let mut wg = WorkloadGenerator::new(Dataset::NaturalQuestions, 81);
-        let exs = wg.generate_examples(
-            n,
-            &ModelSpec::gemma_2_27b(),
-            ModelId(0),
-            &Generator::new(),
-        );
+        let exs = wg.generate_examples(n, &ModelSpec::gemma_2_27b(), ModelId(0), &Generator::new());
         let mut m = ExampleManager::new(config);
-        let ids = exs
-            .into_iter()
-            .filter_map(|e| m.admit(e, 0.0))
-            .collect();
+        let ids = exs.into_iter().filter_map(|e| m.admit(e, 0.0)).collect();
         (m, ids)
     }
 

@@ -49,7 +49,11 @@ pub fn plan_replay(cache: &ExampleCache, config: &ReplayConfig) -> Vec<ExampleId
         .map(|(&id, e)| (id, e.replay_gain.value()))
         .filter(|&(_, g)| g >= config.replay_cost)
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gains").then(a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite gains")
+            .then(a.0.cmp(&b.0))
+    });
     ranked.truncate(config.batch_limit);
     ranked.into_iter().map(|(id, _)| id).collect()
 }
@@ -194,7 +198,10 @@ mod tests {
         cache.record_usage_feedback(ids[0], 0.1, 1.0);
         cache.entry_mut(ids[0]).unwrap().example.replay_count = 5;
         let plan = plan_replay(&cache, &ReplayConfig::default());
-        assert!(!plan.contains(&ids[0]), "over-replayed example must be skipped");
+        assert!(
+            !plan.contains(&ids[0]),
+            "over-replayed example must be skipped"
+        );
     }
 
     #[test]

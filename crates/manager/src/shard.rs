@@ -1,0 +1,547 @@
+//! Topic-hash sharding of the example cache.
+//!
+//! "Efficient Prompt Caching via Embedding Similarity" motivates
+//! partitioning an example store by embedding locality; here the workload
+//! generators give every request/example a ground-truth topic whose hash
+//! is the cheapest locality key, so the cache is split into `N` shards by
+//! `split_mix64(topic) % N`. Same-topic examples land on the same shard,
+//! which keeps each shard's content semantically clustered and lets
+//! selection/eviction bookkeeping scale with shard size instead of store
+//! size.
+//!
+//! Capacity is enforced per shard, but budgets are *not* static: a
+//! periodic cross-shard rebalance ([`ShardedExampleCache::rebalance`])
+//! re-divides the global byte budget according to where the decayed
+//! offload gains currently live. The division is solved with the same
+//! knapsack machinery as §4.3 eviction: each shard's gain-density curve is
+//! cut into byte quanta (non-increasing marginal value, so a 0/1 solution
+//! is a per-shard prefix) and the exact DP solver picks the quanta mix
+//! that retains the most gain. Any capacity the DP leaves unclaimed —
+//! quanta with zero gain are never *worth* taking — is handed back
+//! proportionally to shard occupancy so that gain-less examples are still
+//! kept while space allows, exactly as the unsharded policy did.
+
+use std::collections::HashMap;
+
+use ic_llmsim::{Example, ExampleId, ExampleStore};
+use ic_stats::rng::split_mix64;
+
+use crate::cache::{CachedExample, ExampleCache};
+use crate::evict::{KnapsackItem, dp_knapsack, items_from_cache, plan_eviction};
+
+/// Default shard count for new managers.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Budget quanta per rebalance: the DP divides the global capacity into
+/// this many slices (O(quanta²) work — trivial, and fine-grained enough
+/// that allocation error is under 2% of capacity).
+const REBALANCE_QUANTA: usize = 64;
+
+/// An example cache split into topic-hash shards.
+#[derive(Debug)]
+pub struct ShardedExampleCache {
+    shards: Vec<ExampleCache>,
+    /// Which shard each cached id lives on.
+    directory: HashMap<ExampleId, usize>,
+}
+
+impl ShardedExampleCache {
+    /// Creates a cache with `shards` (at least 1) empty shards.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        Self {
+            shards: (0..n).map(|_| ExampleCache::new()).collect(),
+            directory: HashMap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a topic hashes to.
+    pub fn shard_for_topic(&self, topic: usize) -> usize {
+        (split_mix64(topic as u64) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard a cached id lives on, if present.
+    pub fn shard_of(&self, id: ExampleId) -> Option<usize> {
+        self.directory.get(&id).copied()
+    }
+
+    /// Read access to one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range shard index.
+    pub fn shard(&self, index: usize) -> &ExampleCache {
+        &self.shards[index]
+    }
+
+    /// Per-shard example counts (engine/report diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(ExampleCache::len).collect()
+    }
+
+    /// Per-shard plaintext bytes.
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(ExampleCache::total_bytes).collect()
+    }
+
+    /// Inserts an example at time `now`, routed by topic hash; replaces
+    /// any entry with the same id. Returns false if it replaced one.
+    pub fn insert(&mut self, example: Example, now: f64) -> bool {
+        let id = example.id;
+        let target = self.shard_for_topic(example.topic);
+        // A replaced example whose topic changed must leave its old shard
+        // (and still count as a replacement, not a fresh insert).
+        let mut fresh = true;
+        if let Some(old) = self.directory.get(&id).copied()
+            && old != target
+        {
+            self.shards[old].remove(id);
+            fresh = false;
+        }
+        self.directory.insert(id, target);
+        self.shards[target].insert(example, now) && fresh
+    }
+
+    /// Removes an example, returning it.
+    pub fn remove(&mut self, id: ExampleId) -> Option<Example> {
+        let shard = self.directory.remove(&id)?;
+        self.shards[shard].remove(id)
+    }
+
+    /// Looks up an entry.
+    pub fn entry(&self, id: ExampleId) -> Option<&CachedExample> {
+        self.shards[self.shard_of(id)?].entry(id)
+    }
+
+    /// Mutable entry access (used by the replay executor).
+    pub fn entry_mut(&mut self, id: ExampleId) -> Option<&mut CachedExample> {
+        let shard = self.shard_of(id)?;
+        self.shards[shard].entry_mut(id)
+    }
+
+    /// Records a retrieval hit.
+    pub fn record_access(&mut self, id: ExampleId) {
+        if let Some(s) = self.shard_of(id) {
+            self.shards[s].record_access(id);
+        }
+    }
+
+    /// Records a successful offload enabled by this example.
+    pub fn record_offload_gain(&mut self, id: ExampleId, now: f64, gain: f64) {
+        if let Some(s) = self.shard_of(id) {
+            self.shards[s].record_offload_gain(id, now, gain);
+        }
+    }
+
+    /// Records usage feedback (folds into the replay-gain EMA).
+    pub fn record_usage_feedback(&mut self, id: ExampleId, response_quality: f64, model_cost: f64) {
+        if let Some(s) = self.shard_of(id) {
+            self.shards[s].record_usage_feedback(id, response_quality, model_cost);
+        }
+    }
+
+    /// Number of cached examples across all shards.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Total plaintext bytes across all shards.
+    pub fn total_bytes(&self) -> usize {
+        self.shards.iter().map(ExampleCache::total_bytes).sum()
+    }
+
+    /// Iterates over entries, shard by shard.
+    pub fn iter(&self) -> impl Iterator<Item = (&ExampleId, &CachedExample)> {
+        self.shards.iter().flat_map(ExampleCache::iter)
+    }
+
+    /// All ids, sorted (deterministic order for planners).
+    pub fn sorted_ids(&self) -> Vec<ExampleId> {
+        let mut ids: Vec<ExampleId> = self.directory.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Access counts across all shards (Fig. 10 histogram source).
+    pub fn access_counts(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .flat_map(ExampleCache::access_counts)
+            .collect()
+    }
+
+    /// Divides `capacity` bytes across shards by retained-gain value at
+    /// time `now` (see the module docs for the quantum-knapsack scheme).
+    /// The returned budgets sum to at most `capacity`.
+    pub fn plan_shard_budgets(&self, capacity: usize, now: f64) -> Vec<usize> {
+        let n = self.shards.len();
+        let quantum = (capacity / REBALANCE_QUANTA).max(1);
+
+        // Cut each shard's density-sorted gain curve into quanta.
+        struct Chunk {
+            shard: usize,
+            bytes: usize,
+            units: usize,
+            gain: f64,
+        }
+        let mut chunks: Vec<Chunk> = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut items: Vec<KnapsackItem> = items_from_cache(shard, now);
+            items.sort_by(|a, b| {
+                let da = a.value / a.weight.max(1) as f64;
+                let db = b.value / b.weight.max(1) as f64;
+                db.partial_cmp(&da)
+                    .expect("finite densities")
+                    .then(a.id.cmp(&b.id))
+            });
+            // Close each chunk *before* it would exceed the quantum, so a
+            // normal chunk costs exactly 1 DP unit for ~1 quantum of
+            // bytes; only a single oversized item can make a multi-unit
+            // chunk. (Closing on overshoot instead would charge 2 units
+            // per ~1 quantum and let the DP place only half the capacity
+            // gain-aware.)
+            let (mut bytes, mut gain) = (0usize, 0.0f64);
+            for item in &items {
+                if bytes > 0 && bytes + item.weight > quantum {
+                    chunks.push(Chunk {
+                        shard: s,
+                        bytes,
+                        units: bytes.div_ceil(quantum),
+                        gain,
+                    });
+                    bytes = 0;
+                    gain = 0.0;
+                }
+                bytes += item.weight;
+                gain += item.value;
+            }
+            if bytes > 0 {
+                chunks.push(Chunk {
+                    shard: s,
+                    bytes,
+                    units: bytes.div_ceil(quantum),
+                    gain,
+                });
+            }
+        }
+
+        // 0/1 knapsack over quanta (weights in quantum units so the exact
+        // DP stays O(chunks * REBALANCE_QUANTA)). Chunk ids encode the
+        // chunk index; density ordering makes selections per-shard
+        // prefixes in value terms.
+        let dp_items: Vec<KnapsackItem> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| KnapsackItem {
+                id: ExampleId(i as u64),
+                weight: c.units,
+                value: c.gain,
+            })
+            .collect();
+        let kept = dp_knapsack(&dp_items, capacity / quantum);
+        let mut budgets = vec![0usize; n];
+        for id in &kept {
+            let c = &chunks[id.0 as usize];
+            budgets[c.shard] += c.bytes;
+        }
+
+        // Give unclaimed capacity back proportionally to unmet occupancy,
+        // so gain-less content is only evicted when space truly runs out.
+        let spent: usize = budgets.iter().sum();
+        let mut leftover = capacity.saturating_sub(spent);
+        let unmet: Vec<usize> = self
+            .shards
+            .iter()
+            .zip(&budgets)
+            .map(|(shard, &b)| shard.total_bytes().saturating_sub(b))
+            .collect();
+        let unmet_total: usize = unmet.iter().sum();
+        if unmet_total > 0 {
+            let grants: Vec<usize> = unmet
+                .iter()
+                .map(|&u| ((u as u128 * leftover as u128) / unmet_total as u128) as usize)
+                .collect();
+            for (b, g) in budgets.iter_mut().zip(&grants) {
+                *b += g;
+            }
+            leftover -= grants.iter().sum::<usize>();
+            // Hand the integer-division residue to shards in index order.
+            for (b, &u) in budgets.iter_mut().zip(&unmet) {
+                if leftover == 0 {
+                    break;
+                }
+                let grant = leftover.min(u);
+                *b += grant;
+                leftover -= grant;
+            }
+        }
+        budgets
+    }
+
+    /// Cross-shard budget rebalance + per-shard knapsack eviction so the
+    /// cache fits in `capacity` bytes. Returns evicted ids (callers must
+    /// unindex them from the selector).
+    pub fn rebalance(&mut self, capacity: usize, now: f64) -> Vec<ExampleId> {
+        if self.total_bytes() <= capacity {
+            return Vec::new();
+        }
+        let budgets = self.plan_shard_budgets(capacity, now);
+        let mut evicted = Vec::new();
+        for (s, budget) in budgets.iter().enumerate() {
+            for id in plan_eviction(&self.shards[s], *budget, now) {
+                self.shards[s].remove(id);
+                self.directory.remove(&id);
+                evicted.push(id);
+            }
+        }
+        evicted
+    }
+}
+
+impl ExampleStore for ShardedExampleCache {
+    fn get_example(&self, id: ExampleId) -> Option<&Example> {
+        self.shards[self.shard_of(id)?].get_example(id)
+    }
+
+    fn example_count(&self) -> usize {
+        self.directory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_llmsim::{Generator, ModelId, ModelSpec};
+    use ic_workloads::{Dataset, WorkloadGenerator};
+
+    fn sample_examples(n: usize) -> Vec<Example> {
+        WorkloadGenerator::new(Dataset::MsMarco, 43).generate_examples(
+            n,
+            &ModelSpec::gemma_2_27b(),
+            ModelId(0),
+            &Generator::new(),
+        )
+    }
+
+    fn filled(n_shards: usize, n_examples: usize) -> (ShardedExampleCache, Vec<Example>) {
+        let mut cache = ShardedExampleCache::new(n_shards);
+        let examples = sample_examples(n_examples);
+        for e in &examples {
+            cache.insert(e.clone(), 0.0);
+        }
+        (cache, examples)
+    }
+
+    #[test]
+    fn same_topic_lands_on_same_shard() {
+        let (cache, examples) = filled(4, 300);
+        for e in &examples {
+            assert_eq!(cache.shard_of(e.id), Some(cache.shard_for_topic(e.topic)));
+        }
+        // Two examples sharing a topic must share a shard.
+        for w in examples.windows(2) {
+            if w[0].topic == w[1].topic {
+                assert_eq!(cache.shard_of(w[0].id), cache.shard_of(w[1].id));
+            }
+        }
+    }
+
+    #[test]
+    fn shards_share_the_load() {
+        let (cache, _) = filled(4, 800);
+        let sizes = cache.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 800);
+        // Topic-hash sharding over a Zipf topic law is uneven but no shard
+        // may be starved or hold everything.
+        for &s in &sizes {
+            assert!(s > 0, "starved shard: {sizes:?}");
+            assert!(s < 800, "degenerate sharding: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_byte_accounting_match_unsharded() {
+        let (mut sharded, examples) = filled(3, 60);
+        let mut flat = ExampleCache::new();
+        for e in &examples {
+            flat.insert(e.clone(), 0.0);
+        }
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.total_bytes(), flat.total_bytes());
+        assert_eq!(sharded.sorted_ids(), flat.sorted_ids());
+        let victim = examples[7].id;
+        assert_eq!(sharded.remove(victim).unwrap().id, victim);
+        assert!(sharded.get_example(victim).is_none());
+        assert_eq!(sharded.len(), flat.len() - 1);
+    }
+
+    #[test]
+    fn feedback_routes_to_the_owning_shard() {
+        let (mut cache, examples) = filled(4, 40);
+        let id = examples[0].id;
+        cache.record_access(id);
+        cache.record_access(id);
+        cache.record_offload_gain(id, 0.0, 2.5);
+        cache.record_usage_feedback(id, 0.2, 1.0);
+        let entry = cache.entry(id).unwrap();
+        assert_eq!(entry.accesses, 2);
+        assert!((entry.offload_gain.value_at(0.0) - 2.5).abs() < 1e-9);
+        assert!((entry.replay_gain.value() - 0.8).abs() < 1e-9);
+        // Unknown ids are no-ops.
+        cache.record_access(ExampleId(u64::MAX));
+        cache.record_offload_gain(ExampleId(u64::MAX), 0.0, 1.0);
+    }
+
+    #[test]
+    fn rebalance_respects_global_capacity() {
+        let (mut cache, examples) = filled(4, 200);
+        for (i, e) in examples.iter().enumerate() {
+            if i % 3 == 0 {
+                cache.record_offload_gain(e.id, 0.0, 4.0);
+            }
+        }
+        let cap = cache.total_bytes() / 2;
+        let evicted = cache.rebalance(cap, 0.0);
+        assert!(!evicted.is_empty());
+        assert!(
+            cache.total_bytes() <= cap,
+            "{} > {cap}",
+            cache.total_bytes()
+        );
+        // Directory and shards stay consistent.
+        for id in &evicted {
+            assert!(cache.shard_of(*id).is_none());
+            assert!(cache.get_example(*id).is_none());
+        }
+        assert_eq!(cache.len(), 200 - evicted.len());
+    }
+
+    #[test]
+    fn budgets_follow_the_gains() {
+        let (mut cache, examples) = filled(2, 400);
+        // All gains live on one shard's topics.
+        let hot = cache.shard_of(examples[0].id).unwrap();
+        for e in &examples {
+            if cache.shard_of(e.id) == Some(hot) {
+                cache.record_offload_gain(e.id, 0.0, 10.0);
+            }
+        }
+        let cap = cache.total_bytes() / 3;
+        let budgets = cache.plan_shard_budgets(cap, 0.0);
+        assert!(
+            budgets[hot] > budgets[1 - hot],
+            "gain-bearing shard should win the budget: {budgets:?}"
+        );
+        let evicted = cache.rebalance(cap, 0.0);
+        // The cold shard must shoulder disproportionate eviction.
+        let cold_evicted = evicted
+            .iter()
+            .filter(|id| {
+                examples
+                    .iter()
+                    .find(|e| e.id == **id)
+                    .map(|e| cache.shard_for_topic(e.topic) != hot)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            cold_evicted * 2 > evicted.len(),
+            "cold shard should dominate eviction: {cold_evicted}/{}",
+            evicted.len()
+        );
+    }
+
+    #[test]
+    fn under_capacity_rebalance_is_a_noop() {
+        let (mut cache, _) = filled(4, 50);
+        let before = cache.len();
+        assert!(cache.rebalance(cache.total_bytes() + 1, 0.0).is_empty());
+        assert_eq!(cache.len(), before);
+    }
+
+    #[test]
+    fn single_shard_matches_flat_eviction_semantics() {
+        let (mut cache, examples) = filled(1, 80);
+        for (i, e) in examples.iter().enumerate() {
+            if i % 2 == 0 {
+                cache.record_offload_gain(e.id, 0.0, 5.0);
+            }
+        }
+        let cap = cache.total_bytes() / 2;
+        cache.rebalance(cap, 0.0);
+        assert!(cache.total_bytes() <= cap);
+        let kept_valuable = examples
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| i % 2 == 0 && cache.get_example(e.id).is_some())
+            .count();
+        let kept_worthless = examples
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| i % 2 == 1 && cache.get_example(e.id).is_some())
+            .count();
+        assert!(kept_valuable > kept_worthless);
+    }
+
+    #[test]
+    fn gain_aware_budgets_cover_most_of_the_capacity() {
+        // When every example carries gain, the knapsack should hand out
+        // nearly the whole budget by value — not fall back to the
+        // occupancy-proportional leftover path for half of it.
+        let (mut cache, examples) = filled(4, 300);
+        for e in &examples {
+            cache.record_offload_gain(e.id, 0.0, 1.0);
+        }
+        let cap = cache.total_bytes() / 2;
+        let budgets = cache.plan_shard_budgets(cap, 0.0);
+        let gain_allocated: usize = budgets.iter().sum();
+        assert!(gain_allocated <= cap);
+        assert!(
+            gain_allocated as f64 > cap as f64 * 0.9,
+            "DP should claim most of the budget: {gain_allocated}/{cap}"
+        );
+    }
+
+    #[test]
+    fn reinsert_with_changed_topic_reports_replacement() {
+        let (mut cache, examples) = filled(4, 40);
+        let mut moved = examples[0].clone();
+        // Find a topic that hashes to a different shard.
+        let home = cache.shard_for_topic(moved.topic);
+        moved.topic = (0..)
+            .find(|&t| cache.shard_for_topic(t) != home)
+            .expect("multiple shards exist");
+        assert!(
+            !cache.insert(moved.clone(), 1.0),
+            "replacement must report false"
+        );
+        assert_eq!(cache.len(), 40, "no duplicate entry across shards");
+        assert_eq!(
+            cache.shard_of(moved.id),
+            Some(cache.shard_for_topic(moved.topic))
+        );
+    }
+
+    #[test]
+    fn budget_planning_is_deterministic() {
+        let (mut a, _) = filled(4, 150);
+        let (mut b, _) = filled(4, 150);
+        let cap = a.total_bytes() / 2;
+        assert_eq!(
+            a.plan_shard_budgets(cap, 0.0),
+            b.plan_shard_budgets(cap, 0.0)
+        );
+        assert_eq!(a.rebalance(cap, 0.0), b.rebalance(cap, 0.0));
+    }
+}

@@ -105,7 +105,11 @@ mod tests {
             s.observe(0.0);
         }
         s.observe(1.5);
-        assert_ne!(s.advice(), ScaleAdvice::ScaleOut, "one spike is not a trend");
+        assert_ne!(
+            s.advice(),
+            ScaleAdvice::ScaleOut,
+            "one spike is not a trend"
+        );
         // Sustained overload.
         for _ in 0..100 {
             s.observe(1.2);

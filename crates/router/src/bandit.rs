@@ -170,7 +170,6 @@ mod tests {
         // bandit must learn to split on context, which a context-free
         // bandit cannot.
         let mut b = ContextualBandit::new(vec![ModelId(0), ModelId(1)], 2, 1.0, 0.2);
-        let mut rng = rng_from_seed(2);
         for i in 0..400 {
             let hard = i % 2 == 0;
             let x = [1.0, if hard { 1.0 } else { 0.0 }];
@@ -184,7 +183,6 @@ mod tests {
         let best = |s: &[(ModelId, f64)]| s.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
         assert_eq!(best(&easy), ModelId(0));
         assert_eq!(best(&hard), ModelId(1));
-        let _ = rng; // Exploration untested here: mean scores suffice.
     }
 
     #[test]
@@ -221,11 +219,7 @@ mod tests {
         let mut last_100 = Vec::new();
         for t in 0..1500 {
             let scores = b.sample_scores(&[1.0], &mut rng);
-            let pick = scores
-                .iter()
-                .max_by(|a, c| a.1.total_cmp(&c.1))
-                .unwrap()
-                .0;
+            let pick = scores.iter().max_by(|a, c| a.1.total_cmp(&c.1)).unwrap().0;
             let noise = 0.1 * standard_normal(&mut rng);
             b.update(pick, &[1.0], true_reward[pick.0] + noise);
             if t >= 1400 {

@@ -114,9 +114,8 @@ mod tests {
         let fx = RouteFeatures::new(rq.embedding.dim(), 1);
         let fq = fx.extract(&rq, &[]);
         let fc = fx.extract(&rc, &[]);
-        let hot = |f: &[f64; ROUTE_FEATURE_DIM]| -> usize {
-            (4..9).filter(|&i| f[i] == 1.0).count()
-        };
+        let hot =
+            |f: &[f64; ROUTE_FEATURE_DIM]| -> usize { (4..9).filter(|&i| f[i] == 1.0).count() };
         assert_eq!(hot(&fq), 1);
         assert_eq!(hot(&fc), 1);
         assert_ne!(
@@ -145,7 +144,10 @@ mod tests {
         let fx = RouteFeatures::new(rs[0].embedding.dim(), 3);
         // Find two requests of different topics.
         let a = &rs[0];
-        let b = rs.iter().find(|r| r.topic != a.topic).expect("varied topics");
+        let b = rs
+            .iter()
+            .find(|r| r.topic != a.topic)
+            .expect("varied topics");
         let fa = fx.extract(a, &[]);
         let fb = fx.extract(b, &[]);
         let pa: Vec<f64> = fa[12..16].to_vec();

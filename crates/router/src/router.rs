@@ -131,7 +131,11 @@ impl RequestRouter {
             ),
             features: RouteFeatures::new(embedding_dim, config.seed),
             load: LoadTracker::new(config.load_alpha),
-            bias: LoadBias::new(config.bias_lambda0, config.bias_gamma, config.load_threshold),
+            bias: LoadBias::new(
+                config.bias_lambda0,
+                config.bias_gamma,
+                config.load_threshold,
+            ),
             config,
             costs,
             decisions: 0,
@@ -427,7 +431,10 @@ mod tests {
             let _ = router.route(r, &[], &mut rng);
         }
         let early_rate = router.solicitation_rate();
-        assert!(early_rate > 0.5, "untrained router should ask: {early_rate}");
+        assert!(
+            early_rate > 0.5,
+            "untrained router should ask: {early_rate}"
+        );
         // Train a clear separation -> solicitation should drop.
         let train = wg.generate_requests(600);
         for r in &train {

@@ -26,9 +26,16 @@ impl ProxyFeatures {
     /// embeddings, task tags, response text (via the quality signal),
     /// response length, and the target model's spec sheet.
     pub fn extract(request: &Request, example: &Example, target: &ModelSpec) -> Self {
-        let sim = request.embedding.cosine(&example.embedding).clamp(-1.0, 1.0);
+        let sim = request
+            .embedding
+            .cosine(&example.embedding)
+            .clamp(-1.0, 1.0);
         let qsig = quality_signal(example);
-        let task_match = if request.task == example.task { 1.0 } else { 0.0 };
+        let task_match = if request.task == example.task {
+            1.0
+        } else {
+            0.0
+        };
         let skill_sim = request.skills.similarity(&example.skills);
         let len_norm = (f64::from(example.response_tokens).ln() / 8.0).clamp(0.0, 1.5);
         let headroom_proxy = 1.0 - request.skills.weighted_score(&target.capability);
@@ -115,8 +122,7 @@ impl ProxyModel {
             0.00,  // quality alone is not enough,
             0.35,  // but similar AND good is the signal,
             0.05,  // with mild task-match
-            0.00,
-            0.05, // and headroom preferences.
+            0.00, 0.05, // and headroom preferences.
         ];
         m
     }
@@ -124,20 +130,11 @@ impl ProxyModel {
     /// Predicted helpfulness (unclamped linear score; callers treat it as
     /// a utility estimate in roughly `[0, 1]`).
     pub fn predict(&self, features: &[f64; FEATURE_DIM]) -> f64 {
-        self.weights
-            .iter()
-            .zip(features)
-            .map(|(w, x)| w * x)
-            .sum()
+        self.weights.iter().zip(features).map(|(w, x)| w * x).sum()
     }
 
     /// Convenience: extract-and-predict.
-    pub fn predict_example(
-        &self,
-        request: &Request,
-        example: &Example,
-        target: &ModelSpec,
-    ) -> f64 {
+    pub fn predict_example(&self, request: &Request, example: &Example, target: &ModelSpec) -> f64 {
         self.predict(&ProxyFeatures::extract(request, example, target).as_array())
     }
 
@@ -208,15 +205,19 @@ mod tests {
         let mut wg = WorkloadGenerator::new(Dataset::NaturalQuestions, 5);
         let generator = Generator::new();
         let small = ModelSpec::gemma_2_2b();
-        let exs = wg.generate_examples(400, &ModelSpec::gemma_2_27b(), ic_llmsim::ModelId(0), &generator);
+        let exs = wg.generate_examples(
+            400,
+            &ModelSpec::gemma_2_27b(),
+            ic_llmsim::ModelId(0),
+            &generator,
+        );
         let reqs = wg.generate_requests(400);
         let icl = IclParams::default();
         let mut data = Vec::new();
         let mut rng = ic_stats::rng::rng_from_seed(6);
         for (r, e) in reqs.iter().zip(&exs) {
             let base = generator.base_quality(&small, r);
-            let label = example_utility(e, r, base, &icl)
-                + 0.05 * (rng.random::<f64>() - 0.5); // Feedback noise.
+            let label = example_utility(e, r, base, &icl) + 0.05 * (rng.random::<f64>() - 0.5); // Feedback noise.
             let f = ProxyFeatures::extract(r, e, &small).as_array();
             data.push((f, label));
         }
@@ -242,15 +243,22 @@ mod tests {
         let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 7);
         let generator = Generator::new();
         let small = ModelSpec::gemma_2_2b();
-        let exs = wg.generate_examples(600, &ModelSpec::gemma_2_27b(), ic_llmsim::ModelId(0), &generator);
-        let reqs = wg.generate_requests(600);
+        let exs = wg.generate_examples(
+            1_200,
+            &ModelSpec::gemma_2_27b(),
+            ic_llmsim::ModelId(0),
+            &generator,
+        );
+        let reqs = wg.generate_requests(1_200);
         let icl = IclParams::default();
         let mut model = ProxyModel::standard();
-        // Train on the first half.
-        for (r, e) in reqs.iter().zip(&exs).take(300) {
-            let base = generator.base_quality(&small, r);
-            let label = example_utility(e, r, base, &icl);
-            for _ in 0..10 {
+        // Train on the first half, several epochs: the proxy-vs-similarity
+        // correlation gap is a few points, so the proxy must actually
+        // converge for the comparison to resolve it.
+        for _ in 0..10 {
+            for (r, e) in reqs.iter().zip(&exs).take(600) {
+                let base = generator.base_quality(&small, r);
+                let label = example_utility(e, r, base, &icl);
                 model.update(&ProxyFeatures::extract(r, e, &small).as_array(), label);
             }
         }
@@ -258,7 +266,7 @@ mod tests {
         let mut preds = Vec::new();
         let mut sims = Vec::new();
         let mut truths = Vec::new();
-        for (r, e) in reqs.iter().zip(&exs).skip(300) {
+        for (r, e) in reqs.iter().zip(&exs).skip(600) {
             let base = generator.base_quality(&small, r);
             truths.push(example_utility(e, r, base, &icl));
             preds.push(model.predict_example(r, e, &small));

@@ -66,9 +66,7 @@ impl Selection {
 
     /// Highest single predicted utility (0.0 if empty).
     pub fn max_predicted_utility(&self) -> f64 {
-        self.predicted_utility
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b))
+        self.predicted_utility.iter().fold(0.0f64, |a, &b| a.max(b))
     }
 
     /// Resolves ids against a store, preserving order; silently drops ids
@@ -214,9 +212,9 @@ impl ExampleSelector {
                 continue;
             };
             let redundant = picked.iter().any(|&(pid, _)| {
-                store
-                    .get_example(pid)
-                    .is_some_and(|p| p.embedding.cosine(&ex.embedding) > self.config.diversity_ceiling)
+                store.get_example(pid).is_some_and(|p| {
+                    p.embedding.cosine(&ex.embedding) > self.config.diversity_ceiling
+                })
             });
             if !redundant {
                 picked.push((id, util));
@@ -299,7 +297,9 @@ mod tests {
     fn selection_respects_max_and_threshold() {
         let f = fixture(800, 20, true);
         for r in &f.requests {
-            let sel = f.selector.select_with_threshold(r, &f.store, &f.small, 0.05);
+            let sel = f
+                .selector
+                .select_with_threshold(r, &f.store, &f.small, 0.05);
             assert!(sel.ids.len() <= f.selector.config().max_examples);
             for &u in &sel.predicted_utility {
                 assert!(u >= 0.05 - 1e-9, "picked below threshold: {u}");
@@ -429,7 +429,9 @@ mod tests {
     fn resolve_drops_evicted_ids() {
         let f = fixture(300, 3, false);
         let r = &f.requests[0];
-        let mut sel = f.selector.select_with_threshold(r, &f.store, &f.small, -10.0);
+        let mut sel = f
+            .selector
+            .select_with_threshold(r, &f.store, &f.small, -10.0);
         sel.ids.push(ExampleId(u64::MAX)); // Simulates eviction race.
         let resolved = sel.resolve(&f.store);
         assert_eq!(resolved.len(), sel.ids.len() - 1);

@@ -12,7 +12,11 @@ pub type PoolId = usize;
 #[derive(Debug)]
 enum Event {
     Arrival(JobSpec),
-    Completion { pool: PoolId, job: JobSpec, started: SimTime },
+    Completion {
+        pool: PoolId,
+        job: JobSpec,
+        started: SimTime,
+    },
 }
 
 /// A cluster of model pools replaying a job trace.
@@ -228,7 +232,9 @@ mod tests {
                 congestion_beta: 0.0,
             }]);
             let rs = c.run(jobs.clone());
-            rs.iter().map(|r| r.completed.as_secs_f64()).fold(0.0, f64::max)
+            rs.iter()
+                .map(|r| r.completed.as_secs_f64())
+                .fold(0.0, f64::max)
         };
         assert!(makespan(8) < makespan(2) / 2.0);
     }

@@ -23,5 +23,5 @@ pub mod pool;
 
 pub use cluster::{ClusterSim, PoolId};
 pub use job::{JobId, JobResult, JobSpec};
-pub use metrics::ServingMetrics;
+pub use metrics::{ServingMetrics, busy_interval_rps};
 pub use pool::{ModelPool, PoolConfig};

@@ -58,19 +58,7 @@ impl ServingMetrics {
 
     /// Overall throughput: completions per second over the busy interval.
     pub fn throughput_rps(&self) -> f64 {
-        if self.completions.len() < 2 {
-            return self.completions.len() as f64;
-        }
-        let lo = self.completions.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = self
-            .completions
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
-        if hi <= lo {
-            return self.completions.len() as f64;
-        }
-        self.completions.len() as f64 / (hi - lo)
+        busy_interval_rps(&self.completions)
     }
 
     /// Completions per window of `window_secs` over `[0, horizon_secs)`.
@@ -84,6 +72,23 @@ impl ServingMetrics {
         }
         counts
     }
+}
+
+/// Completions per second over the busy interval of a completion-time
+/// series (seconds). Fewer than two completions degenerate to the count.
+pub fn busy_interval_rps(completions: &[f64]) -> f64 {
+    if completions.len() < 2 {
+        return completions.len() as f64;
+    }
+    let lo = completions.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = completions
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if hi <= lo {
+        return completions.len() as f64;
+    }
+    completions.len() as f64 / (hi - lo)
 }
 
 #[cfg(test)]
@@ -105,10 +110,7 @@ mod tests {
 
     #[test]
     fn aggregates_basic_latencies() {
-        let rs = vec![
-            result(0, 0.0, 0.0, 0.5, 2.0),
-            result(1, 1.0, 2.0, 2.5, 4.0),
-        ];
+        let rs = vec![result(0, 0.0, 0.0, 0.5, 2.0), result(1, 1.0, 2.0, 2.5, 4.0)];
         let mut m = ServingMetrics::from_results(&rs);
         assert_eq!(m.count(), 2);
         assert!((m.mean_ttft() - 1.0).abs() < 1e-9); // (0.5 + 1.5) / 2.

@@ -100,8 +100,7 @@ impl ModelPool {
     /// stretched by the congestion factor at the *post-admission*
     /// occupancy.
     pub fn service_secs(&self, job: &JobSpec) -> f64 {
-        let occ_after =
-            f64::from(self.active + 1) / f64::from(self.config.total_slots().max(1));
+        let occ_after = f64::from(self.active + 1) / f64::from(self.config.total_slots().max(1));
         let stretch = 1.0 + self.config.congestion_beta * occ_after;
         job.ttft_secs + job.decode_secs * stretch
     }
@@ -204,7 +203,10 @@ mod tests {
             p.offer(job(i));
         }
         let busy = p.service_secs(&job(99));
-        assert!(busy > empty, "contention must stretch decode: {empty} vs {busy}");
+        assert!(
+            busy > empty,
+            "contention must stretch decode: {empty} vs {busy}"
+        );
         // TTFT portion is not stretched.
         assert!((p.prefill_secs(&job(99)) - 0.1).abs() < 1e-12);
     }

@@ -102,10 +102,7 @@ mod tests {
         idx.insert(2, unit(vec![0.7, 0.7]));
         idx.insert(3, unit(vec![0.0, 1.0]));
         let hits = idx.search(&unit(vec![1.0, 0.1]), 3);
-        assert_eq!(
-            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![1, 2, 3]);
         assert!(hits[0].similarity > hits[1].similarity);
     }
 

@@ -118,6 +118,25 @@ pub fn kmeans(data: &[Embedding], k: usize, max_iters: usize, seed: u64) -> Opti
     Some(KMeansModel { centroids })
 }
 
+/// Best-of-`n_init` k-means: runs [`kmeans`] from `n_init` different
+/// seeds and keeps the model with the lowest inertia — the standard
+/// defence against an unlucky k-means++ draw merging true clusters.
+pub fn kmeans_best_of(
+    data: &[Embedding],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    n_init: usize,
+) -> Option<KMeansModel> {
+    (0..n_init.max(1) as u64)
+        .filter_map(|i| kmeans(data, k, max_iters, seed.wrapping_add(i)))
+        .min_by(|a, b| {
+            a.inertia(data)
+                .partial_cmp(&b.inertia(data))
+                .expect("finite inertia")
+        })
+}
+
 /// k-means++ seeding: first center uniform, subsequent centers sampled
 /// proportionally to squared distance from the nearest chosen center.
 fn init_plus_plus(data: &[Embedding], k: usize, rng: &mut impl Rng) -> Vec<Embedding> {
@@ -178,7 +197,7 @@ mod tests {
     #[test]
     fn recovers_well_separated_clusters() {
         let (data, labels) = clustered_data(4, 50);
-        let model = kmeans(&data, 4, 50, 7).unwrap();
+        let model = kmeans_best_of(&data, 4, 50, 7, 3).unwrap();
         // Same-topic points should overwhelmingly share an assigned cluster.
         let mut agree = 0usize;
         let mut total = 0usize;

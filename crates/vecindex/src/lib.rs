@@ -33,7 +33,7 @@ pub mod kmeans;
 
 pub use flat::FlatIndex;
 pub use ivf::{IvfConfig, IvfIndex};
-pub use kmeans::{KMeansModel, kmeans};
+pub use kmeans::{KMeansModel, kmeans, kmeans_best_of};
 
 use ic_embed::Embedding;
 

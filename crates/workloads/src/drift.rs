@@ -45,8 +45,7 @@ impl DriftingWorkload {
     /// Which topic a popularity rank maps to at drift progress `t`.
     pub fn topic_at(&self, rank: usize, progress: f64) -> usize {
         let topics = self.inner.space().num_topics();
-        let shift =
-            (progress.clamp(0.0, 1.0) * self.rotations * topics as f64) as usize % topics;
+        let shift = (progress.clamp(0.0, 1.0) * self.rotations * topics as f64) as usize % topics;
         (rank + shift) % topics
     }
 
@@ -95,8 +94,11 @@ mod tests {
                 *counts.entry(w.generate_at(t, rng).topic).or_insert(0usize) += 1;
             }
             let mut v: Vec<(usize, usize)> = counts.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
-            v.into_iter().take(5).map(|(t, _)| t).collect::<HashSet<_>>()
+            v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            v.into_iter()
+                .take(5)
+                .map(|(t, _)| t)
+                .collect::<HashSet<_>>()
         };
         let early = head(&mut w, 0.0, &mut rng);
         let late = head(&mut w, 0.9, &mut rng);

@@ -104,9 +104,8 @@ mod tests {
         let r = req();
         let mut good = RagCorpus::new(1.0, 2);
         let mut bad = RagCorpus::new(0.0, 2);
-        let rel = |docs: Vec<RagDoc>| {
-            docs.iter().map(|d| d.relevance).sum::<f64>() / docs.len() as f64
-        };
+        let rel =
+            |docs: Vec<RagDoc>| docs.iter().map(|d| d.relevance).sum::<f64>() / docs.len() as f64;
         let g: f64 = (0..50).map(|_| rel(good.retrieve(&r, 5))).sum::<f64>() / 50.0;
         let b: f64 = (0..50).map(|_| rel(bad.retrieve(&r, 5))).sum::<f64>() / 50.0;
         assert!(g > 3.0 * b, "precision should separate: {g} vs {b}");

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example anatomy`
 
 use ic_cache::{IcCacheConfig, IcCacheSystem, render_prompt};
-use ic_llmsim::{ExampleStore, GenSetup, Generator, ModelSpec};
+use ic_llmsim::{ExampleStore, GenSetup, Generator};
 use ic_stats::rng::rng_from_seed;
 use ic_workloads::{Dataset, WorkloadGenerator};
 
@@ -30,17 +30,26 @@ fn main() {
 
     // One fresh user query.
     let request = workload.generate_requests(1).pop().expect("one request");
-    println!("=== USER QUERY (topic {}, difficulty {:.2}) ===", request.topic, request.difficulty);
+    println!(
+        "=== USER QUERY (topic {}, difficulty {:.2}) ===",
+        request.topic, request.difficulty
+    );
     println!("{}\n", request.text);
 
     // Bare small-model answer.
     let mut rng = rng_from_seed(27);
     let bare = sim.generate(&small_spec, &request, &GenSetup::bare(), &mut rng);
-    println!("=== {} BARE === latent quality {:.3}", small_spec.name, bare.quality);
+    println!(
+        "=== {} BARE === latent quality {:.3}",
+        small_spec.name, bare.quality
+    );
 
     // Large-model answer.
     let big = sim.generate(&large_spec, &request, &GenSetup::bare(), &mut rng);
-    println!("=== {} === latent quality {:.3}\n", large_spec.name, big.quality);
+    println!(
+        "=== {} === latent quality {:.3}\n",
+        large_spec.name, big.quality
+    );
 
     // The full IC-Cache path.
     let selection = system.with_selection(&request);
@@ -63,8 +72,16 @@ fn main() {
     let outcome = system.serve(&request);
     println!(
         "\n=== ROUTING === chose {} ({})",
-        if outcome.offloaded { &small_spec.name } else { &large_spec.name },
-        if outcome.offloaded { "offloaded" } else { "primary" },
+        if outcome.offloaded {
+            &small_spec.name
+        } else {
+            &large_spec.name
+        },
+        if outcome.offloaded {
+            "offloaded"
+        } else {
+            "primary"
+        },
     );
     println!(
         "=== GENERATION === latent quality {:.3} (bare small: {:.3}, large: {:.3})",

@@ -10,7 +10,7 @@
 use ic_cache::IcCacheConfig;
 use ic_cache::IcCacheSystem;
 use ic_desim::SimTime;
-use ic_llmsim::{GenSetup, Generator, ModelSpec};
+use ic_llmsim::{GenSetup, Generator};
 use ic_serving::{ClusterSim, JobId, JobSpec, PoolConfig, ServingMetrics};
 use ic_stats::rng::rng_from_seed;
 use ic_workloads::{Dataset, WorkloadGenerator, thirty_minute_trace};
@@ -34,7 +34,10 @@ fn main() {
     // The bursty trace.
     let arrivals = thirty_minute_trace(0.8, 11);
     let requests = workload.generate_requests(arrivals.len());
-    println!("replaying {} requests over 30 simulated minutes", arrivals.len());
+    println!(
+        "replaying {} requests over 30 simulated minutes",
+        arrivals.len()
+    );
 
     // IC-Cache run.
     let mut rng = rng_from_seed(13);

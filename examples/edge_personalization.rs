@@ -48,15 +48,25 @@ fn main() {
             .iter()
             .filter_map(|id| store.get_example(*id))
             .collect();
-        let personal =
-            sim.generate(&device_model, &request, &GenSetup::with_examples(refs), &mut rng);
+        let personal = sim.generate(
+            &device_model,
+            &request,
+            &GenSetup::with_examples(refs),
+            &mut rng,
+        );
         bare_sum += bare.quality;
         personal_sum += personal.quality;
     }
     println!("on-device model: {}", device_model.name);
     println!("personal example cache: {} entries", store.len());
-    println!("mean quality, cold device model:        {:.3}", bare_sum / n as f64);
-    println!("mean quality, personalized (IC-Cache):  {:.3}", personal_sum / n as f64);
+    println!(
+        "mean quality, cold device model:        {:.3}",
+        bare_sum / n as f64
+    );
+    println!(
+        "mean quality, personalized (IC-Cache):  {:.3}",
+        personal_sum / n as f64
+    );
     println!(
         "uplift: {:+.1}% — without any cloud round-trip",
         (personal_sum / bare_sum - 1.0) * 100.0

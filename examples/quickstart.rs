@@ -1,47 +1,64 @@
-//! Quickstart: the Figure 6 workflow in a dozen lines.
+//! Quickstart: IC-Cache behind the unified serving engine.
 //!
-//! Builds an IC-Cache client over the Gemma-2 pair, seeds the example
-//! cache with historical large-model responses, serves a small batch of
-//! MS MARCO-like requests, and registers the new pairs back into the
-//! cache.
+//! Builds the Gemma-2 pair system, seeds the example cache with
+//! historical large-model responses (Appendix A.4 initialization), then
+//! replays a Poisson request trace through the event-driven engine:
+//! arrivals flow admission → selection (sharded cache) → routing →
+//! continuous-batching pool queues → completions that feed measured
+//! latency back into the router.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ic_cache::{IcCacheClient, IcCacheConfig};
+use ic_cache::{IcCacheConfig, IcCacheSystem};
+use ic_engine::{EngineConfig, EventDrivenEngine, ServingEngine};
 use ic_llmsim::{Generator, ModelSpec};
-use ic_workloads::{Dataset, WorkloadGenerator};
+use ic_workloads::{Dataset, WorkloadGenerator, fixed_qps_arrivals};
 
 fn main() {
     // 1. Configuration: offload Gemma-2-27B traffic to Gemma-2-2B.
     let config = IcCacheConfig::gemma_pair();
     let large = config.primary;
-    let client = IcCacheClient::new(config);
 
-    // 2. Seed the example cache with historical request-response pairs
-    //    answered by the large model (Appendix A.4 initialization).
+    // 2. Seed the example cache (topic-hash sharded) with historical
+    //    request-response pairs answered by the large model.
     let mut workload = WorkloadGenerator::new(Dataset::MsMarco, 42);
     let examples =
         workload.generate_examples(2_000, &ModelSpec::gemma_2_27b(), large, &Generator::new());
-    client.seed_examples(examples);
+    let mut system = IcCacheSystem::new(config);
+    system.seed_examples(examples, 0.0);
 
-    // 3. Serve traffic (Fig. 6: client.generate).
-    let requests = workload.generate_requests(50);
-    let responses = client.generate(&requests);
-
-    // 4. Register the fresh pairs for future reuse (Fig. 6:
-    //    client.update_cache).
-    client.update_cache(&requests, &responses);
-
-    let offloaded = responses.iter().filter(|r| r.offloaded).count();
-    let mean_quality: f64 =
-        responses.iter().map(|r| r.outcome.quality).sum::<f64>() / responses.len() as f64;
-    println!("served {} requests", responses.len());
-    println!(
-        "offloaded to the small model: {offloaded} ({}%)",
-        100 * offloaded / responses.len()
+    // 3. Wrap the system in the event-driven engine: a 16-GPU cluster
+    //    with continuous batching, caching served pairs back as examples.
+    let mut engine = EventDrivenEngine::new(
+        system,
+        EngineConfig {
+            admit_served_pairs: true,
+            ..EngineConfig::default()
+        },
     );
-    println!("mean latent response quality: {mean_quality:.3}");
-    println!("cached examples after update: {}", client.cached_examples());
 
-    client.stop();
+    // 4. Replay two minutes of 2-QPS Poisson traffic through the engine.
+    let arrivals = fixed_qps_arrivals(2.0, 120.0, 7);
+    let requests = workload.generate_requests(arrivals.len());
+    let report = engine.serve_workload(&requests, &arrivals);
+
+    println!("engine: {}", report.engine);
+    println!("served {} requests", report.served);
+    println!(
+        "offloaded to the small model: {} ({:.1}%)",
+        report.offloaded,
+        report.offload_ratio() * 100.0
+    );
+    println!(
+        "latency: p50 {:.3}s, p99 {:.3}s (mean queue wait {:.3}s)",
+        report.latency.p50_e2e, report.latency.p99_e2e, report.latency.mean_queue
+    );
+    println!("mean latent response quality: {:.3}", report.mean_quality);
+    println!(
+        "example cache: {} examples over {} shards {:?}, selection hit rate {:.1}%",
+        report.cache.examples,
+        report.cache.shards,
+        report.cache.shard_sizes,
+        report.selection_hit_rate() * 100.0
+    );
 }

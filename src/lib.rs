@@ -8,6 +8,7 @@ pub use ic_baselines as baselines;
 pub use ic_cache as cache;
 pub use ic_desim as desim;
 pub use ic_embed as embed;
+pub use ic_engine as engine;
 pub use ic_judge as judge;
 pub use ic_llmsim as llmsim;
 pub use ic_manager as manager;

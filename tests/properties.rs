@@ -1,9 +1,12 @@
 //! Cross-crate property-based tests on system invariants.
 
+use ic_cache::{IcCacheConfig, IcCacheSystem};
 use ic_embed::Embedding;
+use ic_engine::{EngineConfig, EventDrivenEngine, ServingEngine};
 use ic_llmsim::{GenSetup, Generator, ModelSpec, Request, RequestId, SkillMix, TaskKind};
 use ic_stats::rng::rng_from_seed;
 use ic_vecindex::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use ic_workloads::{Dataset, WorkloadGenerator, fixed_qps_arrivals};
 use proptest::prelude::*;
 
 fn arb_unit_embedding(dim: usize) -> impl Strategy<Value = Embedding> {
@@ -129,5 +132,48 @@ proptest! {
         } else {
             prop_assert_eq!(with_n.input_tokens, bare.input_tokens);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Running the event-driven engine twice with the same seed produces
+    /// identical served/offloaded counts and latency percentiles —
+    /// byte-identical serialized metrics, across arbitrary seeds and
+    /// offered loads.
+    #[test]
+    fn event_driven_engine_is_deterministic(
+        seed in 0u64..10_000,
+        qps_deci in 5u64..60,
+    ) {
+        let run = || {
+            let config = IcCacheConfig::gemma_pair();
+            let large = config.primary;
+            let large_spec = config.catalog.get(large).clone();
+            let mut wg = WorkloadGenerator::sized(Dataset::MsMarco, seed, 300);
+            let examples =
+                wg.generate_examples(300, &large_spec, large, &Generator::new());
+            let mut system = IcCacheSystem::new(config);
+            system.seed_examples(examples, 0.0);
+            let arrivals = fixed_qps_arrivals(qps_deci as f64 / 10.0, 60.0, seed ^ 0xA11);
+            let requests = wg.generate_requests(arrivals.len());
+            let mut engine = EventDrivenEngine::new(system, EngineConfig::default());
+            let report = engine.serve_workload(&requests, &arrivals);
+            (
+                report.served,
+                report.offloaded,
+                report.latency.p50_e2e.to_bits(),
+                report.latency.p99_e2e.to_bits(),
+                report.to_json(),
+            )
+        };
+        let (served_a, off_a, p50_a, p99_a, json_a) = run();
+        let (served_b, off_b, p50_b, p99_b, json_b) = run();
+        prop_assert_eq!(served_a, served_b);
+        prop_assert_eq!(off_a, off_b);
+        prop_assert_eq!(p50_a, p50_b, "p50 must replay bit-identically");
+        prop_assert_eq!(p99_a, p99_b, "p99 must replay bit-identically");
+        prop_assert_eq!(json_a, json_b);
     }
 }

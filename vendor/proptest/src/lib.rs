@@ -1,0 +1,322 @@
+//! Minimal stand-in for the `proptest` crate surface this workspace uses
+//! (offline build environment — no crates.io access).
+//!
+//! Supported:
+//!
+//! - `proptest! { ... }` blocks with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute;
+//! - `x in strategy` bindings where a strategy is a numeric `Range`,
+//!   [`collection::vec`], a [`Strategy::prop_map`] adapter, or any other
+//!   [`Strategy`] implementation;
+//! - `prop_assert!` / `prop_assert_eq!` (mapped onto `assert!` /
+//!   `assert_eq!`).
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! corpus: each test runs its body over `cases` deterministic samples
+//! derived from the test's module path, so failures replay identically on
+//! every run and platform.
+
+use std::ops::Range;
+
+/// Per-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the generator for one `(test, case)` pair: the stream is a
+    /// pure function of the test's name and the case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniformly between `start` (inclusive) and `end` (exclusive).
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = match self.size {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Between(lo, hi) => {
+                    assert!(lo < hi, "empty vec size range");
+                    lo + rng.below((hi - lo) as u64) as usize
+                }
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Property assertion; identical to `assert!` in this shim.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Property equality assertion; identical to `assert_eq!` in this shim.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__cfg.cases) {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::for_case("t", 0);
+        for _ in 0..1_000 {
+            let x = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let f = Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_follow_spec() {
+        let mut rng = TestRng::for_case("t", 1);
+        let fixed = Strategy::generate(&collection::vec(0u32..5, 8), &mut rng);
+        assert_eq!(fixed.len(), 8);
+        for _ in 0..100 {
+            let ranged = Strategy::generate(&collection::vec(0u32..5, 1..4), &mut rng);
+            assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_case("t", 2);
+        let doubled = Strategy::generate(&(1u32..10).prop_map(|x| x * 2), &mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|i| TestRng::for_case("same", i).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|i| TestRng::for_case("same", i).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], TestRng::for_case("other", 0).next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro round-trips bindings and assertions.
+        #[test]
+        fn macro_generates_running_tests(
+            x in 1usize..50,
+            v in collection::vec(0.0f64..1.0, 2..6),
+        ) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert_eq!(v.iter().filter(|f| **f >= 1.0).count(), 0);
+        }
+    }
+}
