@@ -132,6 +132,8 @@ fn bench_serving_step(c: &mut Criterion) {
                     arrival: ic_desim::SimTime::from_secs_f64(i as f64 * 0.05),
                     ttft_secs: 0.1,
                     decode_secs: 1.5,
+                    prefill_tokens: 200,
+                    decode_tokens: 150,
                 })
                 .collect();
             black_box(cluster.run(jobs))

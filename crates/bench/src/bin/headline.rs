@@ -1,7 +1,12 @@
 //! Regenerates the `headline` experiment (abstract-level claims), which
 //! replays the bursty trace through the unified `ServingEngine`; the
-//! engine metrics are written to `BENCH_e2e.json`. Pass `--quick` for a
-//! fast run.
+//! engine metrics — including the iteration-level scheduler stats — are
+//! written to `BENCH_e2e.json`. Pass `--quick` for a fast run.
+//!
+//! The iteration-scheduler knobs can be overridden via the environment
+//! (`IC_PREFILL_CHUNK`, `IC_PREEMPT_QUANTUM`, `IC_MAX_QUEUE` — see
+//! `ic_bench::experiments::e2e::engine_config`); leave them unset for
+//! the byte-deterministic output the CI determinism job diffs.
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
@@ -19,5 +24,14 @@ fn main() {
         engine_report.offload_ratio() * 100.0,
         engine_report.latency.p50_e2e,
         engine_report.latency.p99_e2e,
+    );
+    println!(
+        "iteration scheduler: {} steps, mean batch {:.2}, chunked-prefill {:.1}%, \
+         {} preemptions, {} queue rejects",
+        engine_report.iter.steps,
+        engine_report.iter.mean_step_batch(),
+        engine_report.iter.chunked_prefill_ratio() * 100.0,
+        engine_report.iter.preemptions,
+        engine_report.iter.queue_rejects,
     );
 }

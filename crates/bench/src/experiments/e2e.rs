@@ -75,11 +75,11 @@ fn online_run(
     let mut rng = rng_from_seed(scale.seed ^ 23);
 
     // IC-Cache runs through the unified event-driven engine: admission,
-    // selection, routing, continuous batching and completion feedback all
-    // happen inside the simulation clock (the other policies have no
-    // load-adaptive logic, so they keep the replay path below).
+    // selection, routing, iteration-level batching and completion
+    // feedback all happen inside the simulation clock (the other policies
+    // have no load-adaptive logic, so they keep the replay path below).
     if matches!(policy, Policy::IcCache) {
-        let mut engine = EventDrivenEngine::new(setup.system, EngineConfig::default());
+        let mut engine = EventDrivenEngine::new(setup.system, engine_config());
         let report = engine.serve_workload(&requests, arrivals);
         return online_run_from_engine(name, report, reference_large, judge, &mut rng);
     }
@@ -133,6 +133,8 @@ fn online_run(
             at,
             outcome.latency.ttft,
             outcome.latency.decode,
+            outcome.input_tokens,
+            outcome.output_tokens,
         ));
     }
 
@@ -147,7 +149,7 @@ fn online_run(
     let rows: Vec<_> = match policy {
         Policy::AlwaysSmall | Policy::AlwaysLarge => rows
             .into_iter()
-            .map(|(id, _, at, ttft, dec)| (id, 0usize, at, ttft, dec))
+            .map(|(id, _, at, ttft, dec, pt, dt)| (id, 0usize, at, ttft, dec, pt, dt))
             .collect(),
         _ => rows,
     };
@@ -206,8 +208,17 @@ fn online_run_from_engine(
     judge: &Autorater,
     rng: &mut rand::rngs::StdRng,
 ) -> OnlineRun {
-    let qualities: Vec<f64> = report.per_request.iter().map(|r| r.quality).collect();
-    let (_, wr) = side_by_side(judge, &qualities, reference_large, rng);
+    // Queue-cap rejects never executed: keep them (and their paired
+    // always-large reference entries) out of the judged win rate and the
+    // time series, matching the latency aggregates' population.
+    let (qualities, reference): (Vec<f64>, Vec<f64>) = report
+        .per_request
+        .iter()
+        .zip(reference_large)
+        .filter(|(r, _)| !r.rejected)
+        .map(|(r, &q)| (r.quality, q))
+        .unzip();
+    let (_, wr) = side_by_side(judge, &qualities, &reference, rng);
     let horizon = report
         .per_request
         .iter()
@@ -218,7 +229,7 @@ fn online_run_from_engine(
     let mut off_series = vec![0.0; n_buckets];
     let mut off_count = vec![0usize; n_buckets];
     let mut lat_series = vec![0.0; n_buckets];
-    for r in &report.per_request {
+    for r in report.per_request.iter().filter(|r| !r.rejected) {
         let b = ((r.arrival_s / horizon * n_buckets as f64) as usize).min(n_buckets - 1);
         off_count[b] += 1;
         if r.offloaded {
@@ -242,18 +253,49 @@ fn online_run_from_engine(
     }
 }
 
+/// The engine configuration used by every unified-engine run in this
+/// module, with the iteration-scheduler knobs overridable from the
+/// environment for ad-hoc sweeps. The knobs reconfigure only the
+/// IC-Cache (unified-engine) runs; baseline policies replayed through
+/// `ClusterSim` keep the `PoolConfig::for_gpus` defaults, so treat
+/// swept-vs-baseline deltas as scheduler sweeps of IC-Cache, not
+/// controlled policy comparisons:
+///
+/// - `IC_PREFILL_CHUNK` — prefill tokens per iteration (`0` = unchunked)
+/// - `IC_PREEMPT_QUANTUM` — decode tokens before preemption (`0` = off)
+/// - `IC_MAX_QUEUE` — per-pool queue cap (unset = unbounded)
+///
+/// With none of the variables set this is exactly
+/// [`EngineConfig::default`], which keeps `BENCH_e2e.json`
+/// byte-deterministic (the CI determinism job relies on this).
+pub fn engine_config() -> EngineConfig {
+    fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+        std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+    let mut config = EngineConfig::default();
+    if let Some(chunk) = parse::<u32>("IC_PREFILL_CHUNK") {
+        config.prefill_chunk_tokens = chunk;
+    }
+    if let Some(quantum) = parse::<u32>("IC_PREEMPT_QUANTUM") {
+        config.preempt_decode_quantum = quantum;
+    }
+    config.max_queue = parse::<usize>("IC_MAX_QUEUE");
+    config
+}
+
 /// Replays the 30-minute trace through the unified [`EventDrivenEngine`]
-/// (IC-Cache policy, sharded example cache, continuous batching) and
-/// returns the raw engine report — the `BENCH_e2e.json` payload of the
-/// `fig12_e2e` and `headline` binaries. Deterministic: the same scale
-/// yields a byte-identical [`EngineReport::to_json`].
+/// (IC-Cache policy, sharded example cache, iteration-level batching)
+/// and returns the raw engine report — the `BENCH_e2e.json` payload of
+/// the `fig12_e2e` and `headline` binaries. Deterministic: the same
+/// scale (and untouched [`engine_config`] environment) yields a
+/// byte-identical [`EngineReport::to_json`].
 pub fn engine_e2e_run(scale: Scale, dataset: Dataset) -> EngineReport {
     let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
     let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
     let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
     setup.warm_up(scale.count(5_000, 300));
     let requests = setup.generator.generate_requests(arrivals.len());
-    let mut engine = EventDrivenEngine::new(setup.system, EngineConfig::default());
+    let mut engine = EventDrivenEngine::new(setup.system, engine_config());
     engine.serve_workload(&requests, &arrivals)
 }
 
@@ -762,7 +804,15 @@ pub fn fig20_loads(scale: Scale) -> Report {
                         (if o.offloaded { 0 } else { 1 }, o.outcome)
                     }
                 };
-                rows.push((i as u64, pool, at, out.latency.ttft, out.latency.decode));
+                rows.push((
+                    i as u64,
+                    pool,
+                    at,
+                    out.latency.ttft,
+                    out.latency.decode,
+                    out.input_tokens,
+                    out.output_tokens,
+                ));
             }
             let mut cluster = match system_kind {
                 "gemma-2-2b" => single_cluster(&setup.small_spec, 16),
@@ -879,6 +929,15 @@ pub fn headline_full(scale: Scale) -> (Report, EngineReport) {
         pct(er.selection_hit_rate()),
         er.cache.shards
     ));
+    report.finding(format!(
+        "iteration-level scheduler: {} token steps at mean batch {}, \
+         chunked-prefill ratio {}, {} preemptions, {} queue rejects",
+        er.iter.steps,
+        f3(er.iter.mean_step_batch()),
+        pct(er.iter.chunked_prefill_ratio()),
+        er.iter.preemptions,
+        er.iter.queue_rejects
+    ));
     (report, er)
 }
 
@@ -896,6 +955,12 @@ mod tests {
             "IC-Cache should offload some traffic"
         );
         assert!(a.latency.p99_e2e >= a.latency.p50_e2e);
+        // The iteration-level scheduler's per-step stats ride along in
+        // the deterministic payload.
+        assert!(a.iter.steps > 0);
+        assert!(a.iter.mean_step_batch() >= 1.0);
+        assert!(a.iter.chunked_prefill_ratio() > 0.0);
+        assert!(a.to_json().contains("\"iter\":{"));
         let b = engine_e2e_run(Scale::quick(), Dataset::MsMarco);
         assert_eq!(a.to_json(), b.to_json(), "same seed must be byte-identical");
     }

@@ -7,6 +7,14 @@
 //! for simultaneous events, so that a given seed always produces an
 //! identical execution.
 //!
+//! The serving layer runs on this kernel at iteration (token-step)
+//! granularity: each busy model pool keeps exactly one `StepComplete`
+//! event in flight, whose handler advances the pool's running batch by
+//! one token step and re-arms the next one. Events are scheduled in
+//! whole microseconds ([`SimTime::from_secs_f64`] rounds), which keeps
+//! long event chains — hundreds of thousands of token steps — exactly
+//! reproducible across runs and platforms.
+//!
 //! The kernel is deliberately minimal — events are plain values handed back
 //! to a caller-supplied handler — which keeps the serving simulator easy to
 //! audit and keeps this crate free of `unsafe` and of any dependency.

@@ -4,7 +4,7 @@
 use ic_cache::IcCacheSystem;
 use ic_desim::{SimDuration, SimTime, Simulator};
 use ic_llmsim::{ModelId, Request};
-use ic_serving::{JobId, JobSpec, ModelPool, PoolConfig};
+use ic_serving::{IterStats, JobId, JobSpec, ModelPool, Offer, PoolConfig};
 use ic_stats::Ema;
 use std::collections::VecDeque;
 
@@ -22,6 +22,15 @@ pub struct EngineConfig {
     pub total_gpus: u32,
     /// Concurrent sequences per replica (continuous-batching slots).
     pub slots_per_replica: u32,
+    /// Prefill tokens processed per iteration per sequence (chunked
+    /// prefill); `0` runs the whole prefill in one iteration.
+    pub prefill_chunk_tokens: u32,
+    /// Consecutive decode tokens before a sequence yields its slot to
+    /// queued-behind jobs at a token boundary; `0` disables preemption.
+    pub preempt_decode_quantum: u32,
+    /// Per-pool admission-queue cap; offers past it are rejected and
+    /// counted in the report's `iter.queue_rejects`. `None` is unbounded.
+    pub max_queue: Option<usize>,
     /// Period of full maintenance (replay + capacity), seconds; `0`
     /// disables.
     pub maintenance_period_s: f64,
@@ -43,6 +52,9 @@ impl Default for EngineConfig {
         Self {
             total_gpus: 16,
             slots_per_replica: 8,
+            prefill_chunk_tokens: 256,
+            preempt_decode_quantum: 64,
+            max_queue: None,
             maintenance_period_s: 0.0,
             rebalance_period_s: 60.0,
             load_window: 30,
@@ -57,12 +69,8 @@ impl Default for EngineConfig {
 enum Event {
     /// Request `i` of the workload arrives.
     Arrival(usize),
-    /// A job finishes decoding on `pool`.
-    Completion {
-        pool: usize,
-        job: JobSpec,
-        started: SimTime,
-    },
+    /// The in-flight iteration (token step) of `pool` ends.
+    StepComplete(usize),
     /// Full offline maintenance (replay + capacity enforcement).
     Maintenance,
     /// Capacity-only cross-shard budget rebalance.
@@ -71,8 +79,10 @@ enum Event {
 
 /// The production-shaped serving path: IC-Cache admission, selection and
 /// routing run inside a discrete-event simulation whose per-model pools
-/// apply continuous batching and queueing; completions feed measured
-/// latency back into the router's load estimate.
+/// execute jobs at iteration (token-step) granularity — chunked prefill,
+/// per-token preemption, and batch joins/leaves at step boundaries;
+/// completions feed measured latency back into the router's load
+/// estimate.
 #[derive(Debug)]
 pub struct EventDrivenEngine {
     system: IcCacheSystem,
@@ -108,12 +118,16 @@ impl EventDrivenEngine {
                 small_share
             };
             model_pools.push((m, pool_configs.len()));
-            pool_configs.push(PoolConfig::for_gpus(
+            let mut pc = PoolConfig::for_gpus(
                 &spec.name,
                 gpus,
                 spec.gpus_per_replica,
                 config.slots_per_replica,
-            ));
+            );
+            pc.prefill_chunk_tokens = config.prefill_chunk_tokens;
+            pc.preempt_decode_quantum = config.preempt_decode_quantum;
+            pc.max_queue = config.max_queue;
+            pool_configs.push(pc);
         }
         Self {
             system,
@@ -139,6 +153,15 @@ impl EventDrivenEngine {
             .find(|(m, _)| *m == model)
             .map(|&(_, p)| p)
             .expect("routed model has a pool")
+    }
+
+    /// Reschedules `pool`'s step event iff it still has a running batch.
+    /// Invariant: each busy pool has exactly one `StepComplete` in
+    /// flight — armed here and by an `Offer::Started` admission.
+    fn arm_step(sim: &mut Simulator<Event>, pools: &[ModelPool], pool: usize) {
+        if let Some(dt) = pools[pool].step_secs() {
+            sim.schedule_in(SimDuration::from_secs_f64(dt), Event::StepComplete(pool));
+        }
     }
 }
 
@@ -211,22 +234,6 @@ impl ServingEngine for EventDrivenEngine {
 
                     let request = &requests[i];
                     let out = self.system.serve(request);
-                    if self.config.admit_served_pairs {
-                        let _ = self
-                            .system
-                            .update_cache(request, &out.outcome, out.model, now);
-                    }
-                    if out.offloaded {
-                        offloaded += 1;
-                    }
-                    if out.solicited_feedback {
-                        solicited += 1;
-                    }
-                    if !out.selection.ids.is_empty() {
-                        selection_hits += 1;
-                        examples_used += out.selection.ids.len() as u64;
-                    }
-                    quality_sum += out.outcome.quality;
                     records[i] = Some(RequestRecord {
                         index: i,
                         model: out.model.0,
@@ -238,6 +245,7 @@ impl ServingEngine for EventDrivenEngine {
                         queue_s: 0.0,
                         ttft_s: 0.0,
                         e2e_s: 0.0,
+                        rejected: false,
                     });
 
                     let pool = self.pool_of(out.model);
@@ -247,56 +255,68 @@ impl ServingEngine for EventDrivenEngine {
                         arrival: at,
                         ttft_secs: out.outcome.latency.ttft,
                         decode_secs: out.outcome.latency.decode,
+                        prefill_tokens: out.outcome.input_tokens,
+                        decode_tokens: out.outcome.output_tokens,
                     };
-                    // Continuous batching: admitted into a sequence slot
-                    // immediately, or queued until a completion frees one.
-                    if pools[pool].offer(job.clone()) {
-                        let service = pools[pool].service_secs(&job);
-                        sim.schedule_in(
-                            SimDuration::from_secs_f64(service),
-                            Event::Completion {
-                                pool,
-                                job,
-                                started: at,
-                            },
-                        );
+                    // Iteration-level admission: an idle pool starts the
+                    // job (arming its step event); a busy pool keeps it
+                    // queued until the next step boundary. A queue-cap
+                    // reject produced no response: it contributes nothing
+                    // to the quality/offload/cache aggregates.
+                    let offer = pools[pool].offer(job, at);
+                    if offer == Offer::Rejected {
+                        let record = records[i].as_mut().expect("record created above");
+                        record.rejected = true;
+                        completed += 1;
+                    } else {
+                        if offer == Offer::Started {
+                            Self::arm_step(&mut sim, &pools, pool);
+                        }
+                        if self.config.admit_served_pairs {
+                            let _ = self
+                                .system
+                                .update_cache(request, &out.outcome, out.model, now);
+                        }
+                        if out.offloaded {
+                            offloaded += 1;
+                        }
+                        if out.solicited_feedback {
+                            solicited += 1;
+                        }
+                        if !out.selection.ids.is_empty() {
+                            selection_hits += 1;
+                            examples_used += out.selection.ids.len() as u64;
+                        }
+                        quality_sum += out.outcome.quality;
                     }
                 }
-                Event::Completion { pool, job, started } => {
-                    let i = job.id.0 as usize;
-                    let prefill = pools[pool].prefill_secs(&job);
-                    let record = records[i].as_mut().expect("completion follows arrival");
-                    record.queue_s = (started - job.arrival).as_secs_f64();
-                    record.ttft_s =
-                        (started + SimDuration::from_secs_f64(prefill) - job.arrival).as_secs_f64();
-                    record.e2e_s = (at - job.arrival).as_secs_f64();
-                    completions.push(now);
-                    completed += 1;
-
-                    // Measured-latency feedback: Little's law turns the
-                    // observed end-to-end latency and the work in flight
-                    // into a demand estimate for the router.
-                    e2e_ema.observe(record.e2e_s);
+                Event::StepComplete(pool) => {
+                    let step = pools[pool].advance_step(at);
+                    // Loop-invariant across this boundary's finishers:
+                    // the step already ran, so pool occupancy is fixed.
                     let in_system: u32 = pools
                         .iter()
                         .map(|p| p.active() + p.queue_len() as u32)
                         .sum();
-                    if e2e_ema.value() > 0.0 {
-                        self.system
-                            .observe_load(f64::from(in_system) / e2e_ema.value());
-                    }
+                    for fin in step.finished {
+                        let i = fin.job.id.0 as usize;
+                        let record = records[i].as_mut().expect("completion follows arrival");
+                        record.queue_s = (fin.started - fin.job.arrival).as_secs_f64();
+                        record.ttft_s = (fin.first_token - fin.job.arrival).as_secs_f64();
+                        record.e2e_s = (fin.completed - fin.job.arrival).as_secs_f64();
+                        completions.push(now);
+                        completed += 1;
 
-                    if let Some(next) = pools[pool].complete() {
-                        let service = pools[pool].service_secs(&next);
-                        sim.schedule_in(
-                            SimDuration::from_secs_f64(service),
-                            Event::Completion {
-                                pool,
-                                job: next,
-                                started: at,
-                            },
-                        );
+                        // Measured-latency feedback: Little's law turns
+                        // the observed end-to-end latency and the work in
+                        // flight into a demand estimate for the router.
+                        e2e_ema.observe(record.e2e_s);
+                        if e2e_ema.value() > 0.0 {
+                            self.system
+                                .observe_load(f64::from(in_system) / e2e_ema.value());
+                        }
                     }
+                    Self::arm_step(&mut sim, &pools, pool);
                 }
                 Event::Maintenance => {
                     let report = self.system.run_maintenance(now);
@@ -320,6 +340,10 @@ impl ServingEngine for EventDrivenEngine {
             }
         }
 
+        let mut iter = IterStats::default();
+        for p in &pools {
+            iter.merge(&p.iter_stats());
+        }
         let per_request: Vec<RequestRecord> = records
             .into_iter()
             .map(|r| r.expect("every request served"))
@@ -332,8 +356,18 @@ impl ServingEngine for EventDrivenEngine {
             solicited,
             latency,
             throughput_rps: busy_interval_rps(&completions),
-            mean_quality: if n == 0 { 0.0 } else { quality_sum / n as f64 },
+            // Quality averages over *executed* requests only; queue-cap
+            // rejects never produced a response.
+            mean_quality: {
+                let executed = (n as u64).saturating_sub(iter.queue_rejects);
+                if executed == 0 {
+                    0.0
+                } else {
+                    quality_sum / executed as f64
+                }
+            },
             cache: cache_stats(&self.system, selection_hits, examples_used, evicted),
+            iter,
             per_request,
         }
     }
@@ -385,6 +419,13 @@ mod tests {
             assert!(r.e2e_s >= r.ttft_s);
             assert!(r.ttft_s >= r.queue_s);
         }
+        // Iteration-level scheduling leaves a visible trace.
+        assert!(report.iter.steps > 0);
+        assert!(report.iter.decode_steps > 0);
+        assert!(report.iter.chunk_steps > 0, "chunked prefill exercised");
+        assert!(report.iter.mean_step_batch() >= 1.0);
+        assert!(report.iter.chunked_prefill_ratio() > 0.0);
+        assert_eq!(report.iter.queue_rejects, 0, "unbounded queue by default");
     }
 
     #[test]
@@ -409,6 +450,17 @@ mod tests {
             heavy.latency.mean_queue > light.latency.mean_queue,
             "saturation must build queues"
         );
+        // Deep queues trigger per-token preemption; light load does not.
+        assert!(
+            heavy.iter.preemptions > light.iter.preemptions,
+            "saturation should preempt: {} vs {}",
+            light.iter.preemptions,
+            heavy.iter.preemptions
+        );
+        assert!(
+            heavy.iter.mean_step_batch() > light.iter.mean_step_batch(),
+            "saturation should deepen batches"
+        );
     }
 
     #[test]
@@ -430,6 +482,31 @@ mod tests {
         assert!(
             overloaded > 0.5,
             "deep overload should mostly offload: {overloaded}"
+        );
+    }
+
+    #[test]
+    fn queue_cap_rejects_surface_in_the_report() {
+        let config = EngineConfig {
+            max_queue: Some(2),
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(300, config, 411);
+        // Far past capacity so queues overflow the tiny cap.
+        let arrivals = fixed_qps_arrivals(80.0, 20.0, 412);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert!(report.iter.queue_rejects > 0, "cap must reject under burst");
+        let rejected_records = report.per_request.iter().filter(|r| r.rejected).count() as u64;
+        assert_eq!(rejected_records, report.iter.queue_rejects);
+        // Rejected requests carry zero timings and are excluded from
+        // latency aggregates.
+        assert!(
+            report
+                .per_request
+                .iter()
+                .filter(|r| r.rejected)
+                .all(|r| r.e2e_s == 0.0)
         );
     }
 

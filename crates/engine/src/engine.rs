@@ -127,6 +127,7 @@ impl ServingEngine for DirectEngine {
                 queue_s: 0.0,
                 ttft_s: out.outcome.latency.ttft,
                 e2e_s: e2e,
+                rejected: false,
             });
         }
         let latency = LatencyStats::from_records(&per_request);
@@ -144,6 +145,8 @@ impl ServingEngine for DirectEngine {
                 quality_sum / requests.len() as f64
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, 0),
+            // The direct path executes nothing: no iterations to count.
+            iter: ic_serving::IterStats::default(),
             per_request,
         }
     }

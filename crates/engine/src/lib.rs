@@ -11,8 +11,10 @@
 //! two implementations:
 //!
 //! - [`EventDrivenEngine`] — the production-shaped path. Drives a full
-//!   [`IcCacheSystem`] through `ic_desim::Simulator`, with continuous
-//!   batching on per-model [`ic_serving::ModelPool`]s.
+//!   [`IcCacheSystem`](ic_cache::IcCacheSystem) through
+//!   `ic_desim::Simulator`, with
+//!   iteration-level (token-step) continuous batching on per-model
+//!   [`ic_serving::ModelPool`]s.
 //! - [`DirectEngine`] — the legacy zero-load path (serve immediately, no
 //!   queueing), kept behind the same trait so experiments can quantify
 //!   exactly what queueing adds.
@@ -25,25 +27,30 @@
 //!            └────────────────────────────────────────────────────┘
 //!  Arrival(i) --> admission --> selection --> routing --> pool queue
 //!      |          (rps estimate      (sharded        (ModelPool slots:
-//!      |           -> router load)    example cache)  continuous batching)
+//!      |           -> router load)    example cache)  token-step batching)
 //!      |                                                    |
 //!      v                                                    v
-//!  Maintenance / Rebalance (periodic)               Completion{pool, job}
-//!   - replay best-of-n (off-peak)                    - record TTFT / E2E
-//!   - cross-shard budget rebalance                   - Little's-law load
-//!     (knapsack DP over gain quanta)                   estimate -> router
-//!                                                    - admit next queued job
+//!  Maintenance / Rebalance (periodic)               StepComplete(pool)
+//!   - replay best-of-n (off-peak)                    - advance batch one
+//!   - cross-shard budget rebalance                     token step
+//!     (knapsack DP over gain quanta)                 - finishers: TTFT/E2E,
+//!                                                      Little's law -> router
+//!                                                    - boundary admission
+//!                                                      and preemption
 //! ```
 //!
 //! Each **arrival** event runs Algorithm 1 (`IcCacheSystem::serve`):
 //! example selection against the sharded cache, load-aware routing (the
 //! engine has just fed the router a windowed arrival-rate estimate), and
 //! simulated generation, producing the job's zero-load prefill/decode
-//! demand. The job then queues on its model's pool, whose
-//! `slots_per_replica` concurrent sequences model vLLM-style continuous
-//! batching — admission is per sequence slot, never one-shot `run(jobs)`.
+//! demand and token counts. The job then joins its model's pool at a
+//! step boundary: the pool's `slots_per_replica` concurrent sequences
+//! run Orca-style iteration-level scheduling — each `StepComplete`
+//! advances every running sequence by one prefill chunk or one decode
+//! token, retires finished sequences, preempts over-quantum decoders
+//! when jobs queue behind, and admits waiting jobs into freed slots.
 //!
-//! Each **completion** event feeds measured latency back into the
+//! Each **finished sequence** feeds measured latency back into the
 //! system: the engine maintains an EMA of end-to-end latency and converts
 //! in-flight + queued work into a requests/second estimate via Little's
 //! law (`lambda = L / W`), which it reports to `ic_router`'s load
@@ -51,7 +58,9 @@
 //! the router's tanh bias sheds traffic to the cheap pool — the paper's
 //! overload mechanism, now closed-loop. Feedback solicitation runs inside
 //! the serve step as in Algorithm 1; the solicitation count is surfaced
-//! in the report.
+//! in the report, and the per-iteration scheduler counters (mean batch
+//! size per step, chunked-prefill mix, preemptions, queue-cap rejects)
+//! land in the report's `iter` block.
 //!
 //! **Maintenance** events run cost-aware replay plus capacity
 //! enforcement off the hot path; **rebalance** events run the cheaper

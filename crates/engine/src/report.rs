@@ -1,6 +1,6 @@
 //! Engine output: per-request records and byte-stable aggregate metrics.
 
-use ic_serving::JobResult;
+use ic_serving::{IterStats, JobResult};
 use ic_stats::Percentiles;
 
 /// What happened to one request, joining the serving decision (model,
@@ -23,10 +23,15 @@ pub struct RequestRecord {
     pub arrival_s: f64,
     /// Queueing delay in seconds.
     pub queue_s: f64,
-    /// User-perceived time-to-first-token in seconds.
+    /// User-perceived time-to-first-token in seconds (end of the first
+    /// decode iteration).
     pub ttft_s: f64,
     /// End-to-end completion time in seconds.
     pub e2e_s: f64,
+    /// Dropped by the pool's queue cap: the request was routed but never
+    /// executed, and its timings are zero (excluded from latency
+    /// aggregates).
+    pub rejected: bool,
 }
 
 /// Latency aggregates over one run, in seconds.
@@ -56,9 +61,15 @@ impl LatencyStats {
         )
     }
 
-    /// Computes the aggregates from per-request records.
+    /// Computes the aggregates from per-request records, excluding
+    /// queue-cap rejects (which never execute).
     pub fn from_records(records: &[RequestRecord]) -> Self {
-        Self::from_samples(records.iter().map(|r| (r.e2e_s, r.ttft_s, r.queue_s)))
+        Self::from_samples(
+            records
+                .iter()
+                .filter(|r| !r.rejected)
+                .map(|r| (r.e2e_s, r.ttft_s, r.queue_s)),
+        )
     }
 
     /// Single-pass aggregation over `(e2e, ttft, queue)` samples.
@@ -124,6 +135,9 @@ pub struct EngineReport {
     pub mean_quality: f64,
     /// Example-cache statistics.
     pub cache: CacheStats,
+    /// Iteration-level scheduler counters summed across pools (token
+    /// steps, batch sizes, chunked-prefill mix, preemptions, rejects).
+    pub iter: IterStats,
     /// Per-request join of decisions and timing, in arrival order.
     pub per_request: Vec<RequestRecord>,
 }
@@ -173,7 +187,10 @@ impl EngineReport {
                 "\"throughput_rps\":{},\"mean_quality\":{},",
                 "\"cache\":{{\"shards\":{},\"examples\":{},\"bytes\":{},",
                 "\"shard_sizes\":[{}],\"selection_hits\":{},\"selection_hit_rate\":{},",
-                "\"examples_used\":{},\"admitted\":{},\"rejected\":{},\"evicted\":{}}}}}"
+                "\"examples_used\":{},\"admitted\":{},\"rejected\":{},\"evicted\":{}}},",
+                "\"iter\":{{\"steps\":{},\"mean_step_batch\":{},",
+                "\"chunk_steps\":{},\"decode_steps\":{},\"chunked_prefill_ratio\":{},",
+                "\"preemptions\":{},\"queue_rejects\":{}}}}}"
             ),
             self.engine,
             self.served,
@@ -198,6 +215,13 @@ impl EngineReport {
             self.cache.admitted,
             self.cache.rejected,
             self.cache.evicted,
+            self.iter.steps,
+            f6(self.iter.mean_step_batch()),
+            self.iter.chunk_steps,
+            self.iter.decode_steps,
+            f6(self.iter.chunked_prefill_ratio()),
+            self.iter.preemptions,
+            self.iter.queue_rejects,
         )
     }
 }
@@ -246,14 +270,45 @@ mod tests {
         };
         r.cache.shard_sizes = vec![3, 7];
         r.cache.shards = 2;
+        r.iter.steps = 4;
+        r.iter.seq_steps = 10;
+        r.iter.chunk_steps = 2;
+        r.iter.decode_steps = 8;
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b);
         assert!(a.starts_with('{') && a.ends_with('}'));
         assert!(a.contains("\"offload_ratio\":0.400000"));
         assert!(a.contains("\"shard_sizes\":[3,7]"));
+        assert!(a.contains("\"mean_step_batch\":2.500000"));
+        assert!(a.contains("\"chunked_prefill_ratio\":0.200000"));
+        assert!(a.contains("\"preemptions\":0"));
         // Balanced braces (cheap well-formedness check without a parser).
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn rejected_records_are_excluded_from_latency() {
+        let ok = RequestRecord {
+            index: 0,
+            model: 0,
+            offloaded: false,
+            quality: 0.5,
+            solicited: false,
+            examples: 0,
+            arrival_s: 0.0,
+            queue_s: 1.0,
+            ttft_s: 2.0,
+            e2e_s: 4.0,
+            rejected: false,
+        };
+        let dropped = RequestRecord {
+            rejected: true,
+            e2e_s: 0.0,
+            ..ok.clone()
+        };
+        let s = LatencyStats::from_records(&[ok, dropped]);
+        assert!((s.mean_e2e - 4.0).abs() < 1e-12, "reject must not dilute");
     }
 
     #[test]

@@ -1,9 +1,9 @@
-//! The cluster simulator: pools + the discrete-event loop.
+//! The cluster simulator: pools + the discrete-event iteration loop.
 
-use ic_desim::{SimDuration, SimTime, Simulator};
+use ic_desim::{SimDuration, Simulator};
 
-use crate::job::{JobId, JobResult, JobSpec};
-use crate::pool::{ModelPool, PoolConfig};
+use crate::job::{JobResult, JobSpec};
+use crate::pool::{IterStats, ModelPool, Offer, PoolConfig};
 
 /// Index of a pool within a cluster.
 pub type PoolId = usize;
@@ -11,15 +11,16 @@ pub type PoolId = usize;
 /// Internal simulator events.
 #[derive(Debug)]
 enum Event {
+    /// A job arrives at its pool.
     Arrival(JobSpec),
-    Completion {
-        pool: PoolId,
-        job: JobSpec,
-        started: SimTime,
-    },
+    /// The in-flight iteration of `pool` ends (token-step boundary).
+    StepComplete(PoolId),
 }
 
-/// A cluster of model pools replaying a job trace.
+/// A cluster of model pools replaying a job trace at iteration (token
+/// step) granularity: each busy pool has exactly one `StepComplete`
+/// event in flight, and jobs join and leave its running batch only at
+/// those boundaries.
 ///
 /// # Examples
 ///
@@ -34,6 +35,8 @@ enum Event {
 ///     arrival: SimTime::ZERO,
 ///     ttft_secs: 0.1,
 ///     decode_secs: 1.0,
+///     prefill_tokens: 120,
+///     decode_tokens: 100,
 /// }];
 /// let results = cluster.run(jobs);
 /// assert_eq!(results.len(), 1);
@@ -66,8 +69,24 @@ impl ClusterSim {
         self.pools.len()
     }
 
+    /// Per-iteration scheduler counters summed across pools.
+    pub fn iter_stats(&self) -> IterStats {
+        let mut total = IterStats::default();
+        for p in &self.pools {
+            total.merge(&p.iter_stats());
+        }
+        total
+    }
+
+    /// Jobs rejected by pool queue caps so far.
+    pub fn rejected(&self) -> u64 {
+        self.pools.iter().map(ModelPool::rejected).sum()
+    }
+
     /// Replays the given jobs to completion and returns per-job results
-    /// sorted by completion time. Deterministic for a given input.
+    /// sorted by completion time. Jobs rejected by a pool's queue cap
+    /// produce no result (see [`ClusterSim::rejected`]). Deterministic
+    /// for a given input.
     ///
     /// # Panics
     ///
@@ -83,37 +102,26 @@ impl ClusterSim {
         sim.run(|sim, event| match event {
             Event::Arrival(job) => {
                 let pool = job.pool;
-                if pools[pool].offer(job.clone()) {
-                    let service = pools[pool].service_secs(&job);
-                    let started = sim.now();
-                    sim.schedule_in(
-                        SimDuration::from_secs_f64(service),
-                        Event::Completion { pool, job, started },
-                    );
+                if pools[pool].offer(job, sim.now()) == Offer::Started {
+                    let dt = pools[pool].step_secs().expect("started pool is busy");
+                    sim.schedule_in(SimDuration::from_secs_f64(dt), Event::StepComplete(pool));
                 }
-                // Queued jobs are re-launched by a later completion.
+                // Queued jobs are admitted at a later step boundary.
             }
-            Event::Completion { pool, job, started } => {
-                let ttft = pools[pool].prefill_secs(&job);
-                results.push(JobResult {
-                    id: job.id,
-                    pool,
-                    arrival: job.arrival,
-                    started,
-                    first_token: started + SimDuration::from_secs_f64(ttft),
-                    completed: sim.now(),
-                });
-                if let Some(next) = pools[pool].complete() {
-                    let service = pools[pool].service_secs(&next);
-                    let started = sim.now();
-                    sim.schedule_in(
-                        SimDuration::from_secs_f64(service),
-                        Event::Completion {
-                            pool,
-                            job: next,
-                            started,
-                        },
-                    );
+            Event::StepComplete(pool) => {
+                let step = pools[pool].advance_step(sim.now());
+                for fin in step.finished {
+                    results.push(JobResult {
+                        id: fin.job.id,
+                        pool,
+                        arrival: fin.job.arrival,
+                        started: fin.started,
+                        first_token: fin.first_token,
+                        completed: fin.completed,
+                    });
+                }
+                if let Some(dt) = pools[pool].step_secs() {
+                    sim.schedule_in(SimDuration::from_secs_f64(dt), Event::StepComplete(pool));
                 }
             }
         });
@@ -122,15 +130,17 @@ impl ClusterSim {
 }
 
 /// Convenience: builds `JobSpec`s from `(id, pool, arrival_secs, ttft,
-/// decode)` tuples.
-pub fn jobs_from_tuples(rows: &[(u64, usize, f64, f64, f64)]) -> Vec<JobSpec> {
+/// decode, prefill_tokens, decode_tokens)` tuples.
+pub fn jobs_from_tuples(rows: &[(u64, usize, f64, f64, f64, u32, u32)]) -> Vec<JobSpec> {
     rows.iter()
-        .map(|&(id, pool, at, ttft, decode)| JobSpec {
-            id: JobId(id),
+        .map(|&(id, pool, at, ttft, decode, ptoks, dtoks)| JobSpec {
+            id: crate::job::JobId(id),
             pool,
-            arrival: SimTime::from_secs_f64(at),
+            arrival: ic_desim::SimTime::from_secs_f64(at),
             ttft_secs: ttft,
             decode_secs: decode,
+            prefill_tokens: ptoks,
+            decode_tokens: dtoks,
         })
         .collect()
 }
@@ -138,6 +148,8 @@ pub fn jobs_from_tuples(rows: &[(u64, usize, f64, f64, f64)]) -> Vec<JobSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobId;
+    use ic_desim::SimTime;
 
     fn one_slot_pool() -> Vec<PoolConfig> {
         vec![PoolConfig {
@@ -145,34 +157,39 @@ mod tests {
             replicas: 1,
             slots_per_replica: 1,
             congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 0,
+            max_queue: None,
         }]
     }
 
     #[test]
     fn single_job_completes_at_service_time() {
         let mut cluster = ClusterSim::new(one_slot_pool());
-        let results = cluster.run(jobs_from_tuples(&[(0, 0, 1.0, 0.2, 0.8)]));
+        let results = cluster.run(jobs_from_tuples(&[(0, 0, 1.0, 0.2, 0.8, 100, 40)]));
         assert_eq!(results.len(), 1);
         let r = &results[0];
         assert!((r.queue_wait_secs() - 0.0).abs() < 1e-6);
-        assert!((r.ttft_secs() - 0.2).abs() < 1e-6);
-        assert!((r.e2e_secs() - 1.0).abs() < 1e-6);
+        // TTFT = prefill end + the first decode token (0.8s / 40 tokens).
+        assert!((r.ttft_secs() - 0.22).abs() < 1e-4);
+        assert!((r.e2e_secs() - 1.0).abs() < 1e-4);
     }
 
     #[test]
     fn contended_jobs_queue_fifo() {
         let mut cluster = ClusterSim::new(one_slot_pool());
         let results = cluster.run(jobs_from_tuples(&[
-            (0, 0, 0.0, 0.0, 1.0),
-            (1, 0, 0.0, 0.0, 1.0),
-            (2, 0, 0.0, 0.0, 1.0),
+            (0, 0, 0.0, 0.0, 1.0, 1, 10),
+            (1, 0, 0.0, 0.0, 1.0, 1, 10),
+            (2, 0, 0.0, 0.0, 1.0, 1, 10),
         ]));
         let by_id = |id: u64| results.iter().find(|r| r.id == JobId(id)).unwrap();
-        assert!((by_id(0).e2e_secs() - 1.0).abs() < 1e-6);
-        assert!((by_id(1).e2e_secs() - 2.0).abs() < 1e-6);
-        assert!((by_id(2).e2e_secs() - 3.0).abs() < 1e-6);
-        // Queue wait is visible in TTFT, the user-facing metric.
-        assert!((by_id(2).ttft_secs() - 2.0).abs() < 1e-6);
+        assert!((by_id(0).e2e_secs() - 1.0).abs() < 1e-4);
+        assert!((by_id(1).e2e_secs() - 2.0).abs() < 1e-4);
+        assert!((by_id(2).e2e_secs() - 3.0).abs() < 1e-4);
+        // Queue wait is visible in TTFT, the user-facing metric: job 2
+        // starts at 2.0 and emits its first token one decode step later.
+        assert!((by_id(2).ttft_secs() - 2.1).abs() < 1e-4);
     }
 
     #[test]
@@ -187,6 +204,8 @@ mod tests {
                     arrival: SimTime::from_secs_f64(i as f64 / rate),
                     ttft_secs: 0.05,
                     decode_secs: 1.0,
+                    prefill_tokens: 50,
+                    decode_tokens: 100,
                 })
                 .collect()
         };
@@ -195,6 +214,9 @@ mod tests {
             replicas: 1,
             slots_per_replica: 4,
             congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 0,
+            max_queue: None,
         }];
         // Capacity = 4 concurrent 1s jobs = 4 jobs/s.
         let light: f64 = {
@@ -222,6 +244,8 @@ mod tests {
                 arrival: SimTime::from_secs_f64(i as f64 * 0.1),
                 ttft_secs: 0.0,
                 decode_secs: 1.0,
+                prefill_tokens: 1,
+                decode_tokens: 50,
             })
             .collect();
         let makespan = |replicas: u32| -> f64 {
@@ -230,6 +254,9 @@ mod tests {
                 replicas,
                 slots_per_replica: 1,
                 congestion_beta: 0.0,
+                prefill_chunk_tokens: 0,
+                preempt_decode_quantum: 0,
+                max_queue: None,
             }]);
             let rs = c.run(jobs.clone());
             rs.iter()
@@ -248,6 +275,8 @@ mod tests {
                 arrival: SimTime::ZERO,
                 ttft_secs: 0.0,
                 decode_secs: 1.0,
+                prefill_tokens: 1,
+                decode_tokens: 50,
             })
             .collect();
         let mean_e2e = |beta: f64| -> f64 {
@@ -256,6 +285,9 @@ mod tests {
                 replicas: 1,
                 slots_per_replica: 8,
                 congestion_beta: beta,
+                prefill_chunk_tokens: 0,
+                preempt_decode_quantum: 0,
+                max_queue: None,
             }]);
             let rs = c.run(jobs.clone());
             rs.iter().map(|r| r.e2e_secs()).sum::<f64>() / rs.len() as f64
@@ -265,36 +297,58 @@ mod tests {
 
     #[test]
     fn pools_are_independent() {
-        let mut cluster = ClusterSim::new(vec![
-            PoolConfig {
-                name: "a".into(),
-                replicas: 1,
-                slots_per_replica: 1,
-                congestion_beta: 0.0,
-            },
-            PoolConfig {
-                name: "b".into(),
-                replicas: 1,
-                slots_per_replica: 1,
-                congestion_beta: 0.0,
-            },
-        ]);
+        let mk = |name: &str| PoolConfig {
+            name: name.into(),
+            replicas: 1,
+            slots_per_replica: 1,
+            congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 0,
+            max_queue: None,
+        };
+        let mut cluster = ClusterSim::new(vec![mk("a"), mk("b")]);
         // Saturate pool 0; pool 1 job must be unaffected.
         let results = cluster.run(jobs_from_tuples(&[
-            (0, 0, 0.0, 0.0, 5.0),
-            (1, 0, 0.0, 0.0, 5.0),
-            (2, 1, 0.0, 0.1, 0.4),
+            (0, 0, 0.0, 0.0, 5.0, 1, 100),
+            (1, 0, 0.0, 0.0, 5.0, 1, 100),
+            (2, 1, 0.0, 0.1, 0.4, 50, 20),
         ]));
         let r2 = results.iter().find(|r| r.id == JobId(2)).unwrap();
-        assert!((r2.e2e_secs() - 0.5).abs() < 1e-6);
+        assert!((r2.e2e_secs() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn queue_cap_drops_overflow_jobs() {
+        let mut cfg = one_slot_pool();
+        cfg[0].max_queue = Some(1);
+        let mut cluster = ClusterSim::new(cfg);
+        let results = cluster.run(jobs_from_tuples(&[
+            (0, 0, 0.0, 0.0, 1.0, 1, 10),
+            (1, 0, 0.0, 0.0, 1.0, 1, 10),
+            (2, 0, 0.0, 0.0, 1.0, 1, 10),
+        ]));
+        assert_eq!(results.len(), 2, "third job rejected by the cap");
+        assert_eq!(cluster.rejected(), 1);
+        assert_eq!(cluster.iter_stats().queue_rejects, 1);
+    }
+
+    #[test]
+    fn iteration_stats_accumulate() {
+        let mut cluster = ClusterSim::new(one_slot_pool());
+        let _ = cluster.run(jobs_from_tuples(&[(0, 0, 0.0, 0.1, 1.0, 100, 10)]));
+        let stats = cluster.iter_stats();
+        assert_eq!(stats.chunk_steps, 1, "unchunked prefill is one step");
+        assert_eq!(stats.decode_steps, 10);
+        assert!((stats.mean_step_batch() - 1.0).abs() < 1e-12);
+        assert!(stats.chunked_prefill_ratio() > 0.0);
     }
 
     #[test]
     fn deterministic_replay() {
         let jobs = jobs_from_tuples(&[
-            (0, 0, 0.0, 0.1, 1.0),
-            (1, 0, 0.3, 0.1, 0.5),
-            (2, 0, 0.6, 0.1, 0.2),
+            (0, 0, 0.0, 0.1, 1.0, 100, 120),
+            (1, 0, 0.3, 0.1, 0.5, 80, 60),
+            (2, 0, 0.6, 0.1, 0.2, 60, 30),
         ]);
         let run = || {
             let mut c = ClusterSim::new(one_slot_pool());

@@ -8,6 +8,11 @@ pub struct JobId(pub u64);
 
 /// One request's execution demand, computed upstream from the generation
 /// simulator (zero-load costs; the cluster adds queueing and contention).
+///
+/// Token counts drive the iteration-level scheduler in
+/// [`crate::ModelPool`]: prefill is processed in chunks of
+/// `prefill_chunk_tokens` and decode one token per iteration, with the
+/// zero-load seconds spread uniformly across the tokens of each phase.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Job id (usually the request id).
@@ -20,6 +25,12 @@ pub struct JobSpec {
     pub ttft_secs: f64,
     /// Zero-load decode time in seconds.
     pub decode_secs: f64,
+    /// Prompt length in tokens (prefill work; clamped to at least one
+    /// token of work by the scheduler).
+    pub prefill_tokens: u32,
+    /// Output length in tokens (decode work; zero-output jobs finish at
+    /// the end of prefill).
+    pub decode_tokens: u32,
 }
 
 /// The measured outcome of one job.
@@ -33,7 +44,8 @@ pub struct JobResult {
     pub arrival: SimTime,
     /// When a slot was granted (arrival + queueing delay).
     pub started: SimTime,
-    /// When the first token was emitted.
+    /// When the first output token was emitted: the end of the job's
+    /// first decode iteration (not the end of prefill).
     pub first_token: SimTime,
     /// When the last token was emitted.
     pub completed: SimTime,

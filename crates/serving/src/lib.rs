@@ -7,21 +7,27 @@
 //! phenomena, so this crate models exactly that layer:
 //!
 //! - A [`ModelPool`] per servable model: `replicas x slots` concurrent
-//!   sequences with a FIFO admission queue. Each in-flight sequence slows
-//!   down with pool occupancy (the batching-contention factor), which is
-//!   the first-order behaviour of continuous batching between the
-//!   memory-bound and compute-bound regimes.
+//!   sequences scheduled at **iteration (token-step) granularity** — the
+//!   Orca/vLLM lever. Each iteration, sequences in prefill process a
+//!   chunk of [`PoolConfig::prefill_chunk_tokens`] prompt tokens and
+//!   sequences in decode emit one token stretched by the
+//!   batching-contention factor; jobs join and leave the running batch
+//!   only at step boundaries, and over-quantum decoders are preempted
+//!   per token when jobs queue behind them (see the [`pool`] module docs
+//!   for the full state machine).
 //! - A [`ClusterSim`] that replays a set of [`JobSpec`]s (arrival time +
-//!   zero-load prefill/decode costs, produced upstream by `ic-llmsim`)
-//!   through the pools on the deterministic `ic-desim` kernel.
-//! - [`metrics`] — per-request TTFT/E2E recording and windowed throughput.
+//!   zero-load prefill/decode costs + token counts, produced upstream by
+//!   `ic-llmsim`) through the pools, driving one `StepComplete` event per
+//!   busy pool on the deterministic `ic-desim` kernel.
+//! - [`metrics`] — per-request TTFT/E2E recording, windowed throughput,
+//!   and queue-cap reject counts.
 
 pub mod cluster;
 pub mod job;
 pub mod metrics;
 pub mod pool;
 
-pub use cluster::{ClusterSim, PoolId};
+pub use cluster::{ClusterSim, PoolId, jobs_from_tuples};
 pub use job::{JobId, JobResult, JobSpec};
 pub use metrics::{ServingMetrics, busy_interval_rps};
-pub use pool::{ModelPool, PoolConfig};
+pub use pool::{FinishedSeq, IterStats, ModelPool, Offer, PoolConfig, StepReport};

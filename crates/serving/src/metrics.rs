@@ -11,6 +11,7 @@ pub struct ServingMetrics {
     e2e: Percentiles,
     queue_wait: Percentiles,
     completions: Vec<f64>,
+    rejected: u64,
 }
 
 impl ServingMetrics {
@@ -29,6 +30,18 @@ impl ServingMetrics {
     /// Number of completed jobs.
     pub fn count(&self) -> usize {
         self.completions.len()
+    }
+
+    /// Records jobs dropped by pool queue caps (rejected jobs never
+    /// complete, so they are invisible to the latency aggregates).
+    pub fn set_rejected(&mut self, rejected: u64) {
+        self.rejected = rejected;
+    }
+
+    /// Jobs rejected by pool queue caps (see
+    /// [`crate::PoolConfig::max_queue`]).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Mean user-perceived TTFT in seconds.
@@ -96,6 +109,14 @@ mod tests {
     use super::*;
     use crate::job::JobId;
     use ic_desim::SimTime;
+
+    #[test]
+    fn rejected_count_is_surfaced() {
+        let mut m = ServingMetrics::from_results(&[]);
+        assert_eq!(m.rejected(), 0);
+        m.set_rejected(7);
+        assert_eq!(m.rejected(), 7);
+    }
 
     fn result(id: u64, arrival: f64, start: f64, first: f64, done: f64) -> JobResult {
         JobResult {

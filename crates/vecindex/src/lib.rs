@@ -10,7 +10,7 @@
 //! This crate provides:
 //! - [`FlatIndex`] — exact brute-force search (the ground truth and the
 //!   small-pool fast path),
-//! - [`kmeans`] — Lloyd's algorithm with k-means++ seeding,
+//! - [`kmeans()`](kmeans::kmeans) — Lloyd's algorithm with k-means++ seeding,
 //! - [`IvfIndex`] — the inverted-file index with the `sqrt(N)` rule,
 //!   incremental inserts, lazy retraining, and configurable probe width.
 //!

@@ -57,6 +57,8 @@ fn main() {
             arrival: SimTime::from_secs_f64(at),
             ttft_secs: out.outcome.latency.ttft,
             decode_secs: out.outcome.latency.decode,
+            prefill_tokens: out.outcome.input_tokens,
+            decode_tokens: out.outcome.output_tokens,
         });
         let lo = sim.generate(&large_spec, r, &GenSetup::bare(), &mut rng);
         large_jobs.push(JobSpec {
@@ -65,6 +67,8 @@ fn main() {
             arrival: SimTime::from_secs_f64(at),
             ttft_secs: lo.latency.ttft,
             decode_secs: lo.latency.decode,
+            prefill_tokens: lo.input_tokens,
+            decode_tokens: lo.output_tokens,
         });
     }
 
@@ -74,6 +78,7 @@ fn main() {
         PoolConfig::for_gpus(&large_spec.name, 8, large_spec.gpus_per_replica, 8),
     ]);
     let mut ic_metrics = ServingMetrics::from_results(&cluster.run(jobs));
+    ic_metrics.set_rejected(cluster.rejected());
 
     // Always-large baseline on the same 16 GPUs.
     let mut large_cluster = ClusterSim::new(vec![PoolConfig::for_gpus(
@@ -107,5 +112,15 @@ fn main() {
     println!(
         "\nlatency reduction: {:.0}%  (paper reports 28-71%)",
         (1.0 - ic_metrics.mean_e2e() / large_metrics.mean_e2e()) * 100.0
+    );
+    let iter = cluster.iter_stats();
+    println!(
+        "iteration scheduler: {} token steps, mean batch {:.2}, \
+         chunked-prefill {:.1}%, {} preemptions, {} queue rejects",
+        iter.steps,
+        iter.mean_step_batch(),
+        iter.chunked_prefill_ratio() * 100.0,
+        iter.preemptions,
+        ic_metrics.rejected(),
     );
 }

@@ -122,6 +122,8 @@ fn offloading_reduces_cluster_latency_under_load() {
             arrival: ic_desim::SimTime::from_secs_f64(at),
             ttft_secs: lo.latency.ttft,
             decode_secs: lo.latency.decode,
+            prefill_tokens: lo.input_tokens,
+            decode_tokens: lo.output_tokens,
         });
     }
     let mut large_only = ClusterSim::new(vec![PoolConfig::for_gpus(

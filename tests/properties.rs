@@ -1,9 +1,11 @@
 //! Cross-crate property-based tests on system invariants.
 
 use ic_cache::{IcCacheConfig, IcCacheSystem};
+use ic_desim::SimTime;
 use ic_embed::Embedding;
 use ic_engine::{EngineConfig, EventDrivenEngine, ServingEngine};
 use ic_llmsim::{GenSetup, Generator, ModelSpec, Request, RequestId, SkillMix, TaskKind};
+use ic_serving::{ClusterSim, JobId, JobSpec, ModelPool, PoolConfig};
 use ic_stats::rng::rng_from_seed;
 use ic_vecindex::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
 use ic_workloads::{Dataset, WorkloadGenerator, fixed_qps_arrivals};
@@ -132,6 +134,59 @@ proptest! {
         } else {
             prop_assert_eq!(with_n.input_tokens, bare.input_tokens);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The iteration-level (token-step) scheduler and the legacy
+    /// occupancy-stretch estimate agree for a single job at zero load:
+    /// prefill chunks sum to exactly `ttft_secs` and decode tokens to
+    /// `decode_secs * (1 + beta / total_slots)`, whatever the chunk
+    /// size, token counts, or slot count.
+    #[test]
+    fn iteration_model_matches_occupancy_stretch_at_zero_load(
+        ttft in 0.01f64..2.0,
+        decode in 0.05f64..10.0,
+        ptoks in 1u32..2_000,
+        dtoks in 1u32..500,
+        chunk in 0u32..512,
+        beta in 0.0f64..1.0,
+        slots in 1u32..32,
+    ) {
+        let cfg = PoolConfig {
+            name: "p".into(),
+            replicas: 1,
+            slots_per_replica: slots,
+            congestion_beta: beta,
+            prefill_chunk_tokens: chunk,
+            preempt_decode_quantum: 0,
+            max_queue: None,
+        };
+        let job = JobSpec {
+            id: JobId(0),
+            pool: 0,
+            arrival: SimTime::ZERO,
+            ttft_secs: ttft,
+            decode_secs: decode,
+            prefill_tokens: ptoks,
+            decode_tokens: dtoks,
+        };
+        let expected = ModelPool::new(cfg.clone()).service_secs(&job);
+        let mut cluster = ClusterSim::new(vec![cfg]);
+        let results = cluster.run(vec![job]);
+        prop_assert_eq!(results.len(), 1);
+        let got = results[0].e2e_secs();
+        // Each iteration is rounded to a whole microsecond when
+        // scheduled, so allow up to 1us of drift per token step.
+        let n_steps = u64::from(dtoks) + u64::from(ptoks.div_ceil(chunk.max(1)));
+        let tol = n_steps as f64 * 1e-6 + 1e-9;
+        prop_assert!(
+            (got - expected).abs() <= tol,
+            "iteration model {} vs occupancy-stretch {} (tol {})",
+            got, expected, tol
+        );
     }
 }
 
