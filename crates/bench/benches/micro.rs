@@ -7,6 +7,7 @@ use criterion::{Criterion, criterion_group, criterion_main};
 use std::hint::black_box;
 
 use ic_embed::Embedding;
+use ic_kvmem::BlockPool;
 use ic_llmsim::{Catalog, ExampleId, Generator, ModelSpec};
 use ic_manager::{KnapsackItem, dp_knapsack, greedy_knapsack};
 use ic_router::{RequestRouter, RouterConfig};
@@ -142,6 +143,53 @@ fn bench_serving_step(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kvmem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvmem");
+    // Allocator churn: claim and release a replica's worth of blocks in
+    // sequence-sized chunks (the per-step hot path of the KV model).
+    g.bench_function("alloc_free_churn_512_blocks", |b| {
+        let mut pool = BlockPool::new(4, 512, 16);
+        b.iter(|| {
+            let mut live = Vec::new();
+            for _ in 0..32 {
+                let r = pool.least_loaded_replica();
+                if let Some(blocks) = pool.try_alloc(r, 48) {
+                    live.push(blocks);
+                }
+            }
+            for blocks in live {
+                pool.free(blocks);
+            }
+            black_box(pool.used_blocks())
+        })
+    });
+    // End-to-end: a cluster replay whose KV budget forces pressure
+    // preemption and swap traffic inside the step loop.
+    g.bench_function("pressured_pool_replay_200_jobs", |b| {
+        b.iter(|| {
+            let mut cfg = PoolConfig::for_gpus("m", 4, 1, 8);
+            cfg.preempt_decode_quantum = 0;
+            cfg.kv_block_tokens = 16;
+            cfg.kv_budget_blocks = 48;
+            let mut cluster = ClusterSim::new(vec![cfg]);
+            let jobs: Vec<ic_serving::JobSpec> = (0..200)
+                .map(|i| ic_serving::JobSpec {
+                    id: ic_serving::JobId(i),
+                    pool: 0,
+                    arrival: ic_desim::SimTime::from_secs_f64(i as f64 * 0.05),
+                    ttft_secs: 0.1,
+                    decode_secs: 1.5,
+                    prefill_tokens: 200,
+                    decode_tokens: 150,
+                })
+                .collect();
+            let results = cluster.run(jobs);
+            black_box((results.len(), cluster.kv_stats()))
+        })
+    });
+    g.finish();
+}
+
 fn bench_generation(c: &mut Criterion) {
     let sim = Generator::new();
     let spec = ModelSpec::gemma_2_2b();
@@ -166,6 +214,7 @@ criterion_group!(
     bench_router,
     bench_knapsack,
     bench_serving_step,
+    bench_kvmem,
     bench_generation
 );
 criterion_main!(benches);

@@ -3,10 +3,12 @@
 //! ratio, cache hit + shard stats, and per-iteration scheduler stats
 //! from the event-driven run). Pass `--quick` for a fast run.
 //!
-//! The iteration-scheduler knobs can be overridden via the environment
-//! (`IC_PREFILL_CHUNK`, `IC_PREEMPT_QUANTUM`, `IC_MAX_QUEUE` — see
-//! `ic_bench::experiments::e2e::engine_config`); leave them unset for
-//! the byte-deterministic output the CI determinism job diffs.
+//! The iteration-scheduler and KV-memory knobs can be overridden via
+//! the environment (`IC_PREFILL_CHUNK`, `IC_PREEMPT_QUANTUM`,
+//! `IC_MAX_QUEUE`, `IC_KV_BLOCK`, `IC_KV_BUDGET`, `IC_KV_WATERMARKS` —
+//! see `ic_bench::experiments::e2e::engine_config`, parsed by
+//! `ic_bench::env`); leave them unset for the byte-deterministic output
+//! the CI determinism job diffs (including its `kv` block).
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
@@ -33,5 +35,15 @@ fn main() {
         engine_report.iter.chunked_prefill_ratio() * 100.0,
         engine_report.iter.preemptions,
         engine_report.iter.queue_rejects,
+    );
+    println!(
+        "paged KV memory: peak occupancy {:.1}% (mean {:.1}%), \
+         {} pressure preemptions, {} swap-outs / {} swap-ins, fragmentation {:.1}%",
+        engine_report.kv.peak_occupancy() * 100.0,
+        engine_report.kv.mean_occupancy() * 100.0,
+        engine_report.kv.pressure_preemptions,
+        engine_report.kv.swap_outs,
+        engine_report.kv.swap_ins,
+        engine_report.kv.fragmentation_ratio() * 100.0,
     );
 }

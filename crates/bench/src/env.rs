@@ -1,0 +1,65 @@
+//! Shared `IC_*` environment-knob parsing for the bench binaries.
+//!
+//! The `fig12_e2e` and `headline` binaries (via
+//! [`crate::experiments::e2e::engine_config`]) accept scheduler and
+//! KV-memory overrides from the environment. Parsing used to be
+//! duplicated ad hoc near each use site, with drifting error handling;
+//! this module is the single implementation: a malformed value behaves
+//! exactly like an unset variable (the byte-deterministic defaults win),
+//! never a panic, so a typo in a sweep script cannot crash or skew a
+//! recorded run.
+
+use ic_serving::Watermarks;
+
+/// Parses `name` from the environment; `None` when unset or malformed.
+pub fn parse_env<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Parses a `"high,low"` watermark pair (e.g. `IC_KV_WATERMARKS=0.9,0.7`);
+/// `None` when unset, malformed, or violating `0 < low <= high <= 1`.
+pub fn parse_watermarks(name: &str) -> Option<Watermarks> {
+    let raw = std::env::var(name).ok()?;
+    let (high, low) = raw.split_once(',')?;
+    let high: f64 = high.trim().parse().ok()?;
+    let low: f64 = low.trim().parse().ok()?;
+    (low > 0.0 && low <= high && high <= 1.0).then(|| Watermarks::new(high, low))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global environment: each test uses its own variable name
+    // so parallel test threads cannot race.
+
+    #[test]
+    fn parses_plain_values() {
+        unsafe { std::env::set_var("IC_TEST_ENV_U32", " 42 ") };
+        assert_eq!(parse_env::<u32>("IC_TEST_ENV_U32"), Some(42));
+        assert_eq!(parse_env::<u32>("IC_TEST_ENV_UNSET"), None);
+    }
+
+    #[test]
+    fn malformed_values_behave_like_unset() {
+        unsafe { std::env::set_var("IC_TEST_ENV_BAD", "forty-two") };
+        assert_eq!(parse_env::<u32>("IC_TEST_ENV_BAD"), None);
+    }
+
+    #[test]
+    fn parses_watermark_pairs() {
+        unsafe { std::env::set_var("IC_TEST_WM_OK", "0.95, 0.6") };
+        let wm = parse_watermarks("IC_TEST_WM_OK").expect("valid pair");
+        assert!((wm.high - 0.95).abs() < 1e-12);
+        assert!((wm.low - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_inverted_or_malformed_watermarks() {
+        unsafe { std::env::set_var("IC_TEST_WM_INV", "0.5,0.9") };
+        assert_eq!(parse_watermarks("IC_TEST_WM_INV"), None);
+        unsafe { std::env::set_var("IC_TEST_WM_ONE", "0.9") };
+        assert_eq!(parse_watermarks("IC_TEST_WM_ONE"), None);
+        assert_eq!(parse_watermarks("IC_TEST_WM_UNSET"), None);
+    }
+}

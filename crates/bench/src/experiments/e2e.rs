@@ -254,9 +254,10 @@ fn online_run_from_engine(
 }
 
 /// The engine configuration used by every unified-engine run in this
-/// module, with the iteration-scheduler knobs overridable from the
-/// environment for ad-hoc sweeps. The knobs reconfigure only the
-/// IC-Cache (unified-engine) runs; baseline policies replayed through
+/// module, with the iteration-scheduler and KV-memory knobs overridable
+/// from the environment (parsed by the shared [`crate::env`] helpers)
+/// for ad-hoc sweeps. The knobs reconfigure only the IC-Cache
+/// (unified-engine) runs; baseline policies replayed through
 /// `ClusterSim` keep the `PoolConfig::for_gpus` defaults, so treat
 /// swept-vs-baseline deltas as scheduler sweeps of IC-Cache, not
 /// controlled policy comparisons:
@@ -264,22 +265,32 @@ fn online_run_from_engine(
 /// - `IC_PREFILL_CHUNK` — prefill tokens per iteration (`0` = unchunked)
 /// - `IC_PREEMPT_QUANTUM` — decode tokens before preemption (`0` = off)
 /// - `IC_MAX_QUEUE` — per-pool queue cap (unset = unbounded)
+/// - `IC_KV_BLOCK` — tokens per KV block (`0` disables the memory model)
+/// - `IC_KV_BUDGET` — KV blocks per replica (`0` disables)
+/// - `IC_KV_WATERMARKS` — `high,low` occupancy gates (e.g. `0.9,0.7`)
 ///
 /// With none of the variables set this is exactly
 /// [`EngineConfig::default`], which keeps `BENCH_e2e.json`
 /// byte-deterministic (the CI determinism job relies on this).
 pub fn engine_config() -> EngineConfig {
-    fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
-        std::env::var(name).ok().and_then(|v| v.parse().ok())
-    }
+    use crate::env::{parse_env, parse_watermarks};
     let mut config = EngineConfig::default();
-    if let Some(chunk) = parse::<u32>("IC_PREFILL_CHUNK") {
+    if let Some(chunk) = parse_env::<u32>("IC_PREFILL_CHUNK") {
         config.prefill_chunk_tokens = chunk;
     }
-    if let Some(quantum) = parse::<u32>("IC_PREEMPT_QUANTUM") {
+    if let Some(quantum) = parse_env::<u32>("IC_PREEMPT_QUANTUM") {
         config.preempt_decode_quantum = quantum;
     }
-    config.max_queue = parse::<usize>("IC_MAX_QUEUE");
+    config.max_queue = parse_env::<usize>("IC_MAX_QUEUE");
+    if let Some(block) = parse_env::<u32>("IC_KV_BLOCK") {
+        config.kv_block_tokens = block;
+    }
+    if let Some(budget) = parse_env::<u32>("IC_KV_BUDGET") {
+        config.kv_budget_blocks = budget;
+    }
+    if let Some(marks) = parse_watermarks("IC_KV_WATERMARKS") {
+        config.kv_watermarks = marks;
+    }
     config
 }
 
@@ -938,6 +949,16 @@ pub fn headline_full(scale: Scale) -> (Report, EngineReport) {
         er.iter.preemptions,
         er.iter.queue_rejects
     ));
+    report.finding(format!(
+        "paged KV memory: peak block occupancy {} (mean {}), {} pressure \
+         preemptions, {} swap-outs / {} swap-ins, fragmentation {}",
+        pct(er.kv.peak_occupancy()),
+        pct(er.kv.mean_occupancy()),
+        er.kv.pressure_preemptions,
+        er.kv.swap_outs,
+        er.kv.swap_ins,
+        pct(er.kv.fragmentation_ratio())
+    ));
     (report, er)
 }
 
@@ -961,6 +982,10 @@ mod tests {
         assert!(a.iter.mean_step_batch() >= 1.0);
         assert!(a.iter.chunked_prefill_ratio() > 0.0);
         assert!(a.to_json().contains("\"iter\":{"));
+        // The paged-KV accounting rides in the same payload.
+        assert!(a.to_json().contains("\"kv\":{"));
+        assert!(a.kv.total_blocks > 0);
+        assert_eq!(a.kv.allocs, a.kv.frees, "blocks conserved over the trace");
         let b = engine_e2e_run(Scale::quick(), Dataset::MsMarco);
         assert_eq!(a.to_json(), b.to_json(), "same seed must be byte-identical");
     }

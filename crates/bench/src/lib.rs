@@ -10,10 +10,12 @@
 //! Criterion micro-benchmarks (selector stages, router decisions, knapsack
 //! solvers, IVF search, serving steps) live under `benches/`.
 
+pub mod env;
 pub mod experiments;
 pub mod harness;
 pub mod report;
 
+pub use env::{parse_env, parse_watermarks};
 pub use harness::{PairSetup, Scale, side_by_side};
 pub use report::{Report, Table};
 

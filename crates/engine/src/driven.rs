@@ -4,7 +4,9 @@
 use ic_cache::IcCacheSystem;
 use ic_desim::{SimDuration, SimTime, Simulator};
 use ic_llmsim::{ModelId, Request};
-use ic_serving::{IterStats, JobId, JobSpec, ModelPool, Offer, PoolConfig};
+use ic_serving::{
+    IterStats, JobId, JobSpec, KvStats, ModelPool, Offer, PoolConfig, SwapModel, Watermarks,
+};
 use ic_stats::Ema;
 use std::collections::VecDeque;
 
@@ -31,6 +33,16 @@ pub struct EngineConfig {
     /// Per-pool admission-queue cap; offers past it are rejected and
     /// counted in the report's `iter.queue_rejects`. `None` is unbounded.
     pub max_queue: Option<usize>,
+    /// Tokens per KV block (paged KV memory; `0` with a zero budget
+    /// disables the memory model).
+    pub kv_block_tokens: u32,
+    /// KV blocks per replica — the memory budget that makes preemption
+    /// pressure-driven rather than slot-driven. `0` disables.
+    pub kv_budget_blocks: u32,
+    /// High/low occupancy watermarks gating admission and swap resume.
+    pub kv_watermarks: Watermarks,
+    /// Swap-vs-recompute pricing for pressure preemptions.
+    pub kv_swap: SwapModel,
     /// Period of full maintenance (replay + capacity), seconds; `0`
     /// disables.
     pub maintenance_period_s: f64,
@@ -55,6 +67,10 @@ impl Default for EngineConfig {
             prefill_chunk_tokens: 256,
             preempt_decode_quantum: 64,
             max_queue: None,
+            kv_block_tokens: 16,
+            kv_budget_blocks: 1024,
+            kv_watermarks: Watermarks::DEFAULT,
+            kv_swap: SwapModel::DEFAULT,
             maintenance_period_s: 0.0,
             rebalance_period_s: 60.0,
             load_window: 30,
@@ -127,6 +143,10 @@ impl EventDrivenEngine {
             pc.prefill_chunk_tokens = config.prefill_chunk_tokens;
             pc.preempt_decode_quantum = config.preempt_decode_quantum;
             pc.max_queue = config.max_queue;
+            pc.kv_block_tokens = config.kv_block_tokens;
+            pc.kv_budget_blocks = config.kv_budget_blocks;
+            pc.kv_watermarks = config.kv_watermarks;
+            pc.kv_swap = config.kv_swap;
             pool_configs.push(pc);
         }
         Self {
@@ -341,8 +361,10 @@ impl ServingEngine for EventDrivenEngine {
         }
 
         let mut iter = IterStats::default();
+        let mut kv = KvStats::default();
         for p in &pools {
             iter.merge(&p.iter_stats());
+            kv.merge(&p.kv_stats());
         }
         let per_request: Vec<RequestRecord> = records
             .into_iter()
@@ -368,6 +390,7 @@ impl ServingEngine for EventDrivenEngine {
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, evicted),
             iter,
+            kv,
             per_request,
         }
     }
@@ -459,7 +482,10 @@ mod tests {
         );
         assert!(
             heavy.iter.mean_step_batch() > light.iter.mean_step_batch(),
-            "saturation should deepen batches"
+            "saturation should deepen batches: {} vs {} (kv: {:?})",
+            light.iter.mean_step_batch(),
+            heavy.iter.mean_step_batch(),
+            heavy.kv,
         );
     }
 
@@ -508,6 +534,50 @@ mod tests {
                 .filter(|r| r.rejected)
                 .all(|r| r.e2e_s == 0.0)
         );
+    }
+
+    #[test]
+    fn kv_block_accounting_rides_in_the_report() {
+        let (mut engine, mut wg) = seeded_engine(400, EngineConfig::default(), 421);
+        let arrivals = fixed_qps_arrivals(2.0, 60.0, 422);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert!(report.kv.total_blocks > 0, "KV modeling on by default");
+        assert!(report.kv.allocs > 0, "sequences claimed blocks");
+        assert_eq!(report.kv.allocs, report.kv.frees, "blocks conserved");
+        assert!(report.kv.peak_blocks > 0);
+        assert!(report.kv.mean_occupancy() > 0.0);
+        assert!(report.kv.peak_occupancy() <= 1.0);
+        assert!(report.to_json().contains("\"kv\":{"));
+    }
+
+    #[test]
+    fn tight_kv_budget_preempts_under_pressure() {
+        // Shrink the per-replica budget until bursts cannot hold every
+        // sequence's KV: preemption must fire on memory pressure even
+        // though the quantum (slot-demand) preemption is disabled. The
+        // budget holds three or four typical sequences, so admitted
+        // batches collide mid-decode (a budget below a single sequence
+        // would just window — no victims to preempt).
+        let config = EngineConfig {
+            preempt_decode_quantum: 0,
+            kv_block_tokens: 16,
+            kv_budget_blocks: 128,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(400, config, 423);
+        let arrivals = fixed_qps_arrivals(20.0, 30.0, 424);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert_eq!(report.iter.preemptions, 0, "quantum preemption off");
+        assert!(
+            report.kv.pressure_preemptions > 0,
+            "tight budget must trigger pressure preemption: {:?}",
+            report.kv
+        );
+        assert_eq!(report.kv.swap_ins, report.kv.swap_outs);
+        assert_eq!(report.kv.allocs, report.kv.frees, "no leaked blocks");
+        assert!(report.latency.mean_e2e > 0.0);
     }
 
     #[test]

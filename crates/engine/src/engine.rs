@@ -46,6 +46,7 @@ pub(crate) fn cache_stats(
         examples: cache.len(),
         bytes: cache.total_bytes(),
         shard_sizes: cache.shard_sizes(),
+        shard_hits: cache.shard_hits(),
         selection_hits,
         examples_used,
         admitted,
@@ -145,8 +146,10 @@ impl ServingEngine for DirectEngine {
                 quality_sum / requests.len() as f64
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, 0),
-            // The direct path executes nothing: no iterations to count.
+            // The direct path executes nothing: no iterations to count,
+            // no KV blocks to page.
             iter: ic_serving::IterStats::default(),
+            kv: ic_serving::KvStats::default(),
             per_request,
         }
     }

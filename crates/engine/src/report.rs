@@ -1,6 +1,6 @@
 //! Engine output: per-request records and byte-stable aggregate metrics.
 
-use ic_serving::{IterStats, JobResult};
+use ic_serving::{IterStats, JobResult, KvStats};
 use ic_stats::Percentiles;
 
 /// What happened to one request, joining the serving decision (model,
@@ -104,6 +104,9 @@ pub struct CacheStats {
     pub bytes: usize,
     /// Examples per shard.
     pub shard_sizes: Vec<usize>,
+    /// Retrieval hits per shard (the demand signal feeding the
+    /// cross-shard budget rebalance).
+    pub shard_hits: Vec<u64>,
     /// Requests whose selection returned at least one example.
     pub selection_hits: u64,
     /// Total examples prepended across all requests.
@@ -138,6 +141,9 @@ pub struct EngineReport {
     /// Iteration-level scheduler counters summed across pools (token
     /// steps, batch sizes, chunked-prefill mix, preemptions, rejects).
     pub iter: IterStats,
+    /// Paged KV-memory counters merged across pools (block occupancy,
+    /// pressure preemptions, swap traffic, fragmentation).
+    pub kv: KvStats,
     /// Per-request join of decisions and timing, in arrival order.
     pub per_request: Vec<RequestRecord>,
 }
@@ -178,6 +184,7 @@ impl EngineReport {
             .iter()
             .map(usize::to_string)
             .collect();
+        let shard_hits: Vec<String> = self.cache.shard_hits.iter().map(u64::to_string).collect();
         format!(
             concat!(
                 "{{\"engine\":\"{}\",\"served\":{},\"offloaded\":{},",
@@ -186,11 +193,16 @@ impl EngineReport {
                 "\"mean_ttft_s\":{},\"p99_ttft_s\":{},\"mean_queue_s\":{}}},",
                 "\"throughput_rps\":{},\"mean_quality\":{},",
                 "\"cache\":{{\"shards\":{},\"examples\":{},\"bytes\":{},",
-                "\"shard_sizes\":[{}],\"selection_hits\":{},\"selection_hit_rate\":{},",
+                "\"shard_sizes\":[{}],\"shard_hits\":[{}],",
+                "\"selection_hits\":{},\"selection_hit_rate\":{},",
                 "\"examples_used\":{},\"admitted\":{},\"rejected\":{},\"evicted\":{}}},",
                 "\"iter\":{{\"steps\":{},\"mean_step_batch\":{},",
                 "\"chunk_steps\":{},\"decode_steps\":{},\"chunked_prefill_ratio\":{},",
-                "\"preemptions\":{},\"queue_rejects\":{}}}}}"
+                "\"preemptions\":{},\"queue_rejects\":{}}},",
+                "\"kv\":{{\"total_blocks\":{},\"peak_blocks\":{},",
+                "\"peak_occupancy\":{},\"mean_occupancy\":{},",
+                "\"pressure_preemptions\":{},\"swap_outs\":{},\"swap_ins\":{},",
+                "\"fragmentation\":{},\"allocs\":{},\"frees\":{}}}}}"
             ),
             self.engine,
             self.served,
@@ -209,6 +221,7 @@ impl EngineReport {
             self.cache.examples,
             self.cache.bytes,
             shard_sizes.join(","),
+            shard_hits.join(","),
             self.cache.selection_hits,
             f6(self.selection_hit_rate()),
             self.cache.examples_used,
@@ -222,6 +235,16 @@ impl EngineReport {
             f6(self.iter.chunked_prefill_ratio()),
             self.iter.preemptions,
             self.iter.queue_rejects,
+            self.kv.total_blocks,
+            self.kv.peak_blocks,
+            f6(self.kv.peak_occupancy()),
+            f6(self.kv.mean_occupancy()),
+            self.kv.pressure_preemptions,
+            self.kv.swap_outs,
+            self.kv.swap_ins,
+            f6(self.kv.fragmentation_ratio()),
+            self.kv.allocs,
+            self.kv.frees,
         )
     }
 }
@@ -274,6 +297,11 @@ mod tests {
         r.iter.seq_steps = 10;
         r.iter.chunk_steps = 2;
         r.iter.decode_steps = 8;
+        r.kv.total_blocks = 128;
+        r.kv.peak_blocks = 64;
+        r.kv.pressure_preemptions = 3;
+        r.kv.used_token_steps = 48;
+        r.kv.alloc_token_steps = 64;
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b);
@@ -283,6 +311,10 @@ mod tests {
         assert!(a.contains("\"mean_step_batch\":2.500000"));
         assert!(a.contains("\"chunked_prefill_ratio\":0.200000"));
         assert!(a.contains("\"preemptions\":0"));
+        assert!(a.contains("\"kv\":{\"total_blocks\":128"));
+        assert!(a.contains("\"peak_occupancy\":0.500000"));
+        assert!(a.contains("\"pressure_preemptions\":3"));
+        assert!(a.contains("\"fragmentation\":0.250000"));
         // Balanced braces (cheap well-formedness check without a parser).
         assert_eq!(a.matches('{').count(), a.matches('}').count());
     }

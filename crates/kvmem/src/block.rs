@@ -1,0 +1,428 @@
+//! The paged block allocator: per-replica budgets and pool-wide stats.
+
+/// A physical KV block: `(replica, index)` within that replica's budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Owning replica.
+    pub replica: u32,
+    /// Block index within the replica's budget.
+    pub index: u32,
+}
+
+/// One replica's KV memory: a fixed budget of blocks with a LIFO free
+/// list (freed blocks are reused first, like vLLM's block allocator) and
+/// strict accounting.
+#[derive(Debug, Clone)]
+pub struct KvBudget {
+    replica: u32,
+    /// Free block indices, popped from the back (LIFO reuse).
+    free_list: Vec<u32>,
+    /// Allocation bit per block: guards against double frees.
+    allocated: Vec<bool>,
+}
+
+impl KvBudget {
+    /// A fresh budget of `budget_blocks` free blocks for `replica`.
+    pub fn new(replica: u32, budget_blocks: u32) -> Self {
+        Self {
+            replica,
+            // Reverse order so the first pop is block 0 (cosmetic, but
+            // keeps allocation traces easy to read).
+            free_list: (0..budget_blocks).rev().collect(),
+            allocated: vec![false; budget_blocks as usize],
+        }
+    }
+
+    /// Total blocks in the budget.
+    pub fn budget(&self) -> u32 {
+        self.allocated.len() as u32
+    }
+
+    /// Blocks currently free.
+    pub fn free(&self) -> u32 {
+        self.free_list.len() as u32
+    }
+
+    /// Blocks currently allocated.
+    pub fn used(&self) -> u32 {
+        self.budget() - self.free()
+    }
+
+    /// Allocates `n` blocks, or `None` (and no change) if fewer are
+    /// free. Freed blocks are reused LIFO.
+    pub fn try_alloc(&mut self, n: u32) -> Option<Vec<BlockId>> {
+        if self.free() < n {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let index = self.free_list.pop().expect("free count checked");
+            debug_assert!(!self.allocated[index as usize], "free list corrupt");
+            self.allocated[index as usize] = true;
+            out.push(BlockId {
+                replica: self.replica,
+                index,
+            });
+        }
+        Some(out)
+    }
+
+    /// Returns one block to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free or a foreign block — both are allocator
+    /// bugs the conservation tests must surface, never mask.
+    pub fn free_block(&mut self, block: BlockId) {
+        assert_eq!(block.replica, self.replica, "block freed to wrong replica");
+        let slot = &mut self.allocated[block.index as usize];
+        assert!(*slot, "double free of {block:?}");
+        *slot = false;
+        self.free_list.push(block.index);
+    }
+}
+
+/// Pool-wide KV memory counters, merged across pools for reports. All
+/// counters are exact and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KvStats {
+    /// Steps sampled (one per scheduler iteration).
+    pub steps: u64,
+    /// Sum over sampled steps of blocks in use.
+    pub block_steps: u64,
+    /// Sum over sampled steps of the block capacity (`steps x
+    /// total_blocks` for a single pool; additive across pools).
+    pub capacity_steps: u64,
+    /// Peak blocks in use (summed across pools when merged, so the
+    /// merged value is an upper bound on the true simultaneous peak).
+    pub peak_blocks: u64,
+    /// Total block capacity across replicas (additive across pools).
+    pub total_blocks: u64,
+    /// Blocks handed out by the allocator.
+    pub allocs: u64,
+    /// Blocks returned to the allocator.
+    pub frees: u64,
+    /// Sequences preempted by memory pressure (allocation failure), as
+    /// opposed to slot-demand quantum preemption.
+    pub pressure_preemptions: u64,
+    /// Sequences swapped out (their blocks freed to the pool).
+    pub swap_outs: u64,
+    /// Sequences swapped back in (blocks re-allocated).
+    pub swap_ins: u64,
+    /// Sum over sampled steps of KV tokens materialized in allocated
+    /// blocks (fragmentation numerator; see
+    /// [`KvStats::fragmentation_ratio`]).
+    pub used_token_steps: u64,
+    /// Sum over sampled steps of token capacity of allocated blocks
+    /// (`blocks x block_tokens`).
+    pub alloc_token_steps: u64,
+}
+
+impl KvStats {
+    /// Mean fraction of the block budget in use over sampled steps.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.capacity_steps == 0 {
+            0.0
+        } else {
+            self.block_steps as f64 / self.capacity_steps as f64
+        }
+    }
+
+    /// Peak fraction of the block budget in use.
+    pub fn peak_occupancy(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.peak_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Mean internal fragmentation of allocated blocks: the fraction of
+    /// allocated token capacity holding no KV entries (last-block slack
+    /// plus admission-time prefill preallocation).
+    pub fn fragmentation_ratio(&self) -> f64 {
+        if self.alloc_token_steps == 0 {
+            0.0
+        } else {
+            1.0 - (self.used_token_steps.min(self.alloc_token_steps) as f64
+                / self.alloc_token_steps as f64)
+        }
+    }
+
+    /// Accumulates another pool's counters into this one.
+    pub fn merge(&mut self, other: &KvStats) {
+        self.steps += other.steps;
+        self.block_steps += other.block_steps;
+        self.capacity_steps += other.capacity_steps;
+        self.peak_blocks += other.peak_blocks;
+        self.total_blocks += other.total_blocks;
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.pressure_preemptions += other.pressure_preemptions;
+        self.swap_outs += other.swap_outs;
+        self.swap_ins += other.swap_ins;
+        self.used_token_steps += other.used_token_steps;
+        self.alloc_token_steps += other.alloc_token_steps;
+    }
+}
+
+/// The pool-wide allocator: one [`KvBudget`] per replica plus counters.
+#[derive(Debug, Clone)]
+pub struct BlockPool {
+    block_tokens: u32,
+    replicas: Vec<KvBudget>,
+    stats: KvStats,
+}
+
+impl BlockPool {
+    /// A pool of `replicas` budgets of `budget_blocks` blocks holding
+    /// `block_tokens` tokens each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero — a zero-size pool means "KV
+    /// modeling off" and callers must not construct one.
+    pub fn new(replicas: u32, budget_blocks: u32, block_tokens: u32) -> Self {
+        assert!(replicas > 0, "at least one replica");
+        assert!(budget_blocks > 0, "at least one block per replica");
+        assert!(block_tokens > 0, "blocks must hold at least one token");
+        Self {
+            block_tokens,
+            replicas: (0..replicas)
+                .map(|r| KvBudget::new(r, budget_blocks))
+                .collect(),
+            stats: KvStats {
+                total_blocks: u64::from(replicas) * u64::from(budget_blocks),
+                ..KvStats::default()
+            },
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Blocks per replica.
+    pub fn budget_blocks(&self) -> u32 {
+        self.replicas[0].budget()
+    }
+
+    /// Number of replicas.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Blocks needed to hold `tokens` KV entries, capped at one
+    /// replica's budget: a sequence longer than the whole replica runs
+    /// with the full budget and windows its tail into the last block
+    /// (so over-long jobs degrade instead of deadlocking admission).
+    pub fn blocks_for(&self, tokens: u64) -> u32 {
+        let raw = tokens.div_ceil(u64::from(self.block_tokens));
+        (raw.min(u64::from(self.budget_blocks())).max(1)) as u32
+    }
+
+    /// Blocks in use across all replicas.
+    pub fn used_blocks(&self) -> u32 {
+        self.replicas.iter().map(KvBudget::used).sum()
+    }
+
+    /// Blocks free on one replica.
+    pub fn free_blocks(&self, replica: usize) -> u32 {
+        self.replicas[replica].free()
+    }
+
+    /// Pool-wide occupancy fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        f64::from(self.used_blocks()) / self.stats.total_blocks as f64
+    }
+
+    /// The replica with the most free blocks (lowest index on ties) —
+    /// the deterministic placement rule for new sequences.
+    pub fn least_loaded_replica(&self) -> usize {
+        let mut best = 0usize;
+        for (i, b) in self.replicas.iter().enumerate().skip(1) {
+            if b.free() > self.replicas[best].free() {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Allocates `n` blocks on `replica`, or `None` (and no change) if
+    /// fewer are free.
+    pub fn try_alloc(&mut self, replica: usize, n: u32) -> Option<Vec<BlockId>> {
+        let blocks = self.replicas[replica].try_alloc(n)?;
+        self.stats.allocs += u64::from(n);
+        Some(blocks)
+    }
+
+    /// Frees a set of blocks back to their owning replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double frees (see [`KvBudget::free_block`]).
+    pub fn free(&mut self, blocks: impl IntoIterator<Item = BlockId>) {
+        for b in blocks {
+            self.replicas[b.replica as usize].free_block(b);
+            self.stats.frees += 1;
+        }
+    }
+
+    /// Records one scheduler step for the occupancy / fragmentation
+    /// aggregates: `used_tokens` is the KV entries materialized across
+    /// all live sequences (clamped to allocated capacity).
+    pub fn note_step(&mut self, used_tokens: u64) {
+        let used = u64::from(self.used_blocks());
+        self.stats.steps += 1;
+        self.stats.block_steps += used;
+        self.stats.capacity_steps += self.stats.total_blocks;
+        self.stats.peak_blocks = self.stats.peak_blocks.max(used);
+        let cap_tokens = used * u64::from(self.block_tokens);
+        self.stats.alloc_token_steps += cap_tokens;
+        self.stats.used_token_steps += used_tokens.min(cap_tokens);
+    }
+
+    /// Records a pressure preemption + swap-out of a sequence.
+    pub fn note_pressure_swap_out(&mut self) {
+        self.stats.pressure_preemptions += 1;
+        self.stats.swap_outs += 1;
+    }
+
+    /// Records a swap-out that was not caused by memory pressure (e.g.
+    /// a slot-demand quantum preemption releasing its blocks).
+    pub fn note_swap_out(&mut self) {
+        self.stats.swap_outs += 1;
+    }
+
+    /// Records a swap-in (resume) of a sequence.
+    pub fn note_swap_in(&mut self) {
+        self.stats.swap_ins += 1;
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip_accounts_exactly() {
+        let mut pool = BlockPool::new(2, 4, 16);
+        assert_eq!(pool.stats().total_blocks, 8);
+        let a = pool.try_alloc(0, 3).unwrap();
+        assert_eq!(pool.used_blocks(), 3);
+        assert_eq!(pool.free_blocks(0), 1);
+        assert_eq!(pool.free_blocks(1), 4);
+        pool.free(a);
+        assert_eq!(pool.used_blocks(), 0);
+        let s = pool.stats();
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.frees, 3);
+    }
+
+    #[test]
+    fn alloc_fails_without_side_effects() {
+        let mut pool = BlockPool::new(1, 2, 16);
+        assert!(pool.try_alloc(0, 3).is_none());
+        assert_eq!(pool.used_blocks(), 0);
+        assert_eq!(pool.stats().allocs, 0);
+        let a = pool.try_alloc(0, 2).unwrap();
+        assert!(pool.try_alloc(0, 1).is_none());
+        pool.free(a);
+    }
+
+    #[test]
+    fn free_list_is_reused_lifo() {
+        let mut pool = BlockPool::new(1, 4, 16);
+        let a = pool.try_alloc(0, 2).unwrap();
+        pool.free(a.clone());
+        // The most recently freed block comes back first.
+        let b = pool.try_alloc(0, 1).unwrap();
+        assert_eq!(b[0], a[1], "LIFO: the last block freed is first out");
+        let c = pool.try_alloc(0, 1).unwrap();
+        assert_eq!(c[0], a[0]);
+        pool.free(b);
+        pool.free(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pool = BlockPool::new(1, 2, 16);
+        let a = pool.try_alloc(0, 1).unwrap();
+        pool.free(a.clone());
+        pool.free(a);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up_and_caps_at_budget() {
+        let pool = BlockPool::new(1, 8, 16);
+        assert_eq!(pool.blocks_for(0), 1, "at least one block");
+        assert_eq!(pool.blocks_for(16), 1);
+        assert_eq!(pool.blocks_for(17), 2);
+        assert_eq!(pool.blocks_for(10_000), 8, "capped at the budget");
+    }
+
+    #[test]
+    fn placement_prefers_the_emptiest_replica() {
+        let mut pool = BlockPool::new(3, 4, 16);
+        assert_eq!(pool.least_loaded_replica(), 0, "lowest index on ties");
+        let a = pool.try_alloc(0, 2).unwrap();
+        let b = pool.try_alloc(1, 1).unwrap();
+        assert_eq!(pool.least_loaded_replica(), 2);
+        pool.free(a);
+        pool.free(b);
+    }
+
+    #[test]
+    fn step_sampling_tracks_occupancy_and_fragmentation() {
+        let mut pool = BlockPool::new(1, 4, 16);
+        let a = pool.try_alloc(0, 2).unwrap();
+        pool.note_step(24); // 24 of 32 allocated tokens materialized.
+        let s = pool.stats();
+        assert_eq!(s.peak_blocks, 2);
+        assert!((s.mean_occupancy() - 0.5).abs() < 1e-12);
+        assert!((s.peak_occupancy() - 0.5).abs() < 1e-12);
+        assert!((s.fragmentation_ratio() - 0.25).abs() < 1e-12);
+        pool.free(a);
+        pool.note_step(0);
+        assert!((pool.stats().mean_occupancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = KvStats {
+            steps: 2,
+            block_steps: 4,
+            capacity_steps: 8,
+            peak_blocks: 3,
+            total_blocks: 4,
+            allocs: 5,
+            frees: 5,
+            pressure_preemptions: 1,
+            swap_outs: 1,
+            swap_ins: 1,
+            used_token_steps: 30,
+            alloc_token_steps: 64,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.steps, 4);
+        assert_eq!(a.peak_blocks, 6);
+        assert_eq!(a.total_blocks, 8);
+        assert_eq!(a.swap_outs, 2);
+        assert!((a.fragmentation_ratio() - (1.0 - 60.0 / 128.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = KvStats::default();
+        assert_eq!(s.mean_occupancy(), 0.0);
+        assert_eq!(s.peak_occupancy(), 0.0);
+        assert_eq!(s.fragmentation_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Paged KV-cache memory model for the serving simulator.
+//!
+//! Slot count is not the real capacity constraint of an LLM serving
+//! replica — KV-cache memory is. vLLM's PagedAttention made this the
+//! organizing principle of modern engines: a sequence's KV cache is
+//! stored in fixed-size **blocks** drawn from a bounded per-replica
+//! pool, sequences grow block by block as they prefill and decode, and
+//! the scheduler preempts (swaps out) running sequences when a step's
+//! token growth cannot be served from free blocks. This crate models
+//! exactly that layer, deterministically, for `ic-serving`'s
+//! iteration-level scheduler:
+//!
+//! - [`KvBudget`] — one replica's block pool: a LIFO free list over
+//!   `budget_blocks` physical blocks with strict alloc/free accounting
+//!   (double frees panic, leaks are visible as non-zero `used()`).
+//! - [`BlockPool`] — the pool-wide view: one [`KvBudget`] per replica,
+//!   block-granular [`KvStats`] (peak/mean occupancy, fragmentation,
+//!   swap counts), and placement (least-loaded replica first).
+//! - [`PressurePolicy`] — high/low watermarks plus a configurable
+//!   swap-vs-recompute cost model ([`SwapModel`]): the high watermark
+//!   gates new admissions, allocation failure triggers victim
+//!   preemption (longest remaining decode first, chosen by the caller),
+//!   and swapped sequences resume only once occupancy drains below the
+//!   low watermark. The policy prices swap-out and resume penalties in
+//!   simulated seconds so the scheduler can charge them to the step
+//!   clock.
+//!
+//! The crate is dependency-free and purely arithmetical: every
+//! operation is deterministic, so the serving layer's byte-identical
+//! replay guarantees extend to memory pressure events.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_kvmem::{BlockPool, PressurePolicy, Watermarks};
+//!
+//! // 2 replicas x 8 blocks of 16 tokens.
+//! let mut pool = BlockPool::new(2, 8, 16);
+//! let replica = pool.least_loaded_replica();
+//! let blocks = pool.try_alloc(replica, pool.blocks_for(40)).unwrap();
+//! assert_eq!(blocks.len(), 3); // ceil(40 / 16)
+//! assert_eq!(pool.used_blocks(), 3);
+//!
+//! let policy = PressurePolicy::new(Watermarks::new(0.9, 0.7));
+//! assert!(!policy.under_pressure(pool.occupancy()));
+//! pool.free(blocks);
+//! assert_eq!(pool.used_blocks(), 0);
+//! ```
+
+pub mod block;
+pub mod pressure;
+
+pub use block::{BlockId, BlockPool, KvBudget, KvStats};
+pub use pressure::{PressurePolicy, SwapModel, Watermarks};

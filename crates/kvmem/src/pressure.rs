@@ -1,0 +1,197 @@
+//! Watermark-driven pressure policy and the swap-vs-recompute cost
+//! model.
+
+/// High/low occupancy watermarks over a block budget, as fractions of
+/// the total block capacity.
+///
+/// - At or above `high`, the pool stops admitting new sequences (their
+///   projected prefill demand would push memory into the thrash zone).
+/// - Below `low`, swapped-out sequences are resumed (memory has
+///   drained enough that bringing KV state back will not immediately
+///   re-trigger pressure).
+///
+/// `high == low == 1.0` degenerates to "preempt only on hard
+/// allocation failure, resume whenever any block is free" — the
+/// laziest legal policy, exercised by the edge-case tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watermarks {
+    /// Admission gate: no new sequences at or above this occupancy.
+    pub high: f64,
+    /// Resume gate: swapped sequences return below this occupancy.
+    pub low: f64,
+}
+
+impl Watermarks {
+    /// The default gate pair used by `PoolConfig::for_gpus`.
+    pub const DEFAULT: Watermarks = Watermarks {
+        high: 0.9,
+        low: 0.7,
+    };
+
+    /// Builds a watermark pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < low <= high <= 1`.
+    pub fn new(high: f64, low: f64) -> Self {
+        assert!(
+            low > 0.0 && low <= high && high <= 1.0,
+            "watermarks must satisfy 0 < low <= high <= 1, got high={high} low={low}"
+        );
+        Self { high, low }
+    }
+}
+
+impl Default for Watermarks {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// What a pressure preemption costs in simulated seconds: either the
+/// KV blocks are swapped to host memory and back (cost proportional to
+/// blocks moved, both directions), or they are dropped and the prefix
+/// is recomputed at resume (cost proportional to the tokens whose KV
+/// must be rebuilt, nothing at swap-out). This is the classic
+/// vLLM swap-vs-recompute trade: recompute is cheaper for short
+/// sequences and fast prefill, swapping for long sequences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwapModel {
+    /// Copy blocks out to host memory and back in on resume.
+    Swap {
+        /// Seconds per block swapped out (GPU -> host).
+        out_secs_per_block: f64,
+        /// Seconds per block swapped in (host -> GPU).
+        in_secs_per_block: f64,
+    },
+    /// Drop the KV state and rebuild it by re-running prefill over the
+    /// materialized tokens at resume time.
+    Recompute {
+        /// Seconds per token of KV state recomputed at resume.
+        secs_per_token: f64,
+    },
+}
+
+impl SwapModel {
+    /// The default cost model: PCIe-ish block copies in both
+    /// directions.
+    pub const DEFAULT: SwapModel = SwapModel::Swap {
+        out_secs_per_block: 5e-4,
+        in_secs_per_block: 5e-4,
+    };
+}
+
+impl Default for SwapModel {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// The pressure policy: watermark gates plus the swap cost model. The
+/// scheduler owns victim *selection* (it has the sequence state); the
+/// policy owns the *gates* and the *prices*.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PressurePolicy {
+    /// Admission / resume gates.
+    pub watermarks: Watermarks,
+    /// Swap-vs-recompute pricing.
+    pub swap: SwapModel,
+}
+
+impl PressurePolicy {
+    /// A policy with the given watermarks and the default cost model.
+    pub fn new(watermarks: Watermarks) -> Self {
+        Self {
+            watermarks,
+            swap: SwapModel::default(),
+        }
+    }
+
+    /// Whether occupancy is at or above the high watermark (admission
+    /// closed).
+    pub fn under_pressure(&self, occupancy: f64) -> bool {
+        occupancy >= self.watermarks.high
+    }
+
+    /// Whether occupancy has drained below the low watermark (swapped
+    /// sequences may resume).
+    pub fn can_resume(&self, occupancy: f64) -> bool {
+        occupancy < self.watermarks.low
+    }
+
+    /// Seconds charged at the boundary where a victim's `blocks` are
+    /// swapped out (zero under recompute: dropping state is free).
+    pub fn swap_out_penalty(&self, blocks: u32) -> f64 {
+        match self.swap {
+            SwapModel::Swap {
+                out_secs_per_block, ..
+            } => out_secs_per_block * f64::from(blocks),
+            SwapModel::Recompute { .. } => 0.0,
+        }
+    }
+
+    /// Seconds charged at the boundary where a victim resumes:
+    /// swapping `blocks` back in, or recomputing `kv_tokens` of
+    /// dropped state.
+    pub fn resume_penalty(&self, blocks: u32, kv_tokens: u64) -> f64 {
+        match self.swap {
+            SwapModel::Swap {
+                in_secs_per_block, ..
+            } => in_secs_per_block * f64::from(blocks),
+            SwapModel::Recompute { secs_per_token } => secs_per_token * kv_tokens as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_follow_the_watermarks() {
+        let p = PressurePolicy::new(Watermarks::new(0.9, 0.7));
+        assert!(!p.under_pressure(0.89));
+        assert!(p.under_pressure(0.9));
+        assert!(p.can_resume(0.69));
+        assert!(!p.can_resume(0.7));
+    }
+
+    #[test]
+    fn watermarks_equal_to_budget_are_legal() {
+        let p = PressurePolicy::new(Watermarks::new(1.0, 1.0));
+        assert!(!p.under_pressure(0.999), "admission open until full");
+        assert!(p.under_pressure(1.0));
+        assert!(p.can_resume(0.999), "resume whenever any block is free");
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks must satisfy")]
+    fn inverted_watermarks_panic() {
+        let _ = Watermarks::new(0.5, 0.8);
+    }
+
+    #[test]
+    fn swap_model_prices_both_directions() {
+        let p = PressurePolicy {
+            watermarks: Watermarks::DEFAULT,
+            swap: SwapModel::Swap {
+                out_secs_per_block: 1e-3,
+                in_secs_per_block: 2e-3,
+            },
+        };
+        assert!((p.swap_out_penalty(10) - 0.01).abs() < 1e-12);
+        assert!((p.resume_penalty(10, 999) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recompute_model_prices_tokens_at_resume_only() {
+        let p = PressurePolicy {
+            watermarks: Watermarks::DEFAULT,
+            swap: SwapModel::Recompute {
+                secs_per_token: 1e-4,
+            },
+        };
+        assert_eq!(p.swap_out_penalty(10), 0.0, "dropping state is free");
+        assert!((p.resume_penalty(10, 500) - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests: blocks are conserved by the allocator under
+//! arbitrary alloc/free interleavings.
+
+use ic_kvmem::{BlockId, BlockPool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any interleaving of allocations and frees conserves blocks:
+    /// used == outstanding at every point, every allocated id is
+    /// unique while live, and draining everything returns the pool to
+    /// empty with allocs == frees.
+    #[test]
+    fn alloc_free_interleavings_conserve_blocks(
+        replicas in 1u32..4,
+        budget in 1u32..24,
+        ops in proptest::collection::vec(0u32..6, 1..120),
+    ) {
+        let mut pool = BlockPool::new(replicas, budget, 16);
+        let mut live: Vec<Vec<BlockId>> = Vec::new();
+        for op in ops {
+            if op < 4 {
+                // Alloc 1..=op+1 blocks on the emptiest replica.
+                let replica = pool.least_loaded_replica();
+                let want = op + 1;
+                let free_before = pool.free_blocks(replica);
+                match pool.try_alloc(replica, want) {
+                    Some(blocks) => {
+                        prop_assert_eq!(blocks.len() as u32, want);
+                        live.push(blocks);
+                    }
+                    None => prop_assert!(free_before < want, "spurious failure"),
+                }
+            } else if let Some(blocks) = if op == 4 {
+                // Free the oldest live allocation...
+                (!live.is_empty()).then(|| live.remove(0))
+            } else {
+                // ...or the newest (exercises LIFO reuse).
+                live.pop()
+            } {
+                pool.free(blocks);
+            }
+            let outstanding: u32 = live.iter().map(|b| b.len() as u32).sum();
+            prop_assert_eq!(pool.used_blocks(), outstanding, "used != outstanding");
+            // No id is live twice.
+            let mut ids: Vec<BlockId> = live.iter().flatten().copied().collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate live block");
+        }
+        for blocks in live.drain(..) {
+            pool.free(blocks);
+        }
+        prop_assert_eq!(pool.used_blocks(), 0, "leak after full drain");
+        let stats = pool.stats();
+        prop_assert_eq!(stats.allocs, stats.frees, "alloc/free imbalance");
+    }
+}

@@ -84,6 +84,17 @@ impl ShardedExampleCache {
         self.shards.iter().map(ExampleCache::len).collect()
     }
 
+    /// Per-shard retrieval-hit totals (sum of entry access counts) —
+    /// the demand signal the budget rebalance folds in beside byte
+    /// share, and the first input to the ROADMAP's shard-autoscaling
+    /// item.
+    pub fn shard_hits(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.access_counts().iter().sum())
+            .collect()
+    }
+
     /// Per-shard plaintext bytes.
     pub fn shard_bytes(&self) -> Vec<usize> {
         self.shards.iter().map(ExampleCache::total_bytes).collect()
@@ -255,8 +266,14 @@ impl ShardedExampleCache {
             budgets[c.shard] += c.bytes;
         }
 
-        // Give unclaimed capacity back proportionally to unmet occupancy,
-        // so gain-less content is only evicted when space truly runs out.
+        // Give unclaimed capacity back proportionally to unmet
+        // occupancy *weighted by retrieval demand*: a shard's unmet
+        // bytes count `1 + HIT_WEIGHT * hit_share` times, so byte share
+        // alone no longer decides where the slack goes — hot shards
+        // (many selection hits) keep more of their gain-less content
+        // than cold ones. With no recorded hits the weights collapse to
+        // plain unmet bytes, the original policy. Integer arithmetic
+        // throughout keeps the split deterministic.
         let spent: usize = budgets.iter().sum();
         let mut leftover = capacity.saturating_sub(spent);
         let unmet: Vec<usize> = self
@@ -267,9 +284,25 @@ impl ShardedExampleCache {
             .collect();
         let unmet_total: usize = unmet.iter().sum();
         if unmet_total > 0 {
-            let grants: Vec<usize> = unmet
+            /// How strongly hit share skews the leftover split: a shard
+            /// holding every hit weighs `1 + HIT_WEIGHT` times its
+            /// bytes.
+            const HIT_WEIGHT: u128 = 3;
+            let hits = self.shard_hits();
+            let hits_total: u128 = hits.iter().map(|&h| u128::from(h)).sum();
+            let weight = |u: usize, h: u64| -> u128 {
+                let base = u as u128 * hits_total.max(1);
+                base + u as u128 * HIT_WEIGHT * u128::from(h)
+            };
+            let weights: Vec<u128> = unmet
                 .iter()
-                .map(|&u| ((u as u128 * leftover as u128) / unmet_total as u128) as usize)
+                .zip(&hits)
+                .map(|(&u, &h)| weight(u, h))
+                .collect();
+            let weight_total: u128 = weights.iter().sum();
+            let grants: Vec<usize> = weights
+                .iter()
+                .map(|&w| ((w * leftover as u128) / weight_total.max(1)) as usize)
                 .collect();
             for (b, g) in budgets.iter_mut().zip(&grants) {
                 *b += g;
@@ -459,6 +492,72 @@ mod tests {
             cold_evicted * 2 > evicted.len(),
             "cold shard should dominate eviction: {cold_evicted}/{}",
             evicted.len()
+        );
+    }
+
+    #[test]
+    fn shard_hits_sum_per_shard() {
+        let (mut cache, examples) = filled(4, 60);
+        assert_eq!(cache.shard_hits(), vec![0, 0, 0, 0]);
+        cache.record_access(examples[0].id);
+        cache.record_access(examples[0].id);
+        cache.record_access(examples[1].id);
+        let hits = cache.shard_hits();
+        assert_eq!(hits.iter().sum::<u64>(), 3);
+        let s0 = cache.shard_of(examples[0].id).unwrap();
+        assert!(hits[s0] >= 2);
+    }
+
+    #[test]
+    fn leftover_budget_follows_hit_counts_not_bytes_alone() {
+        // No offload gains anywhere: the whole budget flows through the
+        // leftover path. Concentrating retrieval hits on one shard must
+        // tilt its budget above the plain byte-share split.
+        let (mut cold, examples) = filled(2, 400);
+        let (mut hot, _) = filled(2, 400);
+        let target = hot.shard_of(examples[0].id).unwrap();
+        for e in &examples {
+            if hot.shard_of(e.id) == Some(target) {
+                for _ in 0..5 {
+                    hot.record_access(e.id);
+                }
+            }
+        }
+        let cap = cold.total_bytes() / 2;
+        let base = cold.plan_shard_budgets(cap, 0.0);
+        let tilted = hot.plan_shard_budgets(cap, 0.0);
+        assert!(
+            tilted[target] > base[target],
+            "hits must attract budget: {base:?} vs {tilted:?}"
+        );
+        assert!(tilted.iter().sum::<usize>() <= cap);
+        // And the tilt shows up in eviction: the hit-bearing shard
+        // loses fewer examples than under the byte-only split.
+        let evicted_hot_shard = hot
+            .rebalance(cap, 0.0)
+            .iter()
+            .filter(|id| {
+                examples
+                    .iter()
+                    .find(|e| e.id == **id)
+                    .map(|e| hot.shard_for_topic(e.topic) == target)
+                    .unwrap_or(false)
+            })
+            .count();
+        let evicted_cold_shard = cold
+            .rebalance(cap, 0.0)
+            .iter()
+            .filter(|id| {
+                examples
+                    .iter()
+                    .find(|e| e.id == **id)
+                    .map(|e| cold.shard_for_topic(e.topic) == target)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            evicted_hot_shard <= evicted_cold_shard,
+            "hits should shield the hot shard: {evicted_hot_shard} vs {evicted_cold_shard}"
         );
     }
 

@@ -1,6 +1,7 @@
 //! The cluster simulator: pools + the discrete-event iteration loop.
 
 use ic_desim::{SimDuration, Simulator};
+use ic_kvmem::KvStats;
 
 use crate::job::{JobResult, JobSpec};
 use crate::pool::{IterStats, ModelPool, Offer, PoolConfig};
@@ -74,6 +75,16 @@ impl ClusterSim {
         let mut total = IterStats::default();
         for p in &self.pools {
             total.merge(&p.iter_stats());
+        }
+        total
+    }
+
+    /// KV-memory counters merged across pools (all-zero when every pool
+    /// runs with KV modeling off).
+    pub fn kv_stats(&self) -> KvStats {
+        let mut total = KvStats::default();
+        for p in &self.pools {
+            total.merge(&p.kv_stats());
         }
         total
     }
@@ -160,6 +171,8 @@ mod tests {
             prefill_chunk_tokens: 0,
             preempt_decode_quantum: 0,
             max_queue: None,
+            kv_budget_blocks: 0,
+            ..PoolConfig::default()
         }]
     }
 
@@ -217,6 +230,8 @@ mod tests {
             prefill_chunk_tokens: 0,
             preempt_decode_quantum: 0,
             max_queue: None,
+            kv_budget_blocks: 0,
+            ..PoolConfig::default()
         }];
         // Capacity = 4 concurrent 1s jobs = 4 jobs/s.
         let light: f64 = {
@@ -257,6 +272,8 @@ mod tests {
                 prefill_chunk_tokens: 0,
                 preempt_decode_quantum: 0,
                 max_queue: None,
+                kv_budget_blocks: 0,
+                ..PoolConfig::default()
             }]);
             let rs = c.run(jobs.clone());
             rs.iter()
@@ -288,6 +305,8 @@ mod tests {
                 prefill_chunk_tokens: 0,
                 preempt_decode_quantum: 0,
                 max_queue: None,
+                kv_budget_blocks: 0,
+                ..PoolConfig::default()
             }]);
             let rs = c.run(jobs.clone());
             rs.iter().map(|r| r.e2e_secs()).sum::<f64>() / rs.len() as f64
@@ -305,6 +324,8 @@ mod tests {
             prefill_chunk_tokens: 0,
             preempt_decode_quantum: 0,
             max_queue: None,
+            kv_budget_blocks: 0,
+            ..PoolConfig::default()
         };
         let mut cluster = ClusterSim::new(vec![mk("a"), mk("b")]);
         // Saturate pool 0; pool 1 job must be unaffected.
@@ -341,6 +362,35 @@ mod tests {
         assert_eq!(stats.decode_steps, 10);
         assert!((stats.mean_step_batch() - 1.0).abs() < 1e-12);
         assert!(stats.chunked_prefill_ratio() > 0.0);
+    }
+
+    #[test]
+    fn kv_stats_aggregate_across_pools() {
+        // A tight KV budget forces pressure preemption inside the
+        // cluster replay while the slot count never binds.
+        let tight = PoolConfig {
+            name: "tight".into(),
+            replicas: 1,
+            slots_per_replica: 8,
+            congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 0,
+            max_queue: None,
+            kv_block_tokens: 8,
+            kv_budget_blocks: 8,
+            ..PoolConfig::default()
+        };
+        let mut cluster = ClusterSim::new(vec![tight]);
+        let results = cluster.run(jobs_from_tuples(&[
+            (0, 0, 0.0, 0.1, 1.0, 16, 40),
+            (1, 0, 0.0, 0.1, 1.0, 16, 40),
+        ]));
+        assert_eq!(results.len(), 2);
+        let kv = cluster.kv_stats();
+        assert!(kv.pressure_preemptions > 0, "pressure must fire: {kv:?}");
+        assert_eq!(kv.allocs, kv.frees, "blocks conserved across the replay");
+        assert!(kv.peak_blocks <= kv.total_blocks);
+        assert!(kv.mean_occupancy() > 0.0);
     }
 
     #[test]

@@ -15,12 +15,19 @@
 //!   only at step boundaries, and over-quantum decoders are preempted
 //!   per token when jobs queue behind them (see the [`pool`] module docs
 //!   for the full state machine).
+//! - A paged **KV-memory model** per pool (`ic-kvmem`): sequences hold
+//!   fixed-size KV blocks from a bounded per-replica budget, admission
+//!   is gated on projected prefill block demand, and a watermark
+//!   [`PressurePolicy`] swaps out victims (longest remaining decode
+//!   first) when a step's token growth cannot be served from free
+//!   blocks — so preemption is triggered by *memory pressure*, not just
+//!   slot demand (see the [`pool`] module docs).
 //! - A [`ClusterSim`] that replays a set of [`JobSpec`]s (arrival time +
 //!   zero-load prefill/decode costs + token counts, produced upstream by
 //!   `ic-llmsim`) through the pools, driving one `StepComplete` event per
 //!   busy pool on the deterministic `ic-desim` kernel.
 //! - [`metrics`] — per-request TTFT/E2E recording, windowed throughput,
-//!   and queue-cap reject counts.
+//!   queue-cap reject counts, and block-level KV counters ([`KvStats`]).
 
 pub mod cluster;
 pub mod job;
@@ -28,6 +35,7 @@ pub mod metrics;
 pub mod pool;
 
 pub use cluster::{ClusterSim, PoolId, jobs_from_tuples};
+pub use ic_kvmem::{KvStats, PressurePolicy, SwapModel, Watermarks};
 pub use job::{JobId, JobResult, JobSpec};
 pub use metrics::{ServingMetrics, busy_interval_rps};
 pub use pool::{FinishedSeq, IterStats, ModelPool, Offer, PoolConfig, StepReport};

@@ -1,5 +1,6 @@
 //! Serving metrics: latency percentiles and windowed throughput.
 
+use ic_kvmem::KvStats;
 use ic_stats::Percentiles;
 
 use crate::job::JobResult;
@@ -12,6 +13,7 @@ pub struct ServingMetrics {
     queue_wait: Percentiles,
     completions: Vec<f64>,
     rejected: u64,
+    kv: KvStats,
 }
 
 impl ServingMetrics {
@@ -42,6 +44,18 @@ impl ServingMetrics {
     /// [`crate::PoolConfig::max_queue`]).
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Attaches the cluster's KV-memory counters (see
+    /// [`crate::ClusterSim::kv_stats`]).
+    pub fn set_kv(&mut self, kv: KvStats) {
+        self.kv = kv;
+    }
+
+    /// Block-level KV-memory counters (all-zero unless attached via
+    /// [`ServingMetrics::set_kv`]).
+    pub fn kv(&self) -> KvStats {
+        self.kv
     }
 
     /// Mean user-perceived TTFT in seconds.

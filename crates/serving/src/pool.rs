@@ -50,6 +50,41 @@
 //! and re-queues with its progress intact (no tokens are lost or
 //! recomputed; resume continues from the same remaining counts).
 //!
+//! # Paged KV memory
+//!
+//! Slots bound concurrency, but the true capacity constraint of a
+//! replica is KV-cache memory. When [`PoolConfig::kv_budget_blocks`] is
+//! non-zero the pool runs an `ic_kvmem::BlockPool` beside the slot
+//! machine (vLLM's PagedAttention discipline):
+//!
+//! - **Admission** allocates a sequence's *projected prefill block
+//!   demand* (`ceil(prefill_tokens / kv_block_tokens)`, capped at one
+//!   replica budget) on the replica with the most free blocks; a job
+//!   whose demand does not fit — or that arrives with pool occupancy at
+//!   the high watermark — waits in the queue *even when slots are
+//!   free*.
+//! - **Growth**: each iteration a sequence's KV footprint grows by its
+//!   prefill chunk or by one decode token. Before the step's work is
+//!   accounted, the pool ensures every survivor's growth can be served
+//!   from free blocks; when it cannot, the [`PressurePolicy`] preempts
+//!   victims — **longest remaining decode first** — swapping their
+//!   blocks out (freed to the pool) and parking them on a swapped
+//!   queue. Swap-out/swap-in/recompute penalties are priced by the
+//!   configured [`SwapModel`] and charged to the next step's wall
+//!   clock.
+//! - **Resume**: swapped sequences return (blocks re-allocated, resume
+//!   penalty charged) once occupancy drains below the low watermark —
+//!   before any fresh admission, and unconditionally when the pool
+//!   would otherwise go idle with work parked (so tiny budgets degrade
+//!   instead of deadlocking).
+//! - A sequence longer than a whole replica budget runs with the full
+//!   budget and windows its tail into the last block, so a budget
+//!   smaller than one prefill chunk still makes progress.
+//!
+//! Block-level accounting (peak/mean occupancy, pressure preemptions,
+//! swap counts, internal fragmentation) is surfaced via
+//! [`ModelPool::kv_stats`].
+//!
 //! The driver loop (in `ic-engine` and [`crate::ClusterSim`]) schedules
 //! one `StepComplete` event per busy pool on the `ic_desim` kernel:
 //! [`ModelPool::step_secs`] prices the next iteration, and
@@ -60,6 +95,7 @@
 use std::collections::VecDeque;
 
 use ic_desim::SimTime;
+use ic_kvmem::{BlockId, BlockPool, KvStats, PressurePolicy, SwapModel, Watermarks};
 
 use crate::job::{JobId, JobSpec};
 
@@ -86,6 +122,24 @@ pub struct PoolConfig {
     /// Admission-queue cap: offers past it are rejected and counted in
     /// [`IterStats::queue_rejects`]. `None` is unbounded.
     pub max_queue: Option<usize>,
+    /// Tokens per KV block. Together with `kv_budget_blocks == 0` a zero
+    /// disables KV-memory modeling entirely (slot-only scheduling).
+    pub kv_block_tokens: u32,
+    /// KV blocks per replica (the memory budget). `0` disables KV
+    /// modeling.
+    pub kv_budget_blocks: u32,
+    /// High/low occupancy watermarks gating admission and resume.
+    pub kv_watermarks: Watermarks,
+    /// Swap-vs-recompute pricing for pressure preemptions.
+    pub kv_swap: SwapModel,
+}
+
+impl Default for PoolConfig {
+    /// One replica of eight slots with the `for_gpus` scheduler and KV
+    /// defaults.
+    fn default() -> Self {
+        Self::for_gpus("pool", 1, 1, 8)
+    }
 }
 
 impl PoolConfig {
@@ -105,12 +159,21 @@ impl PoolConfig {
             prefill_chunk_tokens: 256,
             preempt_decode_quantum: 64,
             max_queue: None,
+            kv_block_tokens: 16,
+            kv_budget_blocks: 1024,
+            kv_watermarks: Watermarks::DEFAULT,
+            kv_swap: SwapModel::DEFAULT,
         }
     }
 
     /// Total concurrent sequences across replicas.
     pub fn total_slots(&self) -> u32 {
         self.replicas * self.slots_per_replica
+    }
+
+    /// Whether KV-memory modeling is on.
+    pub fn kv_enabled(&self) -> bool {
+        self.kv_block_tokens > 0 && self.kv_budget_blocks > 0
     }
 }
 
@@ -192,6 +255,16 @@ struct Sequence {
     /// Consecutive decode iterations since (re-)admission.
     decode_run: u32,
     preemptions: u32,
+    /// Replica whose KV budget holds this sequence's blocks (meaningful
+    /// only while `kv_blocks` is non-empty).
+    replica: usize,
+    /// Allocated KV blocks (empty when KV modeling is off, or while
+    /// swapped out).
+    kv_blocks: Vec<BlockId>,
+    /// KV entries materialized so far (processed prefill tokens plus
+    /// decoded tokens). Survives swap-out — it is what resume must
+    /// restore.
+    kv_tokens: u64,
 }
 
 impl Sequence {
@@ -207,7 +280,16 @@ impl Sequence {
             remaining_decode,
             decode_run: 0,
             preemptions: 0,
+            replica: 0,
+            kv_blocks: Vec::new(),
+            kv_tokens: 0,
         }
+    }
+
+    /// Blocks this sequence needs when (re)materialized: its projected
+    /// prefill demand plus any decode growth already materialized.
+    fn kv_demand(&self, kv: &BlockPool) -> u32 {
+        kv.blocks_for(u64::from(self.prefill_total).max(self.kv_tokens))
     }
 
     fn finish(self, now: SimTime) -> FinishedSeq {
@@ -243,8 +325,14 @@ pub struct StepReport {
     pub finished: Vec<FinishedSeq>,
     /// Waiting sequences admitted into freed slots at this boundary.
     pub admitted: u32,
-    /// Running sequences preempted back to the queue at this boundary.
+    /// Running sequences preempted back to the queue at this boundary
+    /// (slot demand: the per-token quantum).
     pub preempted: u32,
+    /// Running sequences swapped out at this boundary because their
+    /// replica could not serve the step's KV growth (memory pressure).
+    pub pressure_preempted: u32,
+    /// Swapped-out sequences brought back at this boundary.
+    pub resumed: u32,
 }
 
 /// Runtime state of one pool.
@@ -255,6 +343,16 @@ pub struct ModelPool {
     slots: Vec<Sequence>,
     /// Waiting sequences: fresh arrivals and preempted sequences.
     queue: VecDeque<Sequence>,
+    /// Sequences swapped out under memory pressure, in swap order; they
+    /// resume ahead of any fresh admission.
+    swapped: VecDeque<Sequence>,
+    /// The paged KV allocator (`None` when KV modeling is off).
+    kv: Option<BlockPool>,
+    /// Watermark gates + swap pricing.
+    policy: PressurePolicy,
+    /// Swap/recompute seconds accrued at the last boundary, charged to
+    /// the next iteration's wall clock.
+    pending_penalty_secs: f64,
     /// Peak queue length observed (diagnostics).
     peak_queue: usize,
     /// Total jobs granted a slot for the first time.
@@ -265,10 +363,25 @@ pub struct ModelPool {
 impl ModelPool {
     /// Creates an idle pool.
     pub fn new(config: PoolConfig) -> Self {
+        let kv = config.kv_enabled().then(|| {
+            BlockPool::new(
+                config.replicas.max(1),
+                config.kv_budget_blocks,
+                config.kv_block_tokens,
+            )
+        });
+        let policy = PressurePolicy {
+            watermarks: config.kv_watermarks,
+            swap: config.kv_swap,
+        };
         Self {
             config,
             slots: Vec::new(),
             queue: VecDeque::new(),
+            swapped: VecDeque::new(),
+            kv,
+            policy,
+            pending_penalty_secs: 0.0,
             peak_queue: 0,
             admitted: 0,
             stats: IterStats::default(),
@@ -310,6 +423,30 @@ impl ModelPool {
         self.stats
     }
 
+    /// KV-memory counters (all-zero when KV modeling is off).
+    pub fn kv_stats(&self) -> KvStats {
+        self.kv.as_ref().map(BlockPool::stats).unwrap_or_default()
+    }
+
+    /// Sequences currently swapped out under memory pressure.
+    pub fn swapped_len(&self) -> usize {
+        self.swapped.len()
+    }
+
+    /// Fraction of the KV block budget in use (`0` when KV modeling is
+    /// off).
+    pub fn kv_occupancy(&self) -> f64 {
+        self.kv.as_ref().map_or(0.0, BlockPool::occupancy)
+    }
+
+    /// Blocks a job's projected prefill demand would claim at admission
+    /// (`0` when KV modeling is off).
+    pub fn projected_prefill_blocks(&self, job: &JobSpec) -> u32 {
+        self.kv
+            .as_ref()
+            .map_or(0, |kv| kv.blocks_for(u64::from(job.prefill_tokens.max(1))))
+    }
+
     /// Occupancy fraction in `[0, 1]`.
     pub fn occupancy(&self) -> f64 {
         f64::from(self.active()) / f64::from(self.config.total_slots().max(1))
@@ -348,9 +485,19 @@ impl ModelPool {
     /// [`ModelPool::step_secs`]; otherwise it queues until a step
     /// boundary (or is rejected by the queue cap).
     pub fn offer(&mut self, job: JobSpec, now: SimTime) -> Offer {
-        if self.slots.is_empty() && self.queue.is_empty() {
+        if self.slots.is_empty() && self.queue.is_empty() && self.swapped.is_empty() {
             let mut seq = Sequence::new(job);
             seq.started = Some(now);
+            if let Some(kv) = &mut self.kv {
+                // The pool is fully idle, so every replica is empty and
+                // the (budget-capped) prefill demand always fits.
+                let replica = kv.least_loaded_replica();
+                let blocks = kv
+                    .try_alloc(replica, seq.kv_demand(kv))
+                    .expect("idle pool has a free replica");
+                seq.replica = replica;
+                seq.kv_blocks = blocks;
+            }
             self.admitted += 1;
             self.slots.push(seq);
             return Offer::Started;
@@ -369,7 +516,8 @@ impl ModelPool {
     /// Wall-clock duration of the next iteration: the maximum over batch
     /// members of their per-iteration cost (prefill chunks at zero-load
     /// rate, decode tokens stretched by the congestion factor at the
-    /// current occupancy). `None` while the pool is idle.
+    /// current occupancy), plus any swap/recompute penalty accrued at
+    /// the previous boundary. `None` while the pool is idle.
     pub fn step_secs(&self) -> Option<f64> {
         if self.slots.is_empty() {
             return None;
@@ -387,23 +535,136 @@ impl ModelPool {
             };
             dur = dur.max(cost);
         }
-        Some(dur)
+        Some(dur + self.pending_penalty_secs)
+    }
+
+    /// Ensures every running sequence's KV growth for this iteration
+    /// can be served from free blocks, swapping out victims (longest
+    /// remaining decode first, never the last sequence on a replica)
+    /// when it cannot, then performs the growth allocations. Returns
+    /// the number of sequences pressure-preempted.
+    fn serve_kv_growth(&mut self) -> u32 {
+        let chunk_cfg = self.config.prefill_chunk_tokens;
+        // KV tokens the iteration materializes for a sequence: its
+        // prefill chunk, or one decode token (must mirror what Phase 1
+        // actually charges).
+        let tokens_after_growth = |s: &Sequence| -> u64 {
+            s.kv_tokens
+                + u64::from(if s.remaining_prefill > 0 {
+                    if chunk_cfg == 0 {
+                        s.remaining_prefill
+                    } else {
+                        s.remaining_prefill.min(chunk_cfg)
+                    }
+                } else {
+                    1
+                })
+        };
+        let Some(kv) = &mut self.kv else {
+            return 0;
+        };
+        let mut preempted = 0u32;
+        for replica in 0..kv.num_replicas() {
+            // Swap out victims until the replica's growth demand fits.
+            loop {
+                let needed: u32 = self
+                    .slots
+                    .iter()
+                    .filter(|s| s.replica == replica)
+                    .map(|s| {
+                        kv.blocks_for(tokens_after_growth(s))
+                            .saturating_sub(s.kv_blocks.len() as u32)
+                    })
+                    .sum();
+                if needed <= kv.free_blocks(replica) {
+                    break;
+                }
+                let residents = self.slots.iter().filter(|s| s.replica == replica).count();
+                if residents <= 1 {
+                    // The last sequence must make progress: it windows
+                    // its tail into its allocated blocks instead.
+                    break;
+                }
+                // Victim: longest remaining decode, earliest slot on
+                // ties (deterministic).
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.replica == replica)
+                    .max_by(|(ia, a), (ib, b)| {
+                        a.remaining_decode.cmp(&b.remaining_decode).then(ib.cmp(ia))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("residents > 1");
+                let mut seq = self.slots.remove(victim);
+                let blocks = std::mem::take(&mut seq.kv_blocks);
+                self.pending_penalty_secs += self.policy.swap_out_penalty(blocks.len() as u32);
+                kv.free(blocks);
+                kv.note_pressure_swap_out();
+                seq.decode_run = 0;
+                seq.preemptions += 1;
+                preempted += 1;
+                self.swapped.push_back(seq);
+            }
+            // Grant what fits; a shortfall (only possible for the last
+            // resident) is absorbed by the block-window cap.
+            for s in self.slots.iter_mut().filter(|s| s.replica == replica) {
+                let need = kv
+                    .blocks_for(tokens_after_growth(s))
+                    .saturating_sub(s.kv_blocks.len() as u32);
+                let grant = need.min(kv.free_blocks(replica));
+                if grant > 0 {
+                    let blocks = kv.try_alloc(replica, grant).expect("grant <= free");
+                    s.kv_blocks.extend(blocks);
+                }
+            }
+        }
+        preempted
     }
 
     /// Executes the iteration ending at `now`: advances every running
     /// sequence by one token step, retires finished sequences, preempts
     /// over-quantum decoders when more jobs wait than slots freed, and
     /// admits waiting sequences into free slots — all at this single step
-    /// boundary. The caller reschedules the next `StepComplete` iff
-    /// [`ModelPool::active`] stays positive.
+    /// boundary. With KV modeling on, the boundary first ensures the
+    /// step's token growth fits in free blocks (swapping out victims
+    /// under pressure), and resume/admission are additionally gated on
+    /// the block budget and its watermarks. The caller reschedules the
+    /// next `StepComplete` iff [`ModelPool::active`] stays positive.
     pub fn advance_step(&mut self, now: SimTime) -> StepReport {
         let batch = self.slots.len();
         let mut report = StepReport::default();
         if batch == 0 {
             return report;
         }
+        // The iteration that just ran was priced with the penalties
+        // accrued before it; start accruing for the next one.
+        self.pending_penalty_secs = 0.0;
+
+        // Phase 0: memory admission for this step's KV growth. Victims
+        // swapped out here do not advance (their slot work was already
+        // paid for in the lockstep price — the cost of late preemption).
+        report.pressure_preempted = self.serve_kv_growth();
+
+        let batch = self.slots.len();
+        if batch == 0 {
+            // Unreachable in practice (the last resident is never a
+            // victim), but keep the report shape sane.
+            return report;
+        }
         self.stats.steps += 1;
         self.stats.seq_steps += batch as u64;
+
+        // Sample block occupancy / fragmentation BEFORE retirement so
+        // blocks held only for this step (e.g. a zero-decode job's
+        // prefill allocation, freed below) still register in the
+        // peak/mean aggregates. Post-Phase-0 allocation state is
+        // exactly the memory held while the step executed.
+        if let Some(kv) = &mut self.kv {
+            let used_tokens: u64 = self.slots.iter().map(|s| s.kv_tokens).sum();
+            kv.note_step(used_tokens);
+        }
 
         // Phase 1: every batch member advances one unit of work.
         let prev = std::mem::take(&mut self.slots);
@@ -411,11 +672,13 @@ impl ModelPool {
             if s.remaining_prefill > 0 {
                 let chunk = self.chunk_of(s.remaining_prefill);
                 s.remaining_prefill -= chunk;
+                s.kv_tokens += u64::from(chunk);
                 self.stats.chunk_steps += 1;
                 if s.remaining_prefill == 0 && s.remaining_decode == 0 {
                     // Zero-output job: the prompt's forward pass is the
                     // entire service; first token falls at prefill end.
                     s.first_token.get_or_insert(now);
+                    self.retire_kv(&mut s);
                     report.finished.push(s.finish(now));
                     continue;
                 }
@@ -423,9 +686,11 @@ impl ModelPool {
                 debug_assert!(s.remaining_decode > 0, "drained sequence kept a slot");
                 s.remaining_decode -= 1;
                 s.decode_run += 1;
+                s.kv_tokens += 1;
                 self.stats.decode_steps += 1;
                 s.first_token.get_or_insert(now);
                 if s.remaining_decode == 0 {
+                    self.retire_kv(&mut s);
                     report.finished.push(s.finish(now));
                     continue;
                 }
@@ -436,6 +701,10 @@ impl ModelPool {
         // Phase 2: per-token preemption. Only when demand exceeds the
         // slots this boundary freed does an over-quantum decoder yield;
         // it re-queues behind the waiters with its progress intact.
+        // Under KV modeling a yielding sequence also releases its
+        // blocks (a paged engine cannot park KV state in a queue
+        // without pinning memory above the watermarks), paying the
+        // swap-out price now and the swap-in price at re-admission.
         let quantum = self.config.preempt_decode_quantum;
         if quantum > 0 && !self.queue.is_empty() {
             let free = self.config.total_slots() as usize - self.slots.len();
@@ -453,6 +722,13 @@ impl ModelPool {
                         self.stats.preemptions += 1;
                         report.preempted += 1;
                         need -= 1;
+                        if let Some(kv) = &mut self.kv {
+                            let blocks = std::mem::take(&mut s.kv_blocks);
+                            self.pending_penalty_secs +=
+                                self.policy.swap_out_penalty(blocks.len() as u32);
+                            kv.free(blocks);
+                            kv.note_swap_out();
+                        }
                         self.queue.push_back(s);
                     } else {
                         self.slots.push(s);
@@ -462,11 +738,82 @@ impl ModelPool {
             }
         }
 
-        // Phase 3: boundary admission into freed slots, FIFO.
-        while (self.slots.len() as u32) < self.config.total_slots() {
-            let Some(mut s) = self.queue.pop_front() else {
+        // Phase 3a: resume swapped-out sequences ahead of any fresh
+        // admission, once memory has drained below the low watermark.
+        while (self.slots.len() as u32) < self.config.total_slots() && !self.swapped.is_empty() {
+            let Some(kv) = &mut self.kv else {
+                unreachable!("swapped sequences only exist with KV modeling on");
+            };
+            if !self.policy.can_resume(kv.occupancy()) {
+                break;
+            }
+            let need = self
+                .swapped
+                .front()
+                .expect("checked non-empty")
+                .kv_demand(kv);
+            let replica = kv.least_loaded_replica();
+            let Some(blocks) = kv.try_alloc(replica, need) else {
                 break;
             };
+            kv.note_swap_in();
+            let mut s = self.swapped.pop_front().expect("checked non-empty");
+            self.pending_penalty_secs += self.policy.resume_penalty(need, s.kv_tokens);
+            s.replica = replica;
+            s.kv_blocks = blocks;
+            report.resumed += 1;
+            self.slots.push(s);
+        }
+
+        // Phase 3b: boundary admission into freed slots, FIFO. Under KV
+        // modeling every queue entry is blockless (fresh, or evicted by
+        // a quantum preemption), so admission allocates its demand —
+        // gated on the high watermark and on the blocks actually
+        // fitting; an evicted sequence re-entering is a swap-in and
+        // pays the resume price.
+        while (self.slots.len() as u32) < self.config.total_slots() {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if let Some(kv) = &mut self.kv {
+                debug_assert!(
+                    front.kv_blocks.is_empty(),
+                    "queued sequences hold no blocks"
+                );
+                // Swapped-out victims have strict priority: admitting
+                // fresh work while they wait would hold occupancy in
+                // the [low, high) band and starve already-started
+                // sequences indefinitely (vLLM likewise admits nothing
+                // while its swapped queue is non-empty).
+                if !self.swapped.is_empty() {
+                    break;
+                }
+                if self.policy.under_pressure(kv.occupancy()) {
+                    break;
+                }
+                let need = front.kv_demand(kv);
+                let replica = kv.least_loaded_replica();
+                let Some(blocks) = kv.try_alloc(replica, need) else {
+                    break;
+                };
+                let mut s = self.queue.pop_front().expect("front exists");
+                if s.kv_tokens > 0 {
+                    // Quantum-evicted earlier: bringing its KV state
+                    // back is a swap-in.
+                    kv.note_swap_in();
+                    self.pending_penalty_secs += self.policy.resume_penalty(need, s.kv_tokens);
+                }
+                s.replica = replica;
+                s.kv_blocks = blocks;
+                if s.started.is_none() {
+                    s.started = Some(now);
+                    self.admitted += 1;
+                }
+                report.admitted += 1;
+                self.slots.push(s);
+                continue;
+            }
+            let mut s = self.queue.pop_front().expect("front exists");
             if s.started.is_none() {
                 s.started = Some(now);
                 self.admitted += 1;
@@ -474,11 +821,58 @@ impl ModelPool {
             report.admitted += 1;
             self.slots.push(s);
         }
+
+        // Phase 3c: progress guarantee. If every gate above refused and
+        // the pool is about to idle with work parked, force one
+        // admission so a step event stays armed: the swapped front
+        // first, then the queue front. No live sequence holds a block
+        // here, so a budget-capped demand always fits.
+        if self.slots.is_empty()
+            && let Some(kv) = &mut self.kv
+        {
+            let from_swap = !self.swapped.is_empty();
+            let seq = if from_swap {
+                self.swapped.pop_front()
+            } else {
+                self.queue.pop_front()
+            };
+            if let Some(mut s) = seq {
+                let need = s.kv_demand(kv);
+                let replica = kv.least_loaded_replica();
+                let blocks = kv
+                    .try_alloc(replica, need)
+                    .expect("an empty pool fits a capped demand");
+                if from_swap || s.kv_tokens > 0 {
+                    kv.note_swap_in();
+                    self.pending_penalty_secs += self.policy.resume_penalty(need, s.kv_tokens);
+                }
+                s.replica = replica;
+                s.kv_blocks = blocks;
+                if s.started.is_none() {
+                    s.started = Some(now);
+                    self.admitted += 1;
+                }
+                if from_swap {
+                    report.resumed += 1;
+                } else {
+                    report.admitted += 1;
+                }
+                self.slots.push(s);
+            }
+        }
         report
     }
 
+    /// Frees a retiring sequence's KV blocks back to the pool.
+    fn retire_kv(&mut self, s: &mut Sequence) {
+        if let Some(kv) = &mut self.kv {
+            kv.free(std::mem::take(&mut s.kv_blocks));
+        }
+    }
+
     /// Drops every queued job (failover drain); running sequences keep
-    /// their slots.
+    /// their slots and swapped-out sequences stay parked for resume.
+    /// Queued sequences hold no KV blocks, so nothing needs freeing.
     pub fn drain_queue(&mut self) -> Vec<JobId> {
         let ids = self.queue.iter().map(|s| s.job.id).collect();
         self.queue.clear();
@@ -507,6 +901,7 @@ mod tests {
         }
     }
 
+    /// Slot-only pool (KV modeling off) for the scheduler-shape tests.
     fn pool_with(slots: u32, chunk: u32, quantum: u32, max_queue: Option<usize>) -> ModelPool {
         ModelPool::new(PoolConfig {
             name: "test".into(),
@@ -516,6 +911,29 @@ mod tests {
             prefill_chunk_tokens: chunk,
             preempt_decode_quantum: quantum,
             max_queue,
+            kv_budget_blocks: 0,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// Pool with KV modeling on: `budget` blocks of `block_tokens`
+    /// tokens per replica, free-cost swaps (timing tests stay exact).
+    fn kv_pool(slots: u32, block_tokens: u32, budget: u32, marks: Watermarks) -> ModelPool {
+        ModelPool::new(PoolConfig {
+            name: "kv".into(),
+            replicas: 1,
+            slots_per_replica: slots,
+            congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 0,
+            max_queue: None,
+            kv_block_tokens: block_tokens,
+            kv_budget_blocks: budget,
+            kv_watermarks: marks,
+            kv_swap: SwapModel::Swap {
+                out_secs_per_block: 0.0,
+                in_secs_per_block: 0.0,
+            },
         })
     }
 
@@ -695,6 +1113,8 @@ mod tests {
                 prefill_chunk_tokens: 0,
                 preempt_decode_quantum: 0,
                 max_queue: None,
+                kv_budget_blocks: 0,
+                ..PoolConfig::default()
             });
             for i in 0..n_jobs {
                 p.offer(job_with(i, 0.0, 1.0, 1, 20), SimTime::ZERO);
@@ -736,6 +1156,265 @@ mod tests {
         assert!((q.prefill_secs(&job(1)) - 0.1).abs() < 1e-12);
     }
 
+    /// The acceptance-criterion scenario: memory pressure — not slot
+    /// demand — triggers preemption while free slots remain.
+    #[test]
+    fn pressure_preempts_while_slots_are_free() {
+        // 4 slots but only 8 blocks x 8 tokens = 64 KV tokens. Two jobs
+        // of 16 prefill + 40 decode grow to 56 tokens (7 blocks) each:
+        // together they exhaust the budget mid-decode with 2 slots
+        // still free and the quantum preemption disabled.
+        let mut p = kv_pool(4, 8, 8, Watermarks::new(1.0, 1.0));
+        p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 2, "both jobs complete despite pressure");
+        let kv = p.kv_stats();
+        assert!(
+            kv.pressure_preemptions > 0,
+            "budget exhaustion must preempt: {kv:?}"
+        );
+        assert_eq!(kv.swap_outs, kv.pressure_preemptions);
+        assert!(kv.swap_ins > 0, "victims must resume");
+        assert_eq!(
+            p.iter_stats().preemptions,
+            0,
+            "slot-demand quantum preemption stayed off — pressure was the trigger"
+        );
+        // Exactly the token budgets executed: nothing lost or repeated.
+        assert_eq!(p.iter_stats().decode_steps, 80);
+        // Blocks conserved: everything allocated was freed.
+        assert_eq!(kv.allocs, kv.frees);
+        assert_eq!(p.kv_occupancy(), 0.0);
+        assert_eq!(p.swapped_len(), 0);
+    }
+
+    #[test]
+    fn admission_waits_for_prefill_blocks_not_slots() {
+        // 4 slots, 4 blocks x 8 tokens. Job 1 claims 3 blocks of
+        // projected prefill; job 2 needs 3 more and must queue even
+        // though 3 slots are free.
+        let mut p = kv_pool(4, 8, 4, Watermarks::new(1.0, 1.0));
+        assert_eq!(
+            p.offer(job_with(1, 0.2, 0.5, 24, 4), SimTime::ZERO),
+            Offer::Started
+        );
+        assert_eq!(
+            p.offer(job_with(2, 0.2, 0.5, 24, 4), SimTime::ZERO),
+            Offer::Queued
+        );
+        let dt = p.step_secs().unwrap();
+        p.advance_step(SimTime::from_secs_f64(dt));
+        assert_eq!(p.active(), 1, "job 2 gated on blocks, not slots");
+        assert_eq!(p.queue_len(), 1);
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 2, "job 2 admitted once job 1 frees blocks");
+    }
+
+    #[test]
+    fn swapped_victims_outrank_fresh_admissions() {
+        // Two fat jobs thrash a tiny budget; a third fresh job queues
+        // behind them. While any victim waits swapped out, the fresh
+        // job must never be admitted — otherwise fresh arrivals hold
+        // occupancy in the watermark band and starve already-started
+        // work indefinitely.
+        let mut p = kv_pool(2, 8, 8, Watermarks::new(1.0, 1.0));
+        p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        p.offer(job_with(3, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        let mut now = 0.0;
+        let mut guard = 0;
+        let mut saw_swapped_with_fresh_waiting = false;
+        while let Some(dt) = p.step_secs() {
+            now += dt;
+            let report = p.advance_step(SimTime::from_secs_f64(now));
+            if p.swapped_len() > 0 && p.queue_len() > 0 {
+                saw_swapped_with_fresh_waiting = true;
+            }
+            // Any boundary that admits queue work must have emptied the
+            // swapped queue first (phase 3a resumes outrank 3b admits).
+            assert!(
+                report.admitted == 0 || p.swapped_len() == 0,
+                "fresh admission while a victim waited swapped out"
+            );
+            guard += 1;
+            assert!(guard < 100_000, "runaway loop");
+        }
+        assert!(
+            saw_swapped_with_fresh_waiting,
+            "scenario must exercise the contested state"
+        );
+        assert_eq!(p.admitted(), 3, "the fresh job runs once victims drain");
+        assert_eq!(p.kv_stats().allocs, p.kv_stats().frees);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_prefill_chunk_still_progresses() {
+        // 2 blocks x 4 tokens = 8 KV tokens against a 600-token prompt
+        // processed in one unchunked iteration: the sequence windows
+        // into its capped allocation and completes.
+        let mut p = kv_pool(1, 4, 2, Watermarks::new(1.0, 1.0));
+        assert_eq!(
+            p.offer(job_with(1, 0.5, 0.2, 600, 8), SimTime::ZERO),
+            Offer::Started
+        );
+        let (done, now) = drain(&mut p);
+        assert_eq!(done.len(), 1);
+        assert!((now - 0.7).abs() < 1e-9, "timing unchanged by the cap");
+        let kv = p.kv_stats();
+        assert_eq!(kv.peak_blocks, 2, "never more than the budget");
+        assert_eq!(kv.allocs, kv.frees);
+        assert_eq!(
+            kv.pressure_preemptions, 0,
+            "a lone sequence is never a victim"
+        );
+    }
+
+    #[test]
+    fn watermarks_equal_to_budget_preempt_only_on_hard_failure() {
+        // high == low == 1.0: admission stays open until the pool is
+        // literally full and swapped work resumes as soon as any block
+        // frees. Three fat jobs over a tiny budget must thrash through
+        // swaps yet complete with exact token counts.
+        let mut p = kv_pool(4, 4, 6, Watermarks::new(1.0, 1.0));
+        for i in 1..=3 {
+            p.offer(job_with(i, 0.1, 0.5, 8, 20), SimTime::ZERO);
+        }
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 3);
+        assert_eq!(p.iter_stats().decode_steps, 60);
+        let kv = p.kv_stats();
+        assert!(kv.pressure_preemptions > 0);
+        assert_eq!(kv.swap_ins, kv.swap_outs, "every victim resumed");
+        assert_eq!(kv.allocs, kv.frees);
+    }
+
+    #[test]
+    fn swap_penalties_stretch_the_step_clock() {
+        let run = |out_cost: f64, in_cost: f64| {
+            let mut p = ModelPool::new(PoolConfig {
+                name: "kv".into(),
+                replicas: 1,
+                slots_per_replica: 4,
+                congestion_beta: 0.0,
+                prefill_chunk_tokens: 0,
+                preempt_decode_quantum: 0,
+                max_queue: None,
+                kv_block_tokens: 8,
+                kv_budget_blocks: 8,
+                kv_watermarks: Watermarks::new(1.0, 1.0),
+                kv_swap: SwapModel::Swap {
+                    out_secs_per_block: out_cost,
+                    in_secs_per_block: in_cost,
+                },
+            });
+            p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            let (done, now) = drain(&mut p);
+            assert_eq!(done.len(), 2);
+            (p.kv_stats(), now)
+        };
+        let (free_kv, free_secs) = run(0.0, 0.0);
+        let (paid_kv, paid_secs) = run(0.01, 0.01);
+        assert!(free_kv.pressure_preemptions > 0, "scenario must thrash");
+        assert_eq!(free_kv.swap_outs, paid_kv.swap_outs, "same schedule");
+        assert!(
+            paid_secs > free_secs + 1e-9,
+            "swap costs must show up on the clock: {free_secs} vs {paid_secs}"
+        );
+    }
+
+    #[test]
+    fn recompute_model_charges_resume_only() {
+        let run = |secs_per_token: f64| {
+            let mut p = ModelPool::new(PoolConfig {
+                name: "kv".into(),
+                replicas: 1,
+                slots_per_replica: 4,
+                congestion_beta: 0.0,
+                prefill_chunk_tokens: 0,
+                preempt_decode_quantum: 0,
+                max_queue: None,
+                kv_block_tokens: 8,
+                kv_budget_blocks: 8,
+                kv_watermarks: Watermarks::new(1.0, 1.0),
+                kv_swap: SwapModel::Recompute { secs_per_token },
+            });
+            p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            let (done, now) = drain(&mut p);
+            assert_eq!(done.len(), 2);
+            (p.kv_stats(), now)
+        };
+        let (free_kv, free_secs) = run(0.0);
+        let (paid_kv, paid_secs) = run(1e-3);
+        assert!(free_kv.swap_ins > 0, "scenario must thrash");
+        assert_eq!(free_kv.swap_ins, paid_kv.swap_ins, "same schedule");
+        // Each resume recomputes tens of KV tokens at 1ms each.
+        assert!(
+            paid_secs > free_secs + 0.01,
+            "recompute time must be charged: {free_secs} vs {paid_secs}"
+        );
+    }
+
+    #[test]
+    fn kv_disabled_pool_reports_zero_stats() {
+        let mut p = pool_with(2, 0, 0, None);
+        p.offer(job(1), SimTime::ZERO);
+        let _ = drain(&mut p);
+        assert_eq!(p.kv_stats(), ic_kvmem::KvStats::default());
+        assert_eq!(p.kv_occupancy(), 0.0);
+        assert_eq!(p.projected_prefill_blocks(&job(2)), 0);
+    }
+
+    #[test]
+    fn quantum_preemption_releases_blocks() {
+        // A slot-demand (quantum) preemption must release the victim's
+        // KV blocks — a paged engine cannot park KV state in a queue —
+        // and re-admission counts as a swap-in.
+        let mut p = ModelPool::new(PoolConfig {
+            name: "kv".into(),
+            replicas: 1,
+            slots_per_replica: 1,
+            congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 2,
+            max_queue: None,
+            kv_block_tokens: 8,
+            kv_budget_blocks: 64,
+            kv_watermarks: Watermarks::DEFAULT,
+            kv_swap: SwapModel::DEFAULT,
+        });
+        p.offer(job_with(1, 0.0, 1.0, 8, 12), SimTime::ZERO);
+        p.offer(job_with(2, 0.0, 1.0, 8, 12), SimTime::ZERO);
+        // Step until the first quantum preemption evicts job 1.
+        let mut now = 0.0;
+        let mut guard = 0;
+        while p.iter_stats().preemptions == 0 {
+            let dt = p.step_secs().expect("pool busy");
+            now += dt;
+            p.advance_step(SimTime::from_secs_f64(now));
+            guard += 1;
+            assert!(guard < 1_000, "no quantum preemption happened");
+        }
+        let kv = p.kv_stats();
+        assert!(kv.swap_outs > 0, "quantum eviction is a swap-out");
+        assert_eq!(
+            kv.pressure_preemptions, 0,
+            "slot demand, not memory pressure, was the trigger"
+        );
+        // Only the running sequence holds memory now.
+        let held = kv.allocs - kv.frees;
+        assert!(held <= p.kv_stats().peak_blocks);
+        assert_eq!(p.queue_len(), 1, "victim parked blockless in the queue");
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 2);
+        let kv = p.kv_stats();
+        assert!(kv.swap_ins > 0, "victim re-admission swapped back in");
+        assert_eq!(kv.allocs, kv.frees, "blocks conserved");
+        assert_eq!(p.iter_stats().decode_steps, 24, "no tokens lost");
+    }
+
     #[test]
     fn for_gpus_sizes_replicas() {
         let large = PoolConfig::for_gpus("large", 16, 8, 16);
@@ -746,6 +1425,8 @@ mod tests {
         assert!(large.prefill_chunk_tokens > 0, "chunked prefill on");
         assert!(large.preempt_decode_quantum > 0, "preemption on");
         assert!(large.max_queue.is_none(), "unbounded queue by default");
+        assert!(large.kv_enabled(), "paged KV memory on by default");
+        assert!(large.kv_watermarks.low <= large.kv_watermarks.high);
         // A model bigger than the cluster still gets one replica.
         let huge = PoolConfig::for_gpus("huge", 4, 16, 8);
         assert_eq!(huge.replicas, 1);

@@ -79,6 +79,7 @@ fn main() {
     ]);
     let mut ic_metrics = ServingMetrics::from_results(&cluster.run(jobs));
     ic_metrics.set_rejected(cluster.rejected());
+    ic_metrics.set_kv(cluster.kv_stats());
 
     // Always-large baseline on the same 16 GPUs.
     let mut large_cluster = ClusterSim::new(vec![PoolConfig::for_gpus(
@@ -122,5 +123,18 @@ fn main() {
         iter.chunked_prefill_ratio() * 100.0,
         iter.preemptions,
         ic_metrics.rejected(),
+    );
+    let kv = ic_metrics.kv();
+    println!(
+        "paged KV memory: {}/{} peak blocks ({:.1}% peak, {:.1}% mean occupancy), \
+         {} pressure preemptions, {} swap-outs / {} swap-ins, fragmentation {:.1}%",
+        kv.peak_blocks,
+        kv.total_blocks,
+        kv.peak_occupancy() * 100.0,
+        kv.mean_occupancy() * 100.0,
+        kv.pressure_preemptions,
+        kv.swap_outs,
+        kv.swap_ins,
+        kv.fragmentation_ratio() * 100.0,
     );
 }

@@ -10,6 +10,7 @@ pub use ic_desim as desim;
 pub use ic_embed as embed;
 pub use ic_engine as engine;
 pub use ic_judge as judge;
+pub use ic_kvmem as kvmem;
 pub use ic_llmsim as llmsim;
 pub use ic_manager as manager;
 pub use ic_router as router;

@@ -163,6 +163,10 @@ proptest! {
             prefill_chunk_tokens: chunk,
             preempt_decode_quantum: 0,
             max_queue: None,
+            // KV on at the for_gpus default budget: a single job at
+            // zero load never triggers pressure, so the iteration
+            // model must still match the occupancy-stretch estimate.
+            ..PoolConfig::default()
         };
         let job = JobSpec {
             id: JobId(0),
@@ -187,6 +191,79 @@ proptest! {
             "iteration model {} vs occupancy-stretch {} (tol {})",
             got, expected, tol
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// KV blocks are conserved across the full scheduler lifecycle —
+    /// admission alloc, growth alloc, quantum eviction, pressure
+    /// swap-out, resume re-alloc, retire free — for arbitrary job
+    /// mixes over arbitrarily tight budgets: every job completes with
+    /// its exact token budget executed, every allocated block is freed
+    /// (the allocator panics on double frees), and the pool ends
+    /// empty. Covers budgets smaller than one prefill chunk and
+    /// watermarks equal to the budget.
+    #[test]
+    fn kv_blocks_conserved_across_preempt_swap_resume(
+        n_jobs in 1usize..10,
+        slots in 1u32..6,
+        block_tokens in 1u32..24,
+        budget in 1u32..40,
+        quantum in 0u32..6,
+        chunk in 0u32..64,
+        high_tenths in 5u32..11,
+        ptoks in 1u32..300,
+        dtoks in 0u32..60,
+    ) {
+        let cfg = PoolConfig {
+            name: "p".into(),
+            replicas: 1,
+            slots_per_replica: slots,
+            congestion_beta: 0.3,
+            prefill_chunk_tokens: chunk,
+            preempt_decode_quantum: quantum,
+            max_queue: None,
+            kv_block_tokens: block_tokens,
+            kv_budget_blocks: budget,
+            // high == low exercises the degenerate watermark pair up
+            // to and including watermarks equal to the whole budget.
+            kv_watermarks: ic_serving::Watermarks::new(
+                f64::from(high_tenths) / 10.0,
+                f64::from(high_tenths) / 10.0,
+            ),
+            kv_swap: ic_serving::SwapModel::Swap {
+                out_secs_per_block: 1e-4,
+                in_secs_per_block: 1e-4,
+            },
+        };
+        let jobs: Vec<JobSpec> = (0..n_jobs as u64)
+            .map(|i| JobSpec {
+                id: JobId(i),
+                pool: 0,
+                arrival: SimTime::from_secs_f64(i as f64 * 0.01),
+                ttft_secs: 0.05,
+                decode_secs: 0.4,
+                // Vary sizes across jobs deterministically.
+                prefill_tokens: ptoks + (i as u32 * 37) % 200,
+                decode_tokens: dtoks + (i as u32 * 13) % 40,
+            })
+            .collect();
+        let total_decode: u64 = jobs.iter().map(|j| u64::from(j.decode_tokens)).sum();
+        let mut cluster = ClusterSim::new(vec![cfg]);
+        let results = cluster.run(jobs);
+        prop_assert_eq!(results.len(), n_jobs, "every job completes");
+        let kv = cluster.kv_stats();
+        prop_assert_eq!(kv.allocs, kv.frees, "no leaked or double-freed blocks");
+        prop_assert!(kv.peak_blocks <= kv.total_blocks);
+        prop_assert_eq!(
+            cluster.iter_stats().decode_steps, total_decode,
+            "preempt/swap/resume must not lose or repeat tokens"
+        );
+        prop_assert_eq!(cluster.pool(0).active(), 0);
+        prop_assert_eq!(cluster.pool(0).swapped_len(), 0);
+        prop_assert_eq!(cluster.pool(0).queue_len(), 0);
     }
 }
 

@@ -6,8 +6,23 @@
 //! warm-up + fixed-duration measurement loop printing mean ns/iteration —
 //! adequate for the relative comparisons the benches make, without the
 //! statistical machinery of real criterion.
+//!
+//! Like upstream criterion, the first non-flag CLI argument is a
+//! substring filter: `cargo bench --bench micro -- kvmem` runs only
+//! benchmarks whose `group/id` label contains `kvmem` (the CI
+//! bench-smoke job relies on this to keep the job fast).
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// The substring filter from the CLI (first non-flag argument), parsed
+/// once. `None` runs everything.
+fn cli_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -56,13 +71,18 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
-    let mut bencher = Bencher::default();
-    f(&mut bencher);
     let label = if group.is_empty() {
         id.to_owned()
     } else {
         format!("{group}/{id}")
     };
+    if let Some(filter) = cli_filter()
+        && !label.contains(filter)
+    {
+        return;
+    }
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
     match bencher.measurement {
         Some((iters, elapsed)) => {
             let per_iter = elapsed.as_nanos() as f64 / iters as f64;
