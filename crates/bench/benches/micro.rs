@@ -39,6 +39,41 @@ fn bench_index_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar vs batched multi-query IVF probe at Q ∈ {1, 8, 64}: one
+/// `search_batch` call must beat Q sequential `search` calls once the
+/// batch amortizes the centroid scan and posting-list traversal (Q >= 8
+/// is the acceptance bar; Q = 1 only measures the batch path's fixed
+/// overhead). Labels carry the query count so `scalar_x8` and
+/// `batched_x8` read as one comparison.
+fn bench_selector_batch(c: &mut Criterion) {
+    let mut rng = rng_from_seed(8);
+    let n = 20_000;
+    let mut ivf = IvfIndex::new(IvfConfig::default());
+    for i in 0..n {
+        ivf.insert(i, Embedding::gaussian(64, 1.0, &mut rng).normalized());
+    }
+    let queries: Vec<Embedding> = (0..64)
+        .map(|_| Embedding::gaussian(64, 1.0, &mut rng).normalized())
+        .collect();
+    let mut g = c.benchmark_group("selector_batch");
+    for q_count in [1usize, 8, 64] {
+        let qrefs: Vec<&Embedding> = queries[..q_count].iter().collect();
+        g.bench_function(&format!("ivf_scalar_x{q_count}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &qrefs {
+                    hits += ivf.search(black_box(q), 32).len();
+                }
+                black_box(hits)
+            })
+        });
+        g.bench_function(&format!("ivf_batched_x{q_count}"), |b| {
+            b.iter(|| black_box(ivf.search_batch(black_box(&qrefs), 32)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_selector(c: &mut Criterion) {
     let sim = Generator::new();
     let small = ModelSpec::gemma_2_2b();
@@ -210,6 +245,7 @@ fn bench_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_index_search,
+    bench_selector_batch,
     bench_selector,
     bench_router,
     bench_knapsack,

@@ -5,10 +5,15 @@
 //!
 //! The iteration-scheduler and KV-memory knobs can be overridden via
 //! the environment (`IC_PREFILL_CHUNK`, `IC_PREEMPT_QUANTUM`,
-//! `IC_MAX_QUEUE`, `IC_KV_BLOCK`, `IC_KV_BUDGET`, `IC_KV_WATERMARKS` —
-//! see `ic_bench::experiments::e2e::engine_config`, parsed by
+//! `IC_MAX_QUEUE`, `IC_SELECTOR_BATCH`, `IC_KV_BLOCK`, `IC_KV_BUDGET`,
+//! `IC_KV_WATERMARKS`, `IC_KV_HOST_BLOCKS` — see
+//! `ic_bench::experiments::e2e::engine_config`, parsed by
 //! `ic_bench::env`); leave them unset for the byte-deterministic output
-//! the CI determinism job diffs (including its `kv` block).
+//! the CI determinism job diffs (including its `selector` and `kv`
+//! blocks). `IC_SELECTOR_BATCH` is special: it changes only the
+//! `selector` stats block — every other byte of `BENCH_e2e.json` is
+//! identical with and without it (the batched probe is a pure
+//! speedup).
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
@@ -35,6 +40,14 @@ fn main() {
         engine_report.iter.chunked_prefill_ratio() * 100.0,
         engine_report.iter.preemptions,
         engine_report.iter.queue_rejects,
+    );
+    println!(
+        "selector batching: cap {}, {} stage-1 probes over {} requests (max batch {}, mean {:.2})",
+        engine_report.selector.batch_limit,
+        engine_report.selector.batches,
+        engine_report.selector.requests,
+        engine_report.selector.max_batch,
+        engine_report.selector.mean_batch(),
     );
     println!(
         "paged KV memory: peak occupancy {:.1}% (mean {:.1}%), \

@@ -265,13 +265,21 @@ fn online_run_from_engine(
 /// - `IC_PREFILL_CHUNK` — prefill tokens per iteration (`0` = unchunked)
 /// - `IC_PREEMPT_QUANTUM` — decode tokens before preemption (`0` = off)
 /// - `IC_MAX_QUEUE` — per-pool queue cap (unset = unbounded)
+/// - `IC_SELECTOR_BATCH` — same-tick arrivals coalesced into one
+///   multi-query selector probe (`0`/`1` = off). A pure speedup:
+///   `BENCH_e2e.json` stays byte-identical except its `selector` stats
+///   block.
 /// - `IC_KV_BLOCK` — tokens per KV block (`0` disables the memory model)
 /// - `IC_KV_BUDGET` — KV blocks per replica (`0` disables)
 /// - `IC_KV_WATERMARKS` — `high,low` occupancy gates (e.g. `0.9,0.7`)
+/// - `IC_KV_HOST_BLOCKS` — host (CPU) blocks swapped-out KV state may
+///   occupy (`0` = unbounded); overflowing victims are evicted
+///   recompute-priced
 ///
 /// With none of the variables set this is exactly
 /// [`EngineConfig::default`], which keeps `BENCH_e2e.json`
-/// byte-deterministic (the CI determinism job relies on this).
+/// byte-deterministic (the CI determinism job relies on this, and the
+/// `golden_e2e` regression test pins the quick-scale bytes in-repo).
 pub fn engine_config() -> EngineConfig {
     use crate::env::{parse_env, parse_watermarks};
     let mut config = EngineConfig::default();
@@ -282,6 +290,9 @@ pub fn engine_config() -> EngineConfig {
         config.preempt_decode_quantum = quantum;
     }
     config.max_queue = parse_env::<usize>("IC_MAX_QUEUE");
+    if let Some(batch) = parse_env::<usize>("IC_SELECTOR_BATCH") {
+        config.selector_batch = batch;
+    }
     if let Some(block) = parse_env::<u32>("IC_KV_BLOCK") {
         config.kv_block_tokens = block;
     }
@@ -290,6 +301,9 @@ pub fn engine_config() -> EngineConfig {
     }
     if let Some(marks) = parse_watermarks("IC_KV_WATERMARKS") {
         config.kv_watermarks = marks;
+    }
+    if let Some(host) = parse_env::<u32>("IC_KV_HOST_BLOCKS") {
+        config.kv_swap.host_capacity_blocks = host;
     }
     config
 }

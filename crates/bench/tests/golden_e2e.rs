@@ -1,0 +1,49 @@
+//! Golden-file regression test for the deterministic e2e payload.
+//!
+//! `fig12_e2e --quick` (and `headline --quick`) write `BENCH_e2e.json`
+//! from the MS MARCO run of [`ic_bench::experiments::e2e::engine_e2e_run`]
+//! at the default seed. CI's determinism job only checks that two runs
+//! of the *same build* agree; this test additionally pins the exact
+//! bytes in-repo, so an unintended behaviour change to the engine,
+//! scheduler, KV model or report serialization fails `cargo test -q`
+//! locally — before CI, and with a diffable artifact.
+//!
+//! When a change intentionally moves the metrics, regenerate with:
+//!
+//! ```sh
+//! IC_BLESS=1 cargo test -q -p ic-bench --test golden_e2e
+//! ```
+//!
+//! and commit the updated `tests/golden/BENCH_e2e.quick.json`. The test
+//! assumes the `IC_*` engine knobs are unset (they reconfigure the run
+//! and would — correctly — fail the comparison).
+
+use ic_bench::Scale;
+use ic_bench::experiments::e2e::engine_e2e_run;
+use ic_workloads::Dataset;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/BENCH_e2e.quick.json"
+);
+
+#[test]
+fn quick_e2e_report_matches_golden() {
+    let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
+    // Only the documented `IC_BLESS=1` blesses; any other value (or a
+    // typo like `IC_BLESS=0`) still runs the check, matching the
+    // repo-wide "malformed == unset" env convention.
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file exists; regenerate with IC_BLESS=1 cargo test -p ic-bench --test golden_e2e",
+    );
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "BENCH_e2e.json (quick, default seed) drifted from the committed golden. \
+         If intentional, regenerate with: IC_BLESS=1 cargo test -q -p ic-bench --test golden_e2e"
+    );
+}

@@ -204,6 +204,37 @@ impl IcCacheSystem {
     /// Algorithm 1 `ServeRequests`: select examples, route, generate,
     /// learn, manage.
     pub fn serve(&mut self, request: &Request) -> ServeOutcome {
+        self.serve_with_stage1(request, None)
+    }
+
+    /// One multi-query stage-1 probe over the example index for a batch
+    /// of requests — the engine's cross-request batching hook. Respects
+    /// selector failover (empty candidate lists when bypassed, matching
+    /// what [`IcCacheSystem::serve`] would do). The results feed
+    /// [`IcCacheSystem::serve_with_stage1`]; they stay valid until the
+    /// index changes (an example admission, eviction, or rebalance).
+    pub fn stage1_batch(&self, requests: &[&Request]) -> Vec<Vec<(ExampleId, f64)>> {
+        if !self.failover.selector_healthy() {
+            return vec![Vec::new(); requests.len()];
+        }
+        self.selector.stage1_batch(requests)
+    }
+
+    /// [`IcCacheSystem::serve`] with the stage-1 candidates optionally
+    /// precomputed by [`IcCacheSystem::stage1_batch`]. Stage 2, routing,
+    /// generation and feedback run exactly as in the sequential path —
+    /// in particular the proxy and threshold state a batch member's
+    /// feedback updates is seen by the *next* member's stage 2, so a
+    /// batched probe plus per-request servings is byte-identical to
+    /// serving the batch one by one.
+    ///
+    /// `stage1` must be what `selector.stage1(request)` would return
+    /// against the current index; pass `None` to compute it here.
+    pub fn serve_with_stage1(
+        &mut self,
+        request: &Request,
+        stage1: Option<Vec<(ExampleId, f64)>>,
+    ) -> ServeOutcome {
         self.served += 1;
 
         // 1. Example Retriever (bypassed when unhealthy, §5).
@@ -217,7 +248,15 @@ impl IcCacheSystem {
             .unwrap_or(self.config.primary);
         let selection = if self.failover.selector_healthy() {
             let spec = self.config.catalog.get(offload_model);
-            self.selector.select(request, self.manager.cache(), spec)
+            match stage1 {
+                Some(candidates) => self.selector.select_with_stage1(
+                    request,
+                    candidates,
+                    self.manager.cache(),
+                    spec,
+                ),
+                None => self.selector.select(request, self.manager.cache(), spec),
+            }
         } else {
             Selection::empty(0.0)
         };
@@ -562,6 +601,47 @@ mod tests {
             mean(&early),
             mean(&late)
         );
+    }
+
+    #[test]
+    fn batched_stage1_serving_is_byte_identical_to_sequential() {
+        // Two identically-seeded systems; one serves request by
+        // request, the other precomputes stage-1 for groups of five via
+        // the multi-query probe. Every outcome must match bitwise —
+        // including feedback-driven proxy/threshold/router evolution
+        // *within* a group, which only stage 1 may hoist out.
+        let (mut seq, mut wg) = seeded_system(Dataset::MsMarco, 600);
+        let (mut bat, _) = seeded_system(Dataset::MsMarco, 600);
+        let requests = wg.generate_requests(60);
+        for group in requests.chunks(5) {
+            let refs: Vec<&Request> = group.iter().collect();
+            let stage1 = bat.stage1_batch(&refs);
+            for (r, s1) in group.iter().zip(stage1) {
+                let a = seq.serve(r);
+                let b = bat.serve_with_stage1(r, Some(s1));
+                assert_eq!(a.model, b.model);
+                assert_eq!(a.offloaded, b.offloaded);
+                assert_eq!(a.solicited_feedback, b.solicited_feedback);
+                assert_eq!(a.selection.ids, b.selection.ids);
+                assert_eq!(a.selection.stage1_count, b.selection.stage1_count);
+                for (x, y) in a
+                    .selection
+                    .predicted_utility
+                    .iter()
+                    .zip(&b.selection.predicted_utility)
+                {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                assert_eq!(a.outcome.quality.to_bits(), b.outcome.quality.to_bits());
+                assert_eq!(a.outcome.output_tokens, b.outcome.output_tokens);
+                assert_eq!(
+                    a.outcome.latency.total().to_bits(),
+                    b.outcome.latency.total().to_bits()
+                );
+            }
+        }
+        assert_eq!(seq.served(), bat.served());
+        assert_eq!(seq.offload_ratio(), bat.offload_ratio());
     }
 
     #[test]

@@ -146,6 +146,18 @@ impl<E> Simulator<E> {
         Some((s.at, s.event))
     }
 
+    /// Pops the earliest event only if `pred` accepts its `(time, event)`
+    /// pair; otherwise the queue is untouched. Lets a driver coalesce a
+    /// run of equal-time events of one kind (e.g. same-tick arrivals)
+    /// without disturbing the FIFO order of whatever follows.
+    pub fn next_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.peek()?;
+        if !pred(s.at, &s.event) {
+            return None;
+        }
+        self.next()
+    }
+
     /// Runs until the queue is empty, passing each event to `handler`.
     pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
         while let Some((_, ev)) = self.next() {
@@ -264,6 +276,26 @@ mod tests {
         let mut sim: Simulator<()> = Simulator::new();
         sim.run_until(SimTime::from_secs(7), |_, _| {});
         assert_eq!(sim.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn next_if_pops_only_matching_events() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let t = SimTime::from_micros(3);
+        sim.schedule(t, 1);
+        sim.schedule(t, 2);
+        sim.schedule(SimTime::from_micros(9), 3);
+        // Rejecting predicate leaves the queue untouched.
+        assert_eq!(sim.next_if(|_, &e| e == 99), None);
+        assert_eq!(sim.len(), 3);
+        // Same-tick run drains in FIFO order while the predicate holds.
+        let (at, e) = sim.next().expect("first event");
+        assert_eq!(e, 1);
+        assert_eq!(sim.next_if(|t2, _| t2 == at).map(|(_, e)| e), Some(2));
+        // Event 3 is at a later tick: the run stops.
+        assert_eq!(sim.next_if(|t2, _| t2 == at), None);
+        assert_eq!(sim.next().map(|(_, e)| e), Some(3));
+        assert!(sim.is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use ic_cache::IcCacheSystem;
 use ic_desim::{SimDuration, SimTime, Simulator};
 use ic_llmsim::{ModelId, Request};
 use ic_serving::{
-    IterStats, JobId, JobSpec, KvStats, ModelPool, Offer, PoolConfig, SwapModel, Watermarks,
+    IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig, Watermarks,
 };
 use ic_stats::Ema;
 use std::collections::VecDeque;
@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use ic_serving::busy_interval_rps;
 
 use crate::engine::{ServingEngine, cache_stats};
-use crate::report::{EngineReport, LatencyStats, RequestRecord};
+use crate::report::{EngineReport, LatencyStats, RequestRecord, SelectorStats};
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -33,6 +33,17 @@ pub struct EngineConfig {
     /// Per-pool admission-queue cap; offers past it are rejected and
     /// counted in the report's `iter.queue_rejects`. `None` is unbounded.
     pub max_queue: Option<usize>,
+    /// Cross-request selector batching: up to this many arrivals landing
+    /// on the same event tick (microsecond) are coalesced into one
+    /// multi-query stage-1 probe (env `IC_SELECTOR_BATCH` in the bench
+    /// binaries). `0` or `1` disables coalescing. The batch is a pure
+    /// speedup — per-request results and the report are byte-identical
+    /// to the sequential path (only the report's `selector` stats block
+    /// reflects the setting). Ignored (treated as `1`) while
+    /// `admit_served_pairs` is on, because a batch member's served pair
+    /// could be indexed before a later member's probe in the sequential
+    /// order, which a hoisted batch probe cannot observe.
+    pub selector_batch: usize,
     /// Tokens per KV block (paged KV memory; `0` with a zero budget
     /// disables the memory model).
     pub kv_block_tokens: u32,
@@ -41,8 +52,9 @@ pub struct EngineConfig {
     pub kv_budget_blocks: u32,
     /// High/low occupancy watermarks gating admission and swap resume.
     pub kv_watermarks: Watermarks,
-    /// Swap-vs-recompute pricing for pressure preemptions.
-    pub kv_swap: SwapModel,
+    /// Swap-vs-recompute pricing for pressure preemptions, plus the
+    /// host-side swap capacity (`KvSwap::host_capacity_blocks`).
+    pub kv_swap: KvSwap,
     /// Period of full maintenance (replay + capacity), seconds; `0`
     /// disables.
     pub maintenance_period_s: f64,
@@ -67,10 +79,11 @@ impl Default for EngineConfig {
             prefill_chunk_tokens: 256,
             preempt_decode_quantum: 64,
             max_queue: None,
+            selector_batch: 0,
             kv_block_tokens: 16,
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
-            kv_swap: SwapModel::DEFAULT,
+            kv_swap: KvSwap::DEFAULT,
             maintenance_period_s: 0.0,
             rebalance_period_s: 60.0,
             load_window: 30,
@@ -222,6 +235,20 @@ impl ServingEngine for EventDrivenEngine {
             );
         }
 
+        // Cross-request selector batching: how many same-tick arrivals
+        // one stage-1 probe may cover. Disabled (singletons) while
+        // served pairs are cached back, because the sequential order
+        // would index a batch member's pair before later members probe.
+        let coalesce = if self.config.admit_served_pairs {
+            1
+        } else {
+            self.config.selector_batch.max(1)
+        };
+        let mut selector_stats = SelectorStats {
+            batch_limit: self.config.selector_batch as u64,
+            ..SelectorStats::default()
+        };
+
         let mut records: Vec<Option<RequestRecord>> = (0..n).map(|_| None).collect();
         let mut arrival_window: VecDeque<f64> = VecDeque::new();
         let mut e2e_ema = Ema::new(self.config.latency_ema_alpha);
@@ -237,77 +264,113 @@ impl ServingEngine for EventDrivenEngine {
         while let Some((at, event)) = sim.next() {
             let now = at.as_secs_f64();
             match event {
-                Event::Arrival(i) => {
-                    // Windowed arrival-rate estimate feeds the router's
-                    // load tracker before the routing decision.
-                    arrival_window.push_back(now);
-                    while arrival_window.len() > self.config.load_window {
-                        arrival_window.pop_front();
-                    }
-                    if arrival_window.len() >= 2 {
-                        let dt = now - arrival_window.front().expect("non-empty window");
-                        if dt > 0.0 {
-                            self.system
-                                .observe_load((arrival_window.len() - 1) as f64 / dt);
+                Event::Arrival(first) => {
+                    // Coalesce the run of arrivals sharing this event
+                    // tick into one selector batch. Only *consecutive*
+                    // same-tick arrival events are taken, so ordering
+                    // relative to any interleaved step, maintenance or
+                    // rebalance event is untouched.
+                    let mut batch = vec![first];
+                    while batch.len() < coalesce {
+                        match sim.next_if(|t, ev| t == at && matches!(ev, Event::Arrival(_))) {
+                            Some((_, Event::Arrival(j))) => batch.push(j),
+                            Some(_) => unreachable!("predicate admits only arrivals"),
+                            None => break,
                         }
                     }
-
-                    let request = &requests[i];
-                    let out = self.system.serve(request);
-                    records[i] = Some(RequestRecord {
-                        index: i,
-                        model: out.model.0,
-                        offloaded: out.offloaded,
-                        quality: out.outcome.quality,
-                        solicited: out.solicited_feedback,
-                        examples: out.selection.ids.len(),
-                        arrival_s: now,
-                        queue_s: 0.0,
-                        ttft_s: 0.0,
-                        e2e_s: 0.0,
-                        rejected: false,
-                    });
-
-                    let pool = self.pool_of(out.model);
-                    let job = JobSpec {
-                        id: JobId(i as u64),
-                        pool,
-                        arrival: at,
-                        ttft_secs: out.outcome.latency.ttft,
-                        decode_secs: out.outcome.latency.decode,
-                        prefill_tokens: out.outcome.input_tokens,
-                        decode_tokens: out.outcome.output_tokens,
-                    };
-                    // Iteration-level admission: an idle pool starts the
-                    // job (arming its step event); a busy pool keeps it
-                    // queued until the next step boundary. A queue-cap
-                    // reject produced no response: it contributes nothing
-                    // to the quality/offload/cache aggregates.
-                    let offer = pools[pool].offer(job, at);
-                    if offer == Offer::Rejected {
-                        let record = records[i].as_mut().expect("record created above");
-                        record.rejected = true;
-                        completed += 1;
+                    // One multi-query stage-1 probe for the whole batch.
+                    // Nothing in this path mutates the example index
+                    // between these arrivals, so each entry is exactly
+                    // the stage-1 result the sequential path would
+                    // compute at its serve call; stage 2, routing and
+                    // feedback still run per request below, in order.
+                    // Singletons let `serve` probe inline.
+                    let stage1: Vec<Option<Vec<(ic_llmsim::ExampleId, f64)>>> = if batch.len() > 1 {
+                        let refs: Vec<&Request> = batch.iter().map(|&j| &requests[j]).collect();
+                        self.system
+                            .stage1_batch(&refs)
+                            .into_iter()
+                            .map(Some)
+                            .collect()
                     } else {
-                        if offer == Offer::Started {
-                            Self::arm_step(&mut sim, &pools, pool);
+                        vec![None]
+                    };
+                    selector_stats.batches += 1;
+                    selector_stats.requests += batch.len() as u64;
+                    selector_stats.max_batch = selector_stats.max_batch.max(batch.len() as u64);
+
+                    for (i, stage1) in batch.into_iter().zip(stage1) {
+                        // Windowed arrival-rate estimate feeds the router's
+                        // load tracker before the routing decision.
+                        arrival_window.push_back(now);
+                        while arrival_window.len() > self.config.load_window {
+                            arrival_window.pop_front();
                         }
-                        if self.config.admit_served_pairs {
-                            let _ = self
-                                .system
-                                .update_cache(request, &out.outcome, out.model, now);
+                        if arrival_window.len() >= 2 {
+                            let dt = now - arrival_window.front().expect("non-empty window");
+                            if dt > 0.0 {
+                                self.system
+                                    .observe_load((arrival_window.len() - 1) as f64 / dt);
+                            }
                         }
-                        if out.offloaded {
-                            offloaded += 1;
+
+                        let request = &requests[i];
+                        let out = self.system.serve_with_stage1(request, stage1);
+                        records[i] = Some(RequestRecord {
+                            index: i,
+                            model: out.model.0,
+                            offloaded: out.offloaded,
+                            quality: out.outcome.quality,
+                            solicited: out.solicited_feedback,
+                            examples: out.selection.ids.len(),
+                            arrival_s: now,
+                            queue_s: 0.0,
+                            ttft_s: 0.0,
+                            e2e_s: 0.0,
+                            rejected: false,
+                        });
+
+                        let pool = self.pool_of(out.model);
+                        let job = JobSpec {
+                            id: JobId(i as u64),
+                            pool,
+                            arrival: at,
+                            ttft_secs: out.outcome.latency.ttft,
+                            decode_secs: out.outcome.latency.decode,
+                            prefill_tokens: out.outcome.input_tokens,
+                            decode_tokens: out.outcome.output_tokens,
+                        };
+                        // Iteration-level admission: an idle pool starts the
+                        // job (arming its step event); a busy pool keeps it
+                        // queued until the next step boundary. A queue-cap
+                        // reject produced no response: it contributes nothing
+                        // to the quality/offload/cache aggregates.
+                        let offer = pools[pool].offer(job, at);
+                        if offer == Offer::Rejected {
+                            let record = records[i].as_mut().expect("record created above");
+                            record.rejected = true;
+                            completed += 1;
+                        } else {
+                            if offer == Offer::Started {
+                                Self::arm_step(&mut sim, &pools, pool);
+                            }
+                            if self.config.admit_served_pairs {
+                                let _ =
+                                    self.system
+                                        .update_cache(request, &out.outcome, out.model, now);
+                            }
+                            if out.offloaded {
+                                offloaded += 1;
+                            }
+                            if out.solicited_feedback {
+                                solicited += 1;
+                            }
+                            if !out.selection.ids.is_empty() {
+                                selection_hits += 1;
+                                examples_used += out.selection.ids.len() as u64;
+                            }
+                            quality_sum += out.outcome.quality;
                         }
-                        if out.solicited_feedback {
-                            solicited += 1;
-                        }
-                        if !out.selection.ids.is_empty() {
-                            selection_hits += 1;
-                            examples_used += out.selection.ids.len() as u64;
-                        }
-                        quality_sum += out.outcome.quality;
                     }
                 }
                 Event::StepComplete(pool) => {
@@ -390,6 +453,7 @@ impl ServingEngine for EventDrivenEngine {
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, evicted),
             iter,
+            selector: selector_stats,
             kv,
             per_request,
         }
@@ -424,6 +488,160 @@ mod tests {
         let mut system = IcCacheSystem::new(sys_cfg);
         system.seed_examples(examples, 0.0);
         (EventDrivenEngine::new(system, config), wg)
+    }
+
+    /// `n` arrivals in same-tick groups of `per_tick`, `step` seconds
+    /// apart (each group shares one simulator microsecond).
+    fn tick_burst_arrivals(n: usize, per_tick: usize, step: f64) -> Vec<f64> {
+        (0..n).map(|i| (i / per_tick) as f64 * step).collect()
+    }
+
+    /// One engine run over `arrivals` with the given selector batch cap.
+    fn run_batched(
+        selector_batch: usize,
+        max_queue: Option<usize>,
+        arrivals: &[f64],
+        seed: u64,
+    ) -> EngineReport {
+        let config = EngineConfig {
+            selector_batch,
+            max_queue,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(500, config, seed);
+        let requests = wg.generate_requests(arrivals.len());
+        engine.serve_workload(&requests, arrivals)
+    }
+
+    /// Drops the `selector` stats object — the one block allowed to
+    /// differ between batched and sequential runs — from a report JSON.
+    fn mask_selector_block(json: &str) -> String {
+        let start = json.find("\"selector\":{").expect("selector block present");
+        let end = start + json[start..].find('}').expect("selector block closes") + 2;
+        format!("{}{}", &json[..start], &json[end..])
+    }
+
+    /// Field-level equality of the per-request joins (not serialized in
+    /// `to_json`, so checked directly).
+    fn assert_same_decisions(a: &EngineReport, b: &EngineReport) {
+        assert_eq!(a.per_request.len(), b.per_request.len());
+        for (x, y) in a.per_request.iter().zip(&b.per_request) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.model, y.model);
+            assert_eq!(x.offloaded, y.offloaded);
+            assert_eq!(x.examples, y.examples);
+            assert_eq!(x.rejected, y.rejected);
+            assert_eq!(x.quality.to_bits(), y.quality.to_bits());
+            assert_eq!(x.e2e_s.to_bits(), y.e2e_s.to_bits());
+            assert_eq!(x.ttft_s.to_bits(), y.ttft_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn coalesced_selector_batches_are_byte_identical_to_sequential() {
+        // Groups of four arrivals share each microsecond tick: the
+        // batched run must coalesce them into multi-query probes while
+        // changing nothing outside the report's selector block.
+        let arrivals = tick_burst_arrivals(120, 4, 0.5);
+        let sequential = run_batched(0, None, &arrivals, 431);
+        let batched = run_batched(8, None, &arrivals, 431);
+        // The batching left a visible trace...
+        assert_eq!(batched.selector.requests, 120);
+        assert_eq!(batched.selector.max_batch, 4);
+        assert_eq!(batched.selector.batches, 30, "four arrivals per probe");
+        assert!(batched.selector.mean_batch() > 3.9);
+        assert_eq!(sequential.selector.max_batch, 1);
+        assert_eq!(sequential.selector.batches, 120);
+        // ...and everything else is byte-identical.
+        assert_same_decisions(&sequential, &batched);
+        assert_ne!(sequential.to_json(), batched.to_json());
+        assert_eq!(
+            mask_selector_block(&sequential.to_json()),
+            mask_selector_block(&batched.to_json())
+        );
+    }
+
+    #[test]
+    fn batch_caps_zero_and_one_disable_coalescing() {
+        let arrivals = tick_burst_arrivals(40, 4, 0.5);
+        for cap in [0usize, 1] {
+            let report = run_batched(cap, None, &arrivals, 433);
+            assert_eq!(report.selector.batch_limit, cap as u64);
+            assert_eq!(report.selector.batches, 40, "cap {cap} must not batch");
+            assert_eq!(report.selector.max_batch, 1);
+            assert!((report.selector.mean_batch() - 1.0).abs() < 1e-12);
+        }
+        // A cap smaller than the tick group splits it.
+        let capped = run_batched(3, None, &arrivals, 433);
+        assert_eq!(capped.selector.max_batch, 3);
+        assert_eq!(capped.selector.requests, 40);
+    }
+
+    #[test]
+    fn arrivals_straddling_tick_boundaries_do_not_coalesce() {
+        // 1 µs apart = adjacent-but-distinct simulator ticks; the batch
+        // window never spans them no matter how large the cap.
+        let arrivals = vec![0.0, 1e-6, 1e-6, 2e-6, 10e-6];
+        let report = run_batched(64, None, &arrivals, 435);
+        assert_eq!(report.selector.requests, 5);
+        assert_eq!(report.selector.batches, 4, "only the tied pair merges");
+        assert_eq!(report.selector.max_batch, 2);
+    }
+
+    #[test]
+    fn batch_of_one_tick_is_trivially_identical() {
+        // All arrivals on distinct ticks: the batched engine runs
+        // singleton probes and the whole report matches byte-for-byte
+        // (selector block included, because nothing ever coalesced —
+        // only batch_limit differs, so mask it).
+        let arrivals = fixed_qps_arrivals(2.0, 30.0, 436);
+        let sequential = run_batched(0, None, &arrivals, 437);
+        let batched = run_batched(8, None, &arrivals, 437);
+        assert_eq!(batched.selector.max_batch, 1, "no same-tick arrivals");
+        assert_eq!(batched.selector.batches, batched.selector.requests);
+        assert_same_decisions(&sequential, &batched);
+        assert_eq!(
+            mask_selector_block(&sequential.to_json()),
+            mask_selector_block(&batched.to_json())
+        );
+    }
+
+    #[test]
+    fn coalescing_preserves_queue_cap_rejects() {
+        // A tight queue cap under same-tick bursts: rejects must land on
+        // exactly the same requests with and without batching.
+        let arrivals = tick_burst_arrivals(160, 8, 0.05);
+        let sequential = run_batched(0, Some(2), &arrivals, 439);
+        let batched = run_batched(8, Some(2), &arrivals, 439);
+        assert!(
+            sequential.iter.queue_rejects > 0,
+            "burst must overflow the cap"
+        );
+        assert_eq!(sequential.iter.queue_rejects, batched.iter.queue_rejects);
+        assert!(batched.selector.max_batch > 1, "bursts must coalesce");
+        assert_same_decisions(&sequential, &batched);
+        assert_eq!(
+            mask_selector_block(&sequential.to_json()),
+            mask_selector_block(&batched.to_json())
+        );
+    }
+
+    #[test]
+    fn admit_served_pairs_disables_coalescing() {
+        // Caching served pairs mutates the index between sequential
+        // arrivals, which a hoisted batch probe cannot observe: the
+        // engine must fall back to singleton probes.
+        let config = EngineConfig {
+            selector_batch: 8,
+            admit_served_pairs: true,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(300, config, 441);
+        let arrivals = tick_burst_arrivals(40, 4, 0.5);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert_eq!(report.selector.max_batch, 1, "coalescing must be off");
+        assert_eq!(report.selector.batches, 40);
     }
 
     #[test]

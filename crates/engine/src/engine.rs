@@ -147,8 +147,9 @@ impl ServingEngine for DirectEngine {
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, 0),
             // The direct path executes nothing: no iterations to count,
-            // no KV blocks to page.
+            // no KV blocks to page, no arrival ticks to coalesce.
             iter: ic_serving::IterStats::default(),
+            selector: crate::report::SelectorStats::default(),
             kv: ic_serving::KvStats::default(),
             per_request,
         }

@@ -90,4 +90,4 @@ pub mod report;
 
 pub use driven::{EngineConfig, EventDrivenEngine};
 pub use engine::{DirectEngine, ServingEngine};
-pub use report::{CacheStats, EngineReport, LatencyStats, RequestRecord};
+pub use report::{CacheStats, EngineReport, LatencyStats, RequestRecord, SelectorStats};

@@ -119,6 +119,33 @@ pub struct CacheStats {
     pub evicted: u64,
 }
 
+/// Cross-request selector-batching counters for one engine run (see
+/// `EngineConfig::selector_batch`): how arrivals coalesced into
+/// multi-query stage-1 probes. All-zero for engines that never probe
+/// (e.g. [`crate::DirectEngine`], which reports only `batch_limit`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectorStats {
+    /// Configured coalescing cap (`0`/`1` = batching disabled).
+    pub batch_limit: u64,
+    /// Stage-1 probe invocations (each covers >= 1 request).
+    pub batches: u64,
+    /// Requests served through those probes.
+    pub requests: u64,
+    /// Largest batch coalesced from one event tick.
+    pub max_batch: u64,
+}
+
+impl SelectorStats {
+    /// Mean requests per stage-1 probe (1.0 means nothing coalesced).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Aggregate result of one engine run.
 #[derive(Debug, Clone, Default)]
 pub struct EngineReport {
@@ -141,6 +168,9 @@ pub struct EngineReport {
     /// Iteration-level scheduler counters summed across pools (token
     /// steps, batch sizes, chunked-prefill mix, preemptions, rejects).
     pub iter: IterStats,
+    /// Cross-request selector-batching counters (same-tick arrivals
+    /// coalesced into multi-query stage-1 probes).
+    pub selector: SelectorStats,
     /// Paged KV-memory counters merged across pools (block occupancy,
     /// pressure preemptions, swap traffic, fragmentation).
     pub kv: KvStats,
@@ -199,10 +229,13 @@ impl EngineReport {
                 "\"iter\":{{\"steps\":{},\"mean_step_batch\":{},",
                 "\"chunk_steps\":{},\"decode_steps\":{},\"chunked_prefill_ratio\":{},",
                 "\"preemptions\":{},\"queue_rejects\":{}}},",
+                "\"selector\":{{\"batch_limit\":{},\"batches\":{},\"requests\":{},",
+                "\"max_batch\":{},\"mean_batch\":{}}},",
                 "\"kv\":{{\"total_blocks\":{},\"peak_blocks\":{},",
                 "\"peak_occupancy\":{},\"mean_occupancy\":{},",
                 "\"pressure_preemptions\":{},\"swap_outs\":{},\"swap_ins\":{},",
-                "\"fragmentation\":{},\"allocs\":{},\"frees\":{}}}}}"
+                "\"fragmentation\":{},\"allocs\":{},\"frees\":{},",
+                "\"host_peak_blocks\":{},\"recompute_fallbacks\":{}}}}}"
             ),
             self.engine,
             self.served,
@@ -235,6 +268,11 @@ impl EngineReport {
             f6(self.iter.chunked_prefill_ratio()),
             self.iter.preemptions,
             self.iter.queue_rejects,
+            self.selector.batch_limit,
+            self.selector.batches,
+            self.selector.requests,
+            self.selector.max_batch,
+            f6(self.selector.mean_batch()),
             self.kv.total_blocks,
             self.kv.peak_blocks,
             f6(self.kv.peak_occupancy()),
@@ -245,6 +283,8 @@ impl EngineReport {
             f6(self.kv.fragmentation_ratio()),
             self.kv.allocs,
             self.kv.frees,
+            self.kv.host_peak_blocks,
+            self.kv.recompute_fallbacks,
         )
     }
 }
@@ -302,6 +342,12 @@ mod tests {
         r.kv.pressure_preemptions = 3;
         r.kv.used_token_steps = 48;
         r.kv.alloc_token_steps = 64;
+        r.kv.host_peak_blocks = 12;
+        r.kv.recompute_fallbacks = 2;
+        r.selector.batch_limit = 8;
+        r.selector.batches = 6;
+        r.selector.requests = 10;
+        r.selector.max_batch = 3;
         let a = r.to_json();
         let b = r.to_json();
         assert_eq!(a, b);
@@ -311,12 +357,29 @@ mod tests {
         assert!(a.contains("\"mean_step_batch\":2.500000"));
         assert!(a.contains("\"chunked_prefill_ratio\":0.200000"));
         assert!(a.contains("\"preemptions\":0"));
+        assert!(a.contains(
+            "\"selector\":{\"batch_limit\":8,\"batches\":6,\"requests\":10,\
+             \"max_batch\":3,\"mean_batch\":1.666667}"
+        ));
         assert!(a.contains("\"kv\":{\"total_blocks\":128"));
         assert!(a.contains("\"peak_occupancy\":0.500000"));
         assert!(a.contains("\"pressure_preemptions\":3"));
         assert!(a.contains("\"fragmentation\":0.250000"));
+        assert!(a.contains("\"host_peak_blocks\":12,\"recompute_fallbacks\":2"));
         // Balanced braces (cheap well-formedness check without a parser).
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn selector_stats_mean_batch() {
+        let s = SelectorStats {
+            batch_limit: 8,
+            batches: 4,
+            requests: 10,
+            max_batch: 4,
+        };
+        assert!((s.mean_batch() - 2.5).abs() < 1e-12);
+        assert_eq!(SelectorStats::default().mean_batch(), 0.0);
     }
 
     #[test]

@@ -116,6 +116,12 @@ pub struct KvStats {
     /// Sum over sampled steps of token capacity of allocated blocks
     /// (`blocks x block_tokens`).
     pub alloc_token_steps: u64,
+    /// Peak blocks parked in host (CPU) memory by swapped-out victims
+    /// (summed across pools when merged).
+    pub host_peak_blocks: u64,
+    /// Victims evicted recompute-priced because host swap space was
+    /// exhausted (see `KvSwap::host_capacity_blocks`).
+    pub recompute_fallbacks: u64,
 }
 
 impl KvStats {
@@ -163,14 +169,21 @@ impl KvStats {
         self.swap_ins += other.swap_ins;
         self.used_token_steps += other.used_token_steps;
         self.alloc_token_steps += other.alloc_token_steps;
+        self.host_peak_blocks += other.host_peak_blocks;
+        self.recompute_fallbacks += other.recompute_fallbacks;
     }
 }
 
-/// The pool-wide allocator: one [`KvBudget`] per replica plus counters.
+/// The pool-wide allocator: one [`KvBudget`] per replica plus counters,
+/// and the host-side (CPU) ledger swapped-out victims park blocks in.
 #[derive(Debug, Clone)]
 pub struct BlockPool {
     block_tokens: u32,
     replicas: Vec<KvBudget>,
+    /// Host blocks available to swapped-out state; `0` is unbounded.
+    host_capacity: u32,
+    /// Host blocks currently parked by swapped-out sequences.
+    host_used: u32,
     stats: KvStats,
 }
 
@@ -191,11 +204,20 @@ impl BlockPool {
             replicas: (0..replicas)
                 .map(|r| KvBudget::new(r, budget_blocks))
                 .collect(),
+            host_capacity: 0,
+            host_used: 0,
             stats: KvStats {
                 total_blocks: u64::from(replicas) * u64::from(budget_blocks),
                 ..KvStats::default()
             },
         }
+    }
+
+    /// Caps the host (CPU) blocks swapped-out victims may park
+    /// (`KvSwap::host_capacity_blocks`); `0` is unbounded.
+    pub fn with_host_capacity(mut self, blocks: u32) -> Self {
+        self.host_capacity = blocks;
+        self
     }
 
     /// Tokens per block.
@@ -281,6 +303,53 @@ impl BlockPool {
         let cap_tokens = used * u64::from(self.block_tokens);
         self.stats.alloc_token_steps += cap_tokens;
         self.stats.used_token_steps += used_tokens.min(cap_tokens);
+    }
+
+    /// Host-capacity cap (`0` = unbounded).
+    pub fn host_capacity_blocks(&self) -> u32 {
+        self.host_capacity
+    }
+
+    /// Host blocks currently parked by swapped-out sequences.
+    pub fn host_used_blocks(&self) -> u32 {
+        self.host_used
+    }
+
+    /// Tries to park `n` swapped-out blocks in host memory: succeeds
+    /// (and holds the space until [`BlockPool::host_unpark`]) when the
+    /// capacity is unbounded or `host_used + n` fits; otherwise leaves
+    /// the ledger untouched and returns `false` — the caller falls back
+    /// to recompute-priced eviction and should record it via
+    /// [`BlockPool::note_recompute_fallback`].
+    pub fn try_host_park(&mut self, n: u32) -> bool {
+        if self.host_capacity != 0 && self.host_used + n > self.host_capacity {
+            return false;
+        }
+        self.host_used += n;
+        self.stats.host_peak_blocks = self.stats.host_peak_blocks.max(u64::from(self.host_used));
+        true
+    }
+
+    /// Releases `n` parked host blocks (at swap-in, or when a swapped
+    /// sequence is dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more blocks are released than are parked — a ledger
+    /// bug the conservation tests must surface, never mask.
+    pub fn host_unpark(&mut self, n: u32) {
+        assert!(
+            n <= self.host_used,
+            "host ledger underflow: unpark {n} of {}",
+            self.host_used
+        );
+        self.host_used -= n;
+    }
+
+    /// Records a victim evicted recompute-priced because host swap
+    /// space was exhausted.
+    pub fn note_recompute_fallback(&mut self) {
+        self.stats.recompute_fallbacks += 1;
     }
 
     /// Records a pressure preemption + swap-out of a sequence.
@@ -409,13 +478,54 @@ mod tests {
             swap_ins: 1,
             used_token_steps: 30,
             alloc_token_steps: 64,
+            host_peak_blocks: 5,
+            recompute_fallbacks: 2,
         };
         a.merge(&a.clone());
         assert_eq!(a.steps, 4);
         assert_eq!(a.peak_blocks, 6);
         assert_eq!(a.total_blocks, 8);
         assert_eq!(a.swap_outs, 2);
+        assert_eq!(a.host_peak_blocks, 10);
+        assert_eq!(a.recompute_fallbacks, 4);
         assert!((a.fragmentation_ratio() - (1.0 - 60.0 / 128.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_ledger_enforces_capacity_at_the_boundary() {
+        let mut pool = BlockPool::new(1, 8, 16).with_host_capacity(5);
+        assert_eq!(pool.host_capacity_blocks(), 5);
+        assert!(pool.try_host_park(3));
+        assert!(pool.try_host_park(2), "exactly full is legal");
+        assert_eq!(pool.host_used_blocks(), 5);
+        assert!(!pool.try_host_park(1), "one past the cap is refused");
+        assert_eq!(pool.host_used_blocks(), 5, "refusal leaves no residue");
+        pool.note_recompute_fallback();
+        pool.host_unpark(2);
+        assert!(pool.try_host_park(2));
+        pool.host_unpark(5);
+        assert_eq!(pool.host_used_blocks(), 0);
+        let s = pool.stats();
+        assert_eq!(s.host_peak_blocks, 5);
+        assert_eq!(s.recompute_fallbacks, 1);
+    }
+
+    #[test]
+    fn unbounded_host_ledger_always_parks() {
+        let mut pool = BlockPool::new(1, 2, 16);
+        assert_eq!(pool.host_capacity_blocks(), 0);
+        assert!(pool.try_host_park(10_000));
+        assert_eq!(pool.host_used_blocks(), 10_000);
+        assert_eq!(pool.stats().host_peak_blocks, 10_000);
+        pool.host_unpark(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "host ledger underflow")]
+    fn host_unpark_underflow_panics() {
+        let mut pool = BlockPool::new(1, 2, 16);
+        assert!(pool.try_host_park(1));
+        pool.host_unpark(2);
     }
 
     #[test]

@@ -17,13 +17,16 @@
 //!   block-granular [`KvStats`] (peak/mean occupancy, fragmentation,
 //!   swap counts), and placement (least-loaded replica first).
 //! - [`PressurePolicy`] — high/low watermarks plus a configurable
-//!   swap-vs-recompute cost model ([`SwapModel`]): the high watermark
-//!   gates new admissions, allocation failure triggers victim
-//!   preemption (longest remaining decode first, chosen by the caller),
-//!   and swapped sequences resume only once occupancy drains below the
-//!   low watermark. The policy prices swap-out and resume penalties in
-//!   simulated seconds so the scheduler can charge them to the step
-//!   clock.
+//!   swap-vs-recompute cost model ([`SwapModel`], wrapped with host
+//!   capacity in [`KvSwap`]): the high watermark gates new admissions,
+//!   allocation failure triggers victim preemption (longest remaining
+//!   decode first, chosen by the caller), and swapped sequences resume
+//!   only once occupancy drains below the low watermark. The policy
+//!   prices swap-out and resume penalties in simulated seconds so the
+//!   scheduler can charge them to the step clock. Swapped-out blocks
+//!   occupy a host-side (CPU) ledger capped by
+//!   `KvSwap::host_capacity_blocks`; victims that overflow it are
+//!   evicted recompute-priced instead (vLLM's bounded `swap_space`).
 //!
 //! The crate is dependency-free and purely arithmetical: every
 //! operation is deterministic, so the serving layer's byte-identical
@@ -51,4 +54,4 @@ pub mod block;
 pub mod pressure;
 
 pub use block::{BlockId, BlockPool, KvBudget, KvStats};
-pub use pressure::{PressurePolicy, SwapModel, Watermarks};
+pub use pressure::{KvSwap, PressurePolicy, SwapModel, Watermarks};

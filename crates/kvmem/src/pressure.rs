@@ -87,6 +87,61 @@ impl Default for SwapModel {
     }
 }
 
+/// The full swap configuration: the pricing model plus the CPU-side
+/// (host) capacity that swapped-out KV blocks actually occupy.
+///
+/// Real engines do not get free host memory: vLLM's `swap_space` caps
+/// how many blocks can be parked in CPU RAM, and a victim that does not
+/// fit must drop its KV state and rebuild it by recompute at resume.
+/// `host_capacity_blocks` models that cap; `0` means unbounded (the
+/// historical behaviour, and the default so existing replays are
+/// unchanged). Victims that overflow the cap are evicted
+/// recompute-priced: the swap-out is free (state is dropped) and resume
+/// charges [`KvSwap::overflow_recompute_secs_per_token`] per
+/// materialized KV token instead of the swap-in price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvSwap {
+    /// Pricing for victims that fit in host memory (or for the pure
+    /// recompute policy, which never touches host memory).
+    pub model: SwapModel,
+    /// Host blocks available to park swapped-out KV state; `0` is
+    /// unbounded.
+    pub host_capacity_blocks: u32,
+    /// Recompute price (seconds per KV token rebuilt at resume) for
+    /// victims evicted while host space is exhausted.
+    pub overflow_recompute_secs_per_token: f64,
+}
+
+impl KvSwap {
+    /// Default configuration: the default [`SwapModel`], unbounded host
+    /// space, and a prefill-rate-ish overflow recompute price.
+    pub const DEFAULT: KvSwap = KvSwap {
+        model: SwapModel::DEFAULT,
+        host_capacity_blocks: 0,
+        overflow_recompute_secs_per_token: 2e-5,
+    };
+
+    /// Wraps a pricing model with unbounded host capacity.
+    pub const fn unbounded(model: SwapModel) -> Self {
+        Self {
+            model,
+            ..Self::DEFAULT
+        }
+    }
+}
+
+impl Default for KvSwap {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl From<SwapModel> for KvSwap {
+    fn from(model: SwapModel) -> Self {
+        Self::unbounded(model)
+    }
+}
+
 /// The pressure policy: watermark gates plus the swap cost model. The
 /// scheduler owns victim *selection* (it has the sequence state); the
 /// policy owns the *gates* and the *prices*.
@@ -94,8 +149,8 @@ impl Default for SwapModel {
 pub struct PressurePolicy {
     /// Admission / resume gates.
     pub watermarks: Watermarks,
-    /// Swap-vs-recompute pricing.
-    pub swap: SwapModel,
+    /// Swap-vs-recompute pricing plus host-side swap capacity.
+    pub swap: KvSwap,
 }
 
 impl PressurePolicy {
@@ -103,7 +158,7 @@ impl PressurePolicy {
     pub fn new(watermarks: Watermarks) -> Self {
         Self {
             watermarks,
-            swap: SwapModel::default(),
+            swap: KvSwap::default(),
         }
     }
 
@@ -120,9 +175,10 @@ impl PressurePolicy {
     }
 
     /// Seconds charged at the boundary where a victim's `blocks` are
-    /// swapped out (zero under recompute: dropping state is free).
+    /// swapped out to host memory (zero under recompute: dropping state
+    /// is free).
     pub fn swap_out_penalty(&self, blocks: u32) -> f64 {
-        match self.swap {
+        match self.swap.model {
             SwapModel::Swap {
                 out_secs_per_block, ..
             } => out_secs_per_block * f64::from(blocks),
@@ -134,12 +190,26 @@ impl PressurePolicy {
     /// swapping `blocks` back in, or recomputing `kv_tokens` of
     /// dropped state.
     pub fn resume_penalty(&self, blocks: u32, kv_tokens: u64) -> f64 {
-        match self.swap {
+        match self.swap.model {
             SwapModel::Swap {
                 in_secs_per_block, ..
             } => in_secs_per_block * f64::from(blocks),
             SwapModel::Recompute { secs_per_token } => secs_per_token * kv_tokens as f64,
         }
+    }
+
+    /// Whether swap-outs should try to park blocks in host memory at
+    /// all (only the `Swap` pricing model holds host state; recompute
+    /// drops it by definition).
+    pub fn parks_on_host(&self) -> bool {
+        matches!(self.swap.model, SwapModel::Swap { .. })
+    }
+
+    /// Seconds charged when a victim that overflowed host capacity
+    /// resumes: its state was dropped, so `kv_tokens` of KV entries are
+    /// rebuilt at the overflow recompute rate.
+    pub fn overflow_resume_penalty(&self, kv_tokens: u64) -> f64 {
+        self.swap.overflow_recompute_secs_per_token * kv_tokens as f64
     }
 }
 
@@ -174,24 +244,51 @@ mod tests {
     fn swap_model_prices_both_directions() {
         let p = PressurePolicy {
             watermarks: Watermarks::DEFAULT,
-            swap: SwapModel::Swap {
+            swap: KvSwap::unbounded(SwapModel::Swap {
                 out_secs_per_block: 1e-3,
                 in_secs_per_block: 2e-3,
-            },
+            }),
         };
         assert!((p.swap_out_penalty(10) - 0.01).abs() < 1e-12);
         assert!((p.resume_penalty(10, 999) - 0.02).abs() < 1e-12);
+        assert!(p.parks_on_host(), "block swaps hold host memory");
     }
 
     #[test]
     fn recompute_model_prices_tokens_at_resume_only() {
         let p = PressurePolicy {
             watermarks: Watermarks::DEFAULT,
-            swap: SwapModel::Recompute {
+            swap: KvSwap::unbounded(SwapModel::Recompute {
                 secs_per_token: 1e-4,
-            },
+            }),
         };
         assert_eq!(p.swap_out_penalty(10), 0.0, "dropping state is free");
         assert!((p.resume_penalty(10, 500) - 0.05).abs() < 1e-12);
+        assert!(!p.parks_on_host(), "recompute never touches host memory");
+    }
+
+    #[test]
+    fn overflow_resume_is_priced_per_token() {
+        let p = PressurePolicy {
+            watermarks: Watermarks::DEFAULT,
+            swap: KvSwap {
+                host_capacity_blocks: 4,
+                overflow_recompute_secs_per_token: 1e-3,
+                ..KvSwap::DEFAULT
+            },
+        };
+        assert!((p.overflow_resume_penalty(250) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kvswap_defaults_are_unbounded() {
+        let swap = KvSwap::default();
+        assert_eq!(swap.host_capacity_blocks, 0, "0 = unbounded host space");
+        assert_eq!(swap.model, SwapModel::DEFAULT);
+        let converted: KvSwap = SwapModel::Recompute {
+            secs_per_token: 1e-4,
+        }
+        .into();
+        assert_eq!(converted.host_capacity_blocks, 0);
     }
 }

@@ -57,4 +57,46 @@ proptest! {
         let stats = pool.stats();
         prop_assert_eq!(stats.allocs, stats.frees, "alloc/free imbalance");
     }
+
+    /// The host-side swap ledger conserves blocks under arbitrary
+    /// park/unpark interleavings: `host_used` always equals the sum of
+    /// outstanding parks, never exceeds a non-zero capacity, refused
+    /// parks leave no residue, and a full drain returns to zero with
+    /// the peak recorded exactly.
+    #[test]
+    fn host_park_interleavings_conserve_blocks(
+        capacity in 0u32..32,
+        ops in proptest::collection::vec((0u32..2).prop_map(|v| v == 0), 1..120),
+        sizes in proptest::collection::vec(1u32..9, 120),
+    ) {
+        let mut pool = BlockPool::new(1, 4, 16).with_host_capacity(capacity);
+        let mut parked: Vec<u32> = Vec::new();
+        let mut peak = 0u64;
+        for (park, &n) in ops.into_iter().zip(&sizes) {
+            if park {
+                let before = pool.host_used_blocks();
+                if pool.try_host_park(n) {
+                    parked.push(n);
+                    peak = peak.max(u64::from(before + n));
+                } else {
+                    pool.note_recompute_fallback();
+                    prop_assert!(capacity != 0, "unbounded ledger never refuses");
+                    prop_assert!(before + n > capacity, "spurious refusal");
+                    prop_assert_eq!(pool.host_used_blocks(), before, "refusal left residue");
+                }
+            } else if let Some(n) = parked.pop() {
+                pool.host_unpark(n);
+            }
+            let outstanding: u32 = parked.iter().sum();
+            prop_assert_eq!(pool.host_used_blocks(), outstanding, "ledger != outstanding");
+            if capacity != 0 {
+                prop_assert!(pool.host_used_blocks() <= capacity, "cap exceeded");
+            }
+        }
+        for n in parked.drain(..) {
+            pool.host_unpark(n);
+        }
+        prop_assert_eq!(pool.host_used_blocks(), 0, "host blocks leaked");
+        prop_assert_eq!(pool.stats().host_peak_blocks, peak, "peak mis-tracked");
+    }
 }

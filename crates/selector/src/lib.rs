@@ -18,6 +18,14 @@
 //! candidates below the current utility threshold are dropped, the
 //! surviving set is de-duplicated for diversity, and examples are ordered
 //! most-helpful-last (recency-biased attention).
+//!
+//! Selection also has a cross-request batch path
+//! ([`ExampleSelector::select_batch`] /
+//! [`ExampleSelector::stage1_batch`]): requests arriving together share
+//! one multi-query stage-1 probe (one centroid scan, one traversal per
+//! visited posting list — `ic_vecindex`'s blocked kernel) and then run
+//! the ordinary per-request stage-2. The batch is a pure speedup:
+//! results are byte-identical to selecting each request alone.
 
 pub mod proxy;
 pub mod threshold;

@@ -160,6 +160,23 @@ impl ExampleSelector {
             .collect()
     }
 
+    /// Stage 1 for a whole batch through the index's multi-query probe
+    /// (shared centroid scan, one traversal per visited posting list).
+    /// `out[i]` is exactly `self.stage1(requests[i])` — the batch is a
+    /// pure speedup, property-tested in `tests/batch_equivalence.rs`.
+    pub fn stage1_batch(&self, requests: &[&Request]) -> Vec<Vec<(ExampleId, f64)>> {
+        let queries: Vec<&Embedding> = requests.iter().map(|r| &r.embedding).collect();
+        self.index
+            .search_batch(&queries, self.config.stage1_candidates)
+            .into_iter()
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|h| (ExampleId(h.id), h.similarity))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Full two-stage selection with the globally-adapted threshold.
     pub fn select<S: ExampleStore>(
         &self,
@@ -179,7 +196,55 @@ impl ExampleSelector {
         target: &ModelSpec,
         threshold: f64,
     ) -> Selection {
-        let candidates = self.stage1(request);
+        self.select_from_stage1(request, self.stage1(request), store, target, threshold)
+    }
+
+    /// Full two-stage selection for a whole batch: one multi-query
+    /// stage-1 probe shared across the requests, then the usual per-
+    /// request stage-2 re-rank under the current global threshold.
+    /// `out[i]` is exactly `self.select(requests[i], ...)` — selection
+    /// is read-only, so nothing a batch member does can perturb the
+    /// next one (the equivalence proptest pins this).
+    pub fn select_batch<S: ExampleStore>(
+        &self,
+        requests: &[&Request],
+        store: &S,
+        target: &ModelSpec,
+    ) -> Vec<Selection> {
+        let threshold = self.threshold.current();
+        requests
+            .iter()
+            .zip(self.stage1_batch(requests))
+            .map(|(r, cands)| self.select_from_stage1(r, cands, store, target, threshold))
+            .collect()
+    }
+
+    /// Two-stage selection with the stage-1 candidates supplied by the
+    /// caller — the hook the serving engine uses to fan one batched
+    /// probe out to per-request servings (whose stage-2 state may learn
+    /// between batch members). `candidates` must be what
+    /// [`ExampleSelector::stage1`] would return right now; the batched
+    /// probe guarantees that while the index is unchanged.
+    pub fn select_with_stage1<S: ExampleStore>(
+        &self,
+        request: &Request,
+        candidates: Vec<(ExampleId, f64)>,
+        store: &S,
+        target: &ModelSpec,
+    ) -> Selection {
+        self.select_from_stage1(request, candidates, store, target, self.threshold.current())
+    }
+
+    /// Stage 2 + threshold + diversity over the given stage-1
+    /// candidates — the shared tail of every selection path above.
+    fn select_from_stage1<S: ExampleStore>(
+        &self,
+        request: &Request,
+        candidates: Vec<(ExampleId, f64)>,
+        store: &S,
+        target: &ModelSpec,
+        threshold: f64,
+    ) -> Selection {
         let stage1_count = candidates.len();
         if candidates.is_empty() {
             return Selection::empty(threshold);

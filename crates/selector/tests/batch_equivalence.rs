@@ -1,0 +1,99 @@
+//! Property tests: the batched two-stage selector returns exactly the
+//! sequential results — same example ids, same predicted utilities,
+//! same order, same stage-1 counts — for random pools, query batches
+//! and batch sizes, with the proxy both untrained and trained.
+
+use std::collections::HashMap;
+
+use ic_llmsim::{Example, ExampleId, Generator, ModelId, ModelSpec, Request};
+use ic_selector::ExampleSelector;
+use ic_workloads::{Dataset, WorkloadGenerator};
+use proptest::prelude::*;
+
+fn build(
+    seed: u64,
+    n_examples: usize,
+    n_requests: usize,
+    train_feedback: usize,
+) -> (
+    ExampleSelector,
+    HashMap<ExampleId, Example>,
+    Vec<Request>,
+    ModelSpec,
+) {
+    let mut wg = WorkloadGenerator::new(Dataset::MsMarco, seed);
+    let small = ModelSpec::gemma_2_2b();
+    let examples = wg.generate_examples(
+        n_examples,
+        &ModelSpec::gemma_2_27b(),
+        ModelId(0),
+        &Generator::new(),
+    );
+    let mut selector = ExampleSelector::standard();
+    let mut store = HashMap::new();
+    for e in examples {
+        selector.index_example(e.id, e.embedding.clone());
+        store.insert(e.id, e);
+    }
+    // Optionally nudge the proxy off its prior so stage-2 scores are
+    // non-trivial (a few deterministic updates are enough; equivalence
+    // must hold for any proxy state).
+    for (i, r) in wg.generate_requests(train_feedback).iter().enumerate() {
+        if let Some(&(id, sim)) = selector.stage1(r).first() {
+            let e = &store[&id];
+            let f = ic_selector::ProxyFeatures::extract(r, e, &small).as_array();
+            selector
+                .proxy_mut()
+                .update(&f, (sim * (i % 3) as f64 / 3.0).clamp(0.0, 1.0));
+        }
+    }
+    let requests = wg.generate_requests(n_requests);
+    (selector, store, requests, small)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `select_batch` == map(`select`) exactly, and `stage1_batch` ==
+    /// map(`stage1`) exactly, over random pool sizes (spanning the
+    /// index's brute-force and IVF regimes), batch sizes, and proxy
+    /// training states.
+    #[test]
+    fn batched_selection_equals_sequential(
+        seed in 0u64..1_000,
+        n_examples in 0usize..400,
+        n_requests in 1usize..24,
+        train_feedback in 0usize..40,
+    ) {
+        let (selector, store, requests, small) =
+            build(seed, n_examples, n_requests, train_feedback);
+        let refs: Vec<&Request> = requests.iter().collect();
+
+        let stage1_batch = selector.stage1_batch(&refs);
+        prop_assert_eq!(stage1_batch.len(), refs.len());
+        for (r, got) in refs.iter().zip(&stage1_batch) {
+            let want = selector.stage1(r);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.0, w.0, "stage-1 candidate order");
+                prop_assert_eq!(g.1.to_bits(), w.1.to_bits(), "stage-1 similarity bits");
+            }
+        }
+
+        let batch = selector.select_batch(&refs, &store, &small);
+        prop_assert_eq!(batch.len(), refs.len());
+        for (r, got) in refs.iter().zip(&batch) {
+            let want = selector.select(r, &store, &small);
+            prop_assert_eq!(&got.ids, &want.ids, "selected ids");
+            prop_assert_eq!(got.stage1_count, want.stage1_count);
+            prop_assert_eq!(got.threshold_used.to_bits(), want.threshold_used.to_bits());
+            prop_assert_eq!(
+                got.predicted_utility.len(),
+                want.predicted_utility.len()
+            );
+            for (g, w) in got.predicted_utility.iter().zip(&want.predicted_utility) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(), "utility bits");
+            }
+        }
+    }
+}

@@ -70,8 +70,12 @@
 //!   victims — **longest remaining decode first** — swapping their
 //!   blocks out (freed to the pool) and parking them on a swapped
 //!   queue. Swap-out/swap-in/recompute penalties are priced by the
-//!   configured [`SwapModel`] and charged to the next step's wall
-//!   clock.
+//!   configured [`KvSwap`] and charged to the next step's wall
+//!   clock. Swapped-out blocks occupy a bounded host-side (CPU)
+//!   ledger (`KvSwap::host_capacity_blocks`, vLLM's `swap_space`);
+//!   a victim that does not fit is evicted recompute-priced instead —
+//!   free at the boundary, with its KV state rebuilt at the overflow
+//!   recompute rate when it resumes.
 //! - **Resume**: swapped sequences return (blocks re-allocated, resume
 //!   penalty charged) once occupancy drains below the low watermark —
 //!   before any fresh admission, and unconditionally when the pool
@@ -95,7 +99,7 @@
 use std::collections::VecDeque;
 
 use ic_desim::SimTime;
-use ic_kvmem::{BlockId, BlockPool, KvStats, PressurePolicy, SwapModel, Watermarks};
+use ic_kvmem::{BlockId, BlockPool, KvStats, KvSwap, PressurePolicy, Watermarks};
 
 use crate::job::{JobId, JobSpec};
 
@@ -130,8 +134,10 @@ pub struct PoolConfig {
     pub kv_budget_blocks: u32,
     /// High/low occupancy watermarks gating admission and resume.
     pub kv_watermarks: Watermarks,
-    /// Swap-vs-recompute pricing for pressure preemptions.
-    pub kv_swap: SwapModel,
+    /// Swap-vs-recompute pricing for pressure preemptions, plus the
+    /// host-side (CPU) block capacity swapped-out state may occupy;
+    /// victims overflowing it are evicted recompute-priced.
+    pub kv_swap: KvSwap,
 }
 
 impl Default for PoolConfig {
@@ -162,7 +168,7 @@ impl PoolConfig {
             kv_block_tokens: 16,
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
-            kv_swap: SwapModel::DEFAULT,
+            kv_swap: KvSwap::DEFAULT,
         }
     }
 
@@ -261,6 +267,10 @@ struct Sequence {
     /// Allocated KV blocks (empty when KV modeling is off, or while
     /// swapped out).
     kv_blocks: Vec<BlockId>,
+    /// Host blocks this sequence's swapped-out KV state occupies (`0`
+    /// while resident, and for victims whose state was dropped — the
+    /// recompute policy, or a host-capacity overflow).
+    host_blocks: u32,
     /// KV entries materialized so far (processed prefill tokens plus
     /// decoded tokens). Survives swap-out — it is what resume must
     /// restore.
@@ -282,6 +292,7 @@ impl Sequence {
             preemptions: 0,
             replica: 0,
             kv_blocks: Vec::new(),
+            host_blocks: 0,
             kv_tokens: 0,
         }
     }
@@ -360,6 +371,58 @@ pub struct ModelPool {
     stats: IterStats,
 }
 
+/// Frees a victim's device blocks and settles its swap-out: the blocks
+/// are parked on the host ledger (swap-out priced) when the policy
+/// swaps and host capacity has room; otherwise the KV state is dropped
+/// — free now, recompute-priced at resume ([`settle_resume`]). Host
+/// overflows are counted as recompute fallbacks.
+fn settle_swap_out(
+    kv: &mut BlockPool,
+    policy: &PressurePolicy,
+    pending_penalty_secs: &mut f64,
+    seq: &mut Sequence,
+) {
+    let blocks = std::mem::take(&mut seq.kv_blocks);
+    let n = blocks.len() as u32;
+    kv.free(blocks);
+    if policy.parks_on_host() {
+        if kv.try_host_park(n) {
+            *pending_penalty_secs += policy.swap_out_penalty(n);
+            seq.host_blocks = n;
+            return;
+        }
+        kv.note_recompute_fallback();
+    }
+    // Recompute policy, or host overflow: dropping state costs nothing
+    // at this boundary.
+    seq.host_blocks = 0;
+}
+
+/// Prices a victim's return and releases its host ledger entry: the
+/// swap-in (or recompute-policy rebuild) price for state the policy
+/// kept, the overflow recompute price for state dropped when the host
+/// ledger was full.
+fn settle_resume(
+    kv: &mut BlockPool,
+    policy: &PressurePolicy,
+    pending_penalty_secs: &mut f64,
+    seq: &mut Sequence,
+    need: u32,
+) {
+    kv.note_swap_in();
+    *pending_penalty_secs += if seq.host_blocks > 0 {
+        kv.host_unpark(seq.host_blocks);
+        seq.host_blocks = 0;
+        policy.resume_penalty(need, seq.kv_tokens)
+    } else if policy.parks_on_host() {
+        // The swap policy wanted to park this state but the host was
+        // full at eviction time: rebuild it by recompute.
+        policy.overflow_resume_penalty(seq.kv_tokens)
+    } else {
+        policy.resume_penalty(need, seq.kv_tokens)
+    };
+}
+
 impl ModelPool {
     /// Creates an idle pool.
     pub fn new(config: PoolConfig) -> Self {
@@ -369,6 +432,7 @@ impl ModelPool {
                 config.kv_budget_blocks,
                 config.kv_block_tokens,
             )
+            .with_host_capacity(config.kv_swap.host_capacity_blocks)
         });
         let policy = PressurePolicy {
             watermarks: config.kv_watermarks,
@@ -437,6 +501,12 @@ impl ModelPool {
     /// off).
     pub fn kv_occupancy(&self) -> f64 {
         self.kv.as_ref().map_or(0.0, BlockPool::occupancy)
+    }
+
+    /// Host (CPU) blocks currently parked by swapped-out sequences
+    /// (`0` when KV modeling is off).
+    pub fn kv_host_blocks(&self) -> u32 {
+        self.kv.as_ref().map_or(0, BlockPool::host_used_blocks)
     }
 
     /// Blocks a job's projected prefill demand would claim at admission
@@ -598,9 +668,7 @@ impl ModelPool {
                     .map(|(i, _)| i)
                     .expect("residents > 1");
                 let mut seq = self.slots.remove(victim);
-                let blocks = std::mem::take(&mut seq.kv_blocks);
-                self.pending_penalty_secs += self.policy.swap_out_penalty(blocks.len() as u32);
-                kv.free(blocks);
+                settle_swap_out(kv, &self.policy, &mut self.pending_penalty_secs, &mut seq);
                 kv.note_pressure_swap_out();
                 seq.decode_run = 0;
                 seq.preemptions += 1;
@@ -723,10 +791,12 @@ impl ModelPool {
                         report.preempted += 1;
                         need -= 1;
                         if let Some(kv) = &mut self.kv {
-                            let blocks = std::mem::take(&mut s.kv_blocks);
-                            self.pending_penalty_secs +=
-                                self.policy.swap_out_penalty(blocks.len() as u32);
-                            kv.free(blocks);
+                            settle_swap_out(
+                                kv,
+                                &self.policy,
+                                &mut self.pending_penalty_secs,
+                                &mut s,
+                            );
                             kv.note_swap_out();
                         }
                         self.queue.push_back(s);
@@ -756,9 +826,14 @@ impl ModelPool {
             let Some(blocks) = kv.try_alloc(replica, need) else {
                 break;
             };
-            kv.note_swap_in();
             let mut s = self.swapped.pop_front().expect("checked non-empty");
-            self.pending_penalty_secs += self.policy.resume_penalty(need, s.kv_tokens);
+            settle_resume(
+                kv,
+                &self.policy,
+                &mut self.pending_penalty_secs,
+                &mut s,
+                need,
+            );
             s.replica = replica;
             s.kv_blocks = blocks;
             report.resumed += 1;
@@ -800,8 +875,13 @@ impl ModelPool {
                 if s.kv_tokens > 0 {
                     // Quantum-evicted earlier: bringing its KV state
                     // back is a swap-in.
-                    kv.note_swap_in();
-                    self.pending_penalty_secs += self.policy.resume_penalty(need, s.kv_tokens);
+                    settle_resume(
+                        kv,
+                        &self.policy,
+                        &mut self.pending_penalty_secs,
+                        &mut s,
+                        need,
+                    );
                 }
                 s.replica = replica;
                 s.kv_blocks = blocks;
@@ -843,8 +923,13 @@ impl ModelPool {
                     .try_alloc(replica, need)
                     .expect("an empty pool fits a capped demand");
                 if from_swap || s.kv_tokens > 0 {
-                    kv.note_swap_in();
-                    self.pending_penalty_secs += self.policy.resume_penalty(need, s.kv_tokens);
+                    settle_resume(
+                        kv,
+                        &self.policy,
+                        &mut self.pending_penalty_secs,
+                        &mut s,
+                        need,
+                    );
                 }
                 s.replica = replica;
                 s.kv_blocks = blocks;
@@ -872,9 +957,19 @@ impl ModelPool {
 
     /// Drops every queued job (failover drain); running sequences keep
     /// their slots and swapped-out sequences stay parked for resume.
-    /// Queued sequences hold no KV blocks, so nothing needs freeing.
+    /// Queued sequences hold no device blocks, but quantum-evicted ones
+    /// may be parked on the host ledger — release those entries so the
+    /// host blocks are conserved.
     pub fn drain_queue(&mut self) -> Vec<JobId> {
         let ids = self.queue.iter().map(|s| s.job.id).collect();
+        if let Some(kv) = &mut self.kv {
+            for s in &mut self.queue {
+                if s.host_blocks > 0 {
+                    kv.host_unpark(s.host_blocks);
+                    s.host_blocks = 0;
+                }
+            }
+        }
         self.queue.clear();
         ids
     }
@@ -884,6 +979,7 @@ impl ModelPool {
 mod tests {
     use super::*;
     use ic_desim::SimTime;
+    use ic_kvmem::SwapModel;
 
     fn job(id: u64) -> JobSpec {
         job_with(id, 0.1, 1.0, 100, 10)
@@ -933,7 +1029,8 @@ mod tests {
             kv_swap: SwapModel::Swap {
                 out_secs_per_block: 0.0,
                 in_secs_per_block: 0.0,
-            },
+            }
+            .into(),
         })
     }
 
@@ -1306,7 +1403,8 @@ mod tests {
                 kv_swap: SwapModel::Swap {
                     out_secs_per_block: out_cost,
                     in_secs_per_block: in_cost,
-                },
+                }
+                .into(),
             });
             p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
             p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
@@ -1338,7 +1436,7 @@ mod tests {
                 kv_block_tokens: 8,
                 kv_budget_blocks: 8,
                 kv_watermarks: Watermarks::new(1.0, 1.0),
-                kv_swap: SwapModel::Recompute { secs_per_token },
+                kv_swap: SwapModel::Recompute { secs_per_token }.into(),
             });
             p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
             p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
@@ -1355,6 +1453,169 @@ mod tests {
             paid_secs > free_secs + 0.01,
             "recompute time must be charged: {free_secs} vs {paid_secs}"
         );
+    }
+
+    /// Pool whose swap model parks blocks on a bounded host ledger.
+    fn host_capped_pool(budget: u32, host_capacity: u32) -> ModelPool {
+        ModelPool::new(PoolConfig {
+            name: "kv".into(),
+            replicas: 1,
+            slots_per_replica: 4,
+            congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 0,
+            max_queue: None,
+            kv_block_tokens: 8,
+            kv_budget_blocks: budget,
+            kv_watermarks: Watermarks::new(1.0, 1.0),
+            kv_swap: KvSwap {
+                model: SwapModel::Swap {
+                    out_secs_per_block: 0.0,
+                    in_secs_per_block: 0.0,
+                },
+                host_capacity_blocks: host_capacity,
+                overflow_recompute_secs_per_token: 0.0,
+            },
+        })
+    }
+
+    #[test]
+    fn exhausted_host_space_falls_back_to_recompute_eviction() {
+        // Same thrash scenario as `pressure_preempts_while_slots_are_free`
+        // (victims hold several blocks each) under three host regimes.
+        let run = |host_capacity: u32| {
+            let mut p = host_capped_pool(8, host_capacity);
+            p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            let (done, _) = drain(&mut p);
+            assert_eq!(done.len(), 2, "jobs must complete in every regime");
+            assert_eq!(p.kv_host_blocks(), 0, "host blocks leaked");
+            let kv = p.kv_stats();
+            assert_eq!(kv.allocs, kv.frees, "device blocks conserved");
+            kv
+        };
+        let unbounded = run(0);
+        assert!(unbounded.swap_outs > 0, "scenario must thrash");
+        assert_eq!(
+            unbounded.recompute_fallbacks, 0,
+            "unbounded never overflows"
+        );
+        assert!(unbounded.host_peak_blocks > 0, "victims parked on host");
+
+        // A one-block host cannot hold any multi-block victim: every
+        // eviction falls back to recompute pricing.
+        let starved = run(1);
+        assert!(starved.recompute_fallbacks > 0, "cap must overflow");
+        assert_eq!(
+            starved.recompute_fallbacks, starved.swap_outs,
+            "every victim overflowed the one-block host"
+        );
+        assert_eq!(starved.host_peak_blocks, 0, "nothing ever fit");
+
+        // A host as large as the device budget always fits (a victim
+        // holds at most the replica budget).
+        let roomy = run(8);
+        assert_eq!(roomy.recompute_fallbacks, 0);
+        assert!(roomy.host_peak_blocks > 0);
+        assert!(roomy.host_peak_blocks <= 8, "ledger bounded by the cap");
+    }
+
+    #[test]
+    fn host_overflow_charges_recompute_at_resume() {
+        // Expensive swap pricing, free overflow recompute: a host too
+        // small to park anything must make the run *cheaper* than the
+        // unbounded host (whose swaps pay per block both ways), on an
+        // otherwise identical schedule.
+        let run = |host_capacity: u32| {
+            let mut p = ModelPool::new(PoolConfig {
+                kv_swap: KvSwap {
+                    model: SwapModel::Swap {
+                        out_secs_per_block: 0.05,
+                        in_secs_per_block: 0.05,
+                    },
+                    host_capacity_blocks: host_capacity,
+                    overflow_recompute_secs_per_token: 0.0,
+                },
+                ..host_capped_pool(8, 0).config().clone()
+            });
+            p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            let (done, now) = drain(&mut p);
+            assert_eq!(done.len(), 2);
+            (p.kv_stats(), now)
+        };
+        let (paid_kv, paid_secs) = run(0);
+        let (free_kv, free_secs) = run(1);
+        assert!(paid_kv.swap_outs > 0, "scenario must thrash");
+        assert_eq!(paid_kv.swap_outs, free_kv.swap_outs, "same schedule");
+        assert!(
+            paid_secs > free_secs + 1e-9,
+            "dropping past a full host must be cheaper than paid swaps: \
+             {free_secs} vs {paid_secs}"
+        );
+        // And a non-zero overflow price shows up on the clock.
+        let run_overflow_price = |secs_per_token: f64| {
+            let mut p = ModelPool::new(PoolConfig {
+                kv_swap: KvSwap {
+                    model: SwapModel::Swap {
+                        out_secs_per_block: 0.0,
+                        in_secs_per_block: 0.0,
+                    },
+                    host_capacity_blocks: 1,
+                    overflow_recompute_secs_per_token: secs_per_token,
+                },
+                ..host_capped_pool(8, 0).config().clone()
+            });
+            p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+            let (done, now) = drain(&mut p);
+            assert_eq!(done.len(), 2);
+            now
+        };
+        let cheap = run_overflow_price(0.0);
+        let costly = run_overflow_price(1e-3);
+        assert!(
+            costly > cheap + 1e-9,
+            "overflow recompute must be charged: {cheap} vs {costly}"
+        );
+    }
+
+    #[test]
+    fn quantum_eviction_parks_and_drain_releases_host_blocks() {
+        // One slot, quantum 2, parking swap model: the quantum victim
+        // sits in the queue with its state parked on the host ledger;
+        // draining the queue must release the ledger entry.
+        let mut p = ModelPool::new(PoolConfig {
+            name: "kv".into(),
+            replicas: 1,
+            slots_per_replica: 1,
+            congestion_beta: 0.0,
+            prefill_chunk_tokens: 0,
+            preempt_decode_quantum: 2,
+            max_queue: None,
+            kv_block_tokens: 8,
+            kv_budget_blocks: 64,
+            kv_watermarks: Watermarks::DEFAULT,
+            kv_swap: KvSwap::DEFAULT,
+        });
+        p.offer(job_with(1, 0.0, 1.0, 8, 12), SimTime::ZERO);
+        p.offer(job_with(2, 0.0, 1.0, 8, 12), SimTime::ZERO);
+        let mut now = 0.0;
+        let mut guard = 0;
+        while p.iter_stats().preemptions == 0 {
+            let dt = p.step_secs().expect("pool busy");
+            now += dt;
+            p.advance_step(SimTime::from_secs_f64(now));
+            guard += 1;
+            assert!(guard < 1_000, "no quantum preemption happened");
+        }
+        assert!(p.kv_host_blocks() > 0, "victim parked on the host ledger");
+        assert_eq!(p.queue_len(), 1);
+        let dropped = p.drain_queue();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(p.kv_host_blocks(), 0, "drain must release host blocks");
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 1, "the resident sequence still completes");
     }
 
     #[test]
@@ -1383,7 +1644,7 @@ mod tests {
             kv_block_tokens: 8,
             kv_budget_blocks: 64,
             kv_watermarks: Watermarks::DEFAULT,
-            kv_swap: SwapModel::DEFAULT,
+            kv_swap: KvSwap::DEFAULT,
         });
         p.offer(job_with(1, 0.0, 1.0, 8, 12), SimTime::ZERO);
         p.offer(job_with(2, 0.0, 1.0, 8, 12), SimTime::ZERO);

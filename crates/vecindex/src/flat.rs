@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use ic_embed::Embedding;
 
+use crate::kernel::scan_blocked;
 use crate::{ItemId, SearchHit, VectorIndex, finalize_hits};
 
 /// An exact index that scans every stored vector per query.
@@ -84,6 +85,21 @@ impl VectorIndex for FlatIndex {
     fn len(&self) -> usize {
         self.items.len()
     }
+
+    /// Blocked multi-query scan: one streaming pass over the store per
+    /// query block instead of one per query (see the `kernel` module
+    /// docs). Results are byte-identical to per-query [`Self::search`].
+    fn search_batch(&self, queries: &[&Embedding], k: usize) -> Vec<Vec<SearchHit>> {
+        if k == 0 || self.items.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let query_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
+        let selected: Vec<usize> = (0..queries.len()).collect();
+        let items: Vec<(ItemId, &Embedding)> = self.iter().collect();
+        let mut sinks = vec![Vec::with_capacity(items.len()); queries.len()];
+        scan_blocked(queries, &query_norms, &selected, &items, &mut sinks);
+        sinks.into_iter().map(|h| finalize_hits(h, k)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +175,33 @@ mod tests {
         let idx = FlatIndex::new();
         assert!(idx.is_empty());
         assert!(idx.search(&unit(vec![1.0, 0.0]), 5).is_empty());
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_bitwise() {
+        let mut idx = FlatIndex::new();
+        let mut rng = rng_from_seed(9);
+        for i in 0..300 {
+            idx.insert(i, Embedding::gaussian(16, 1.0, &mut rng));
+        }
+        let queries: Vec<Embedding> = (0..23)
+            .map(|_| Embedding::gaussian(16, 1.0, &mut rng))
+            .collect();
+        let qrefs: Vec<&Embedding> = queries.iter().collect();
+        let batch = idx.search_batch(&qrefs, 7);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            let want = idx.search(q, 7);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id);
+                assert_eq!(g.similarity.to_bits(), w.similarity.to_bits());
+            }
+        }
+        // Degenerate shapes stay well-formed.
+        assert!(idx.search_batch(&[], 7).is_empty());
+        assert_eq!(idx.search_batch(&qrefs, 0), vec![Vec::new(); 23]);
+        assert_eq!(FlatIndex::new().search_batch(&qrefs, 5).len(), 23);
     }
 
     #[test]

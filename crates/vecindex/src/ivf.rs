@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use ic_embed::Embedding;
 
+use crate::kernel::scan_blocked;
 use crate::kmeans::{KMeansModel, kmeans};
 use crate::{ItemId, SearchHit, VectorIndex, finalize_hits, sqrt_cluster_count};
 
@@ -220,6 +221,54 @@ impl VectorIndex for IvfIndex {
     fn len(&self) -> usize {
         self.items.len()
     }
+
+    /// Multi-query probe. The centroid table is scanned once for the
+    /// whole batch (shared blocked pass), the probe sets are inverted to
+    /// cluster-major, and each visited posting list is gathered and
+    /// streamed exactly once — scored against every query probing it by
+    /// the blocked kernel — instead of once per query. Results are
+    /// byte-identical to per-query [`Self::search`] (same candidates,
+    /// same scores, same order); the `kernel` module docs spell out why.
+    fn search_batch(&self, queries: &[&Embedding], k: usize) -> Vec<Vec<SearchHit>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if k == 0 || self.items.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let query_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
+        let mut sinks: Vec<Vec<SearchHit>> = vec![Vec::new(); queries.len()];
+        if self.is_brute_force() {
+            let selected: Vec<usize> = (0..queries.len()).collect();
+            let items: Vec<(ItemId, &Embedding)> =
+                self.items.iter().map(|(&id, e)| (id, e)).collect();
+            scan_blocked(queries, &query_norms, &selected, &items, &mut sinks);
+            return sinks.into_iter().map(|h| finalize_hits(h, k)).collect();
+        }
+        let model = self.model.as_ref().expect("checked by is_brute_force");
+        let probes = model.assign_top_n_batch(queries, self.config.nprobe.max(1));
+        // Invert query -> probes into cluster -> probing queries so each
+        // list is traversed once for the whole batch.
+        let mut probing: Vec<Vec<usize>> = vec![Vec::new(); self.lists.len()];
+        for (qi, ps) in probes.iter().enumerate() {
+            for &c in ps {
+                probing[c].push(qi);
+            }
+        }
+        for (c, qis) in probing.iter().enumerate() {
+            if qis.is_empty() || self.lists[c].is_empty() {
+                continue;
+            }
+            // One id -> embedding resolution per list member for the
+            // whole batch (the sequential path pays it per query).
+            let items: Vec<(ItemId, &Embedding)> = self.lists[c]
+                .iter()
+                .map(|&id| (id, &self.items[&id]))
+                .collect();
+            scan_blocked(queries, &query_norms, qis, &items, &mut sinks);
+        }
+        sinks.into_iter().map(|h| finalize_hits(h, k)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +379,34 @@ mod tests {
         ivf.retrain();
         assert!(ivf.num_clusters() < before);
         assert_eq!(ivf.len(), 100);
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_on_both_paths() {
+        // 40 items exercises the brute-force path, 2000 the IVF path.
+        for n in [40usize, 2000] {
+            let (ivf, _, queries) = build_pair(n);
+            let qrefs: Vec<&Embedding> = queries.iter().collect();
+            let batch = ivf.search_batch(&qrefs, 10);
+            for (q, got) in queries.iter().zip(&batch) {
+                let want = ivf.search(q, 10);
+                assert_eq!(got.len(), want.len(), "n={n}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.id, w.id, "n={n}");
+                    assert_eq!(g.similarity.to_bits(), w.similarity.to_bits(), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_handles_degenerate_shapes() {
+        let (ivf, _, queries) = build_pair(500);
+        let qrefs: Vec<&Embedding> = queries.iter().collect();
+        assert!(ivf.search_batch(&[], 5).is_empty());
+        assert_eq!(ivf.search_batch(&qrefs, 0), vec![Vec::new(); qrefs.len()]);
+        let empty = IvfIndex::new(IvfConfig::default());
+        assert_eq!(empty.search_batch(&qrefs, 5), vec![Vec::new(); qrefs.len()]);
     }
 
     #[test]

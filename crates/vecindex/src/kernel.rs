@@ -1,0 +1,174 @@
+//! The blocked multi-query distance kernel shared by the batch search
+//! paths.
+//!
+//! # Why a kernel, and why blocked
+//!
+//! The sequential search paths score one query against a set of stored
+//! vectors by calling [`Embedding::cosine`] per pair, which walks the
+//! item vector three times (query norm, item norm, dot product) and —
+//! on the IVF path — re-reads every posting list once *per query*.
+//! When Q same-tick queries probe overlapping lists, that is Q passes
+//! over the same memory with 3 O(d) reductions per pair.
+//!
+//! The batch kernel restructures the same arithmetic around the memory
+//! hierarchy:
+//!
+//! - **Query blocking**: queries are processed in blocks of
+//!   [`QUERY_BLOCK`]; one block's vectors (and their pre-computed
+//!   norms) stay resident in L1 while a whole item range streams past
+//!   them, so each item vector is loaded once per *block* instead of
+//!   once per *query*.
+//! - **Item-major streaming**: within a block the loop is item-major —
+//!   the item's norm is hoisted and computed once, then the item is
+//!   scored against every query in the block while its cache lines are
+//!   hot.
+//! - **Norm hoisting**: per-query norms are computed once per batch and
+//!   per-item norms once per block, collapsing the three O(d)
+//!   reductions per pair down to the single dot product.
+//!
+//! # Byte-for-byte equivalence
+//!
+//! The kernel is a pure speedup: it performs *exactly* the float
+//! operations of [`Embedding::cosine`] for every `(query, item)` pair —
+//! `dot / (norm_q * norm_item)` with the same f64 accumulation order,
+//! the same zero-denominator guard, and the same `[-1, 1]` clamp.
+//! Norms and dot products are pure functions of their operands, so
+//! hoisting them out of the pair loop cannot change a single bit of any
+//! similarity, and [`crate::finalize_hits`]' `(similarity desc, id
+//! asc)` order is total over unique ids, so per-query results are
+//! independent of the order in which hits were accumulated. The
+//! `batch_equivalence` proptests pin this down against the sequential
+//! paths.
+
+use ic_embed::Embedding;
+
+use crate::{ItemId, SearchHit};
+
+/// Queries per block: 8 vectors of 64 f32 dims ≈ 2 KB, comfortably L1-
+/// resident alongside the streaming item lines.
+pub(crate) const QUERY_BLOCK: usize = 8;
+
+/// Cosine similarity with pre-computed norms — bit-identical to
+/// [`Embedding::cosine`], which evaluates
+/// `(q.dot(e) / (q.norm() * e.norm())).clamp(-1.0, 1.0)` with a zero
+/// check on the denominator.
+#[inline]
+fn cosine_with_norms(q: &Embedding, q_norm: f64, e: &Embedding, e_norm: f64) -> f64 {
+    let denom = q_norm * e_norm;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (q.dot(e) / denom).clamp(-1.0, 1.0)
+}
+
+/// Scores every selected query against every item, pushing one
+/// [`SearchHit`] per pair into that query's sink.
+///
+/// `selected` indexes into `queries` / `query_norms` / `sinks` (the
+/// IVF path scores only the queries probing the current list; the flat
+/// path selects everything). `query_norms` must be
+/// `queries[i].norm()` for each `i` — callers hoist it once per batch.
+pub(crate) fn scan_blocked(
+    queries: &[&Embedding],
+    query_norms: &[f64],
+    selected: &[usize],
+    items: &[(ItemId, &Embedding)],
+    sinks: &mut [Vec<SearchHit>],
+) {
+    debug_assert_eq!(queries.len(), query_norms.len());
+    for block in selected.chunks(QUERY_BLOCK) {
+        for &(id, e) in items {
+            // Hoisted per item per block: every query in the block
+            // reuses the same reduction `Embedding::cosine` would have
+            // recomputed per pair.
+            let e_norm = e.norm();
+            for &qi in block {
+                sinks[qi].push(SearchHit {
+                    id,
+                    similarity: cosine_with_norms(queries[qi], query_norms[qi], e, e_norm),
+                });
+            }
+        }
+    }
+}
+
+/// Squared Euclidean distances from every query to every centroid, in
+/// one item-major blocked pass — the shared centroid scan of the IVF
+/// batch probe. Returns `out[query][centroid]`, with each distance
+/// computed by the same [`Embedding::sq_dist`] the sequential
+/// `assign_top_n` uses.
+pub(crate) fn centroid_distances_blocked(
+    queries: &[&Embedding],
+    centroids: &[Embedding],
+) -> Vec<Vec<f64>> {
+    let mut out = vec![vec![0.0f64; centroids.len()]; queries.len()];
+    let all: Vec<usize> = (0..queries.len()).collect();
+    for block in all.chunks(QUERY_BLOCK) {
+        for (ci, c) in centroids.iter().enumerate() {
+            for &qi in block {
+                out[qi][ci] = c.sq_dist(queries[qi]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_stats::rng::rng_from_seed;
+
+    #[test]
+    fn kernel_similarities_match_cosine_bitwise() {
+        let mut rng = rng_from_seed(11);
+        let queries: Vec<Embedding> = (0..20)
+            .map(|_| Embedding::gaussian(32, 1.0, &mut rng))
+            .collect();
+        let items: Vec<(ItemId, Embedding)> = (0..50)
+            .map(|i| (i as ItemId, Embedding::gaussian(32, 1.0, &mut rng)))
+            .collect();
+        let qrefs: Vec<&Embedding> = queries.iter().collect();
+        let qnorms: Vec<f64> = queries.iter().map(Embedding::norm).collect();
+        let irefs: Vec<(ItemId, &Embedding)> = items.iter().map(|(id, e)| (*id, e)).collect();
+        let selected: Vec<usize> = (0..queries.len()).collect();
+        let mut sinks = vec![Vec::new(); queries.len()];
+        scan_blocked(&qrefs, &qnorms, &selected, &irefs, &mut sinks);
+        for (qi, hits) in sinks.iter().enumerate() {
+            assert_eq!(hits.len(), items.len());
+            for hit in hits {
+                let expect = queries[qi].cosine(&items[hit.id as usize].1);
+                assert_eq!(hit.similarity.to_bits(), expect.to_bits(), "not bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vectors_follow_the_cosine_guard() {
+        let q = Embedding::zeros(4);
+        let e = Embedding::from_vec(vec![1.0, 0.0, 0.0, 0.0]);
+        let mut sinks = vec![Vec::new()];
+        scan_blocked(&[&q], &[q.norm()], &[0], &[(7, &e)], &mut sinks);
+        assert_eq!(sinks[0][0].similarity, 0.0);
+    }
+
+    #[test]
+    fn centroid_scan_matches_sq_dist() {
+        let mut rng = rng_from_seed(12);
+        let queries: Vec<Embedding> = (0..13)
+            .map(|_| Embedding::gaussian(16, 1.0, &mut rng))
+            .collect();
+        let centroids: Vec<Embedding> = (0..9)
+            .map(|_| Embedding::gaussian(16, 1.0, &mut rng))
+            .collect();
+        let qrefs: Vec<&Embedding> = queries.iter().collect();
+        let d = centroid_distances_blocked(&qrefs, &centroids);
+        for (qi, row) in d.iter().enumerate() {
+            for (ci, &dist) in row.iter().enumerate() {
+                assert_eq!(
+                    dist.to_bits(),
+                    centroids[ci].sq_dist(&queries[qi]).to_bits()
+                );
+            }
+        }
+    }
+}

@@ -48,6 +48,24 @@ impl KMeansModel {
         dists.into_iter().map(|(i, _)| i).collect()
     }
 
+    /// [`Self::assign_top_n`] for a whole batch in one shared centroid
+    /// scan: the centroid table is streamed once per query block rather
+    /// than once per query. `out[i]` is exactly `assign_top_n(queries[i],
+    /// n)` — the distances are the same per-pair [`Embedding::sq_dist`]
+    /// values, sorted with the same stable comparator, so probe sets and
+    /// their order are byte-identical to the sequential path.
+    pub fn assign_top_n_batch(&self, queries: &[&Embedding], n: usize) -> Vec<Vec<usize>> {
+        crate::kernel::centroid_distances_blocked(queries, &self.centroids)
+            .into_iter()
+            .map(|row| {
+                let mut dists: Vec<(usize, f64)> = row.into_iter().enumerate().collect();
+                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+                dists.truncate(n);
+                dists.into_iter().map(|(i, _)| i).collect()
+            })
+            .collect()
+    }
+
     /// Total within-cluster squared distance of a dataset under this model.
     pub fn inertia(&self, data: &[Embedding]) -> f64 {
         data.iter()
@@ -252,6 +270,18 @@ mod tests {
         for w in d.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    #[test]
+    fn assign_top_n_batch_matches_sequential() {
+        let (data, _) = clustered_data(6, 25);
+        let model = kmeans(&data, 6, 30, 8).unwrap();
+        let queries: Vec<&Embedding> = data.iter().take(40).collect();
+        let batch = model.assign_top_n_batch(&queries, 3);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &model.assign_top_n(q, 3));
+        }
+        assert!(model.assign_top_n_batch(&[], 3).is_empty());
     }
 
     #[test]

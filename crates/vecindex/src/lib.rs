@@ -14,6 +14,13 @@
 //! - [`IvfIndex`] — the inverted-file index with the `sqrt(N)` rule,
 //!   incremental inserts, lazy retraining, and configurable probe width.
 //!
+//! Both indexes also expose a multi-query probe,
+//! [`VectorIndex::search_batch`], which scores a whole batch of queries
+//! in one blocked pass over the visited vectors (shared centroid scan,
+//! one posting-list traversal per list) while returning byte-identical
+//! results to the sequential path — the batching lever for coalescing
+//! same-tick request arrivals upstream.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,6 +36,7 @@
 
 pub mod flat;
 pub mod ivf;
+pub(crate) mod kernel;
 pub mod kmeans;
 
 pub use flat::FlatIndex;
@@ -60,6 +68,16 @@ pub trait VectorIndex {
     /// Returns up to `k` most-similar items, sorted by descending
     /// similarity (ties broken by ascending id for determinism).
     fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit>;
+
+    /// Multi-query probe: `out[i]` is exactly `self.search(queries[i],
+    /// k)` — same hits, same scores, same order — computed in one pass
+    /// over the index so implementations can amortize memory traffic
+    /// across the batch (see the `kernel` module docs for the blocking
+    /// scheme). The default implementation simply loops; [`FlatIndex`]
+    /// and [`IvfIndex`] override it with the blocked kernel.
+    fn search_batch(&self, queries: &[&Embedding], k: usize) -> Vec<Vec<SearchHit>> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
 
     /// Number of indexed items.
     fn len(&self) -> usize;

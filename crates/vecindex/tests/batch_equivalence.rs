@@ -1,0 +1,89 @@
+//! Property tests: the multi-query batch probe is byte-identical to the
+//! sequential path on both index implementations — same candidate ids,
+//! same similarity bits, same order — for random stores, random query
+//! batches, random `k`, similarity ties (duplicate embeddings, zero
+//! vectors) and empty posting lists.
+
+use ic_embed::Embedding;
+use ic_vecindex::{FlatIndex, IvfConfig, IvfIndex, SearchHit, VectorIndex};
+use proptest::prelude::*;
+
+/// Components drawn from a tiny discrete set so duplicate embeddings
+/// (exact similarity ties) and zero vectors occur routinely.
+fn embedding(raw: &[i32]) -> Embedding {
+    Embedding::from_vec(raw.iter().map(|&v| v as f32).collect())
+}
+
+fn assert_bitwise_eq(got: &[SearchHit], want: &[SearchHit], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: hit count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.id, w.id, "{context}: candidate order");
+        assert_eq!(
+            g.similarity.to_bits(),
+            w.similarity.to_bits(),
+            "{context}: similarity bits for id {}",
+            g.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat index: `search_batch` == map(`search`) exactly.
+    #[test]
+    fn flat_batch_equals_sequential(
+        items in proptest::collection::vec(proptest::collection::vec(-1i32..2, 6), 0..120),
+        queries in proptest::collection::vec(proptest::collection::vec(-1i32..2, 6), 0..16),
+        k in 0usize..12,
+    ) {
+        let mut idx = FlatIndex::new();
+        for (i, raw) in items.iter().enumerate() {
+            idx.insert(i as u64, embedding(raw));
+        }
+        let qs: Vec<Embedding> = queries.iter().map(|raw| embedding(raw)).collect();
+        let qrefs: Vec<&Embedding> = qs.iter().collect();
+        let batch = idx.search_batch(&qrefs, k);
+        prop_assert_eq!(batch.len(), qs.len());
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_bitwise_eq(got, &idx.search(q, k), "flat");
+        }
+    }
+
+    /// IVF index: equivalence across brute-force and trained paths,
+    /// including posting lists emptied by removals.
+    #[test]
+    fn ivf_batch_equals_sequential(
+        items in proptest::collection::vec(proptest::collection::vec(-1i32..2, 6), 1..150),
+        queries in proptest::collection::vec(proptest::collection::vec(-1i32..2, 6), 0..16),
+        k in 0usize..12,
+        nprobe in 1usize..5,
+        brute_below in 0usize..40,
+        remove_every in 2usize..6,
+    ) {
+        let mut idx = IvfIndex::new(IvfConfig {
+            nprobe,
+            brute_force_below: brute_below,
+            ..IvfConfig::default()
+        });
+        for (i, raw) in items.iter().enumerate() {
+            idx.insert(i as u64, embedding(raw));
+        }
+        // Removals drain some posting lists (duplicate-heavy data also
+        // leaves k-means clusters empty from the start); retrain so the
+        // structure reflects the final pool.
+        for i in (0..items.len()).step_by(remove_every) {
+            idx.remove(i as u64);
+        }
+        if !idx.is_empty() && idx.len() >= brute_below {
+            idx.retrain();
+        }
+        let qs: Vec<Embedding> = queries.iter().map(|raw| embedding(raw)).collect();
+        let qrefs: Vec<&Embedding> = qs.iter().collect();
+        let batch = idx.search_batch(&qrefs, k);
+        prop_assert_eq!(batch.len(), qs.len());
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_bitwise_eq(got, &idx.search(q, k), "ivf");
+        }
+    }
+}

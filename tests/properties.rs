@@ -236,7 +236,8 @@ proptest! {
             kv_swap: ic_serving::SwapModel::Swap {
                 out_secs_per_block: 1e-4,
                 in_secs_per_block: 1e-4,
-            },
+            }
+            .into(),
         };
         let jobs: Vec<JobSpec> = (0..n_jobs as u64)
             .map(|i| JobSpec {
