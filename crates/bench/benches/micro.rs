@@ -170,6 +170,7 @@ fn bench_serving_step(c: &mut Criterion) {
                     decode_secs: 1.5,
                     prefill_tokens: 200,
                     decode_tokens: 150,
+                    priority: 0,
                 })
                 .collect();
             black_box(cluster.run(jobs))
@@ -216,6 +217,7 @@ fn bench_kvmem(c: &mut Criterion) {
                     decode_secs: 1.5,
                     prefill_tokens: 200,
                     decode_tokens: 150,
+                    priority: 0,
                 })
                 .collect();
             let results = cluster.run(jobs);

@@ -3,17 +3,23 @@
 //! ratio, cache hit + shard stats, and per-iteration scheduler stats
 //! from the event-driven run). Pass `--quick` for a fast run.
 //!
-//! The iteration-scheduler and KV-memory knobs can be overridden via
-//! the environment (`IC_PREFILL_CHUNK`, `IC_PREEMPT_QUANTUM`,
-//! `IC_MAX_QUEUE`, `IC_SELECTOR_BATCH`, `IC_KV_BLOCK`, `IC_KV_BUDGET`,
-//! `IC_KV_WATERMARKS`, `IC_KV_HOST_BLOCKS` — see
+//! The iteration-scheduler, KV-memory and router-tier knobs can be
+//! overridden via the environment (`IC_PREFILL_CHUNK`,
+//! `IC_PREEMPT_QUANTUM`, `IC_MAX_QUEUE`, `IC_SELECTOR_BATCH`,
+//! `IC_KV_BLOCK`, `IC_KV_BUDGET`, `IC_KV_WATERMARKS`,
+//! `IC_KV_HOST_BLOCKS`, `IC_ROUTER_REPLICAS`, `IC_GOSSIP_PERIOD`,
+//! `IC_POOL_OUTAGE` — see
 //! `ic_bench::experiments::e2e::engine_config`, parsed by
 //! `ic_bench::env`); leave them unset for the byte-deterministic output
-//! the CI determinism job diffs (including its `selector` and `kv`
-//! blocks). `IC_SELECTOR_BATCH` is special: it changes only the
-//! `selector` stats block — every other byte of `BENCH_e2e.json` is
-//! identical with and without it (the batched probe is a pure
-//! speedup).
+//! the CI determinism job diffs (including its `selector`, `router`
+//! and `kv` blocks). `IC_SELECTOR_BATCH` is special: it changes only
+//! the `selector` stats block — every other byte of `BENCH_e2e.json`
+//! is identical with and without it (the batched probe is a pure
+//! speedup). `IC_ROUTER_REPLICAS=1` (or unset) likewise reproduces the
+//! pre-replication bytes except the added `router` block; higher
+//! replica counts route on genuinely diverged, gossiped state and are
+//! deterministic per seed rather than byte-equal to the single-router
+//! run.
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
@@ -40,6 +46,17 @@ fn main() {
         engine_report.iter.chunked_prefill_ratio() * 100.0,
         engine_report.iter.preemptions,
         engine_report.iter.queue_rejects,
+    );
+    println!(
+        "router tier: {} replica(s), decisions {:?}, {} gossip rounds / {} merges \
+         (mean staleness {:.3}s), {} failover requeues ({} retry rejects)",
+        engine_report.router.replicas,
+        engine_report.router.decisions,
+        engine_report.router.gossip_rounds,
+        engine_report.router.merges,
+        engine_report.router.mean_staleness_s(),
+        engine_report.router.failover_requeues,
+        engine_report.router.retry_rejects,
     );
     println!(
         "selector batching: cap {}, {} stage-1 probes over {} requests (max batch {}, mean {:.2})",

@@ -9,11 +9,40 @@
 //! never a panic, so a typo in a sweep script cannot crash or skew a
 //! recorded run.
 
+use ic_engine::PoolOutage;
 use ic_serving::Watermarks;
 
 /// Parses `name` from the environment; `None` when unset or malformed.
 pub fn parse_env<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// Parses a pool-outage schedule (e.g.
+/// `IC_POOL_OUTAGE=1:300:120;0:900:60` — pool 1 down at t=300s for
+/// 120s, pool 0 down at t=900s for 60s). `None` when unset or when any
+/// entry is malformed or non-positive-duration (malformed == unset, the
+/// repo-wide convention: a typo must not half-apply a fault schedule).
+pub fn parse_outages(name: &str) -> Option<Vec<PoolOutage>> {
+    let raw = std::env::var(name).ok()?;
+    let mut outages = Vec::new();
+    for entry in raw.split(';').filter(|e| !e.trim().is_empty()) {
+        let mut parts = entry.split(':');
+        let pool: usize = parts.next()?.trim().parse().ok()?;
+        let at_s: f64 = parts.next()?.trim().parse().ok()?;
+        let duration_s: f64 = parts.next()?.trim().parse().ok()?;
+        if parts.next().is_some() || !at_s.is_finite() || at_s < 0.0 {
+            return None;
+        }
+        if !duration_s.is_finite() || duration_s <= 0.0 {
+            return None;
+        }
+        outages.push(PoolOutage {
+            pool,
+            at_s,
+            duration_s,
+        });
+    }
+    (!outages.is_empty()).then_some(outages)
 }
 
 /// Parses a `"high,low"` watermark pair (e.g. `IC_KV_WATERMARKS=0.9,0.7`);
@@ -52,6 +81,44 @@ mod tests {
         let wm = parse_watermarks("IC_TEST_WM_OK").expect("valid pair");
         assert!((wm.high - 0.95).abs() < 1e-12);
         assert!((wm.low - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_outage_schedules() {
+        unsafe { std::env::set_var("IC_TEST_OUTAGE_OK", "1:300:120; 0:900:60") };
+        let outages = parse_outages("IC_TEST_OUTAGE_OK").expect("valid schedule");
+        assert_eq!(
+            outages,
+            vec![
+                PoolOutage {
+                    pool: 1,
+                    at_s: 300.0,
+                    duration_s: 120.0
+                },
+                PoolOutage {
+                    pool: 0,
+                    at_s: 900.0,
+                    duration_s: 60.0
+                },
+            ]
+        );
+        assert_eq!(parse_outages("IC_TEST_OUTAGE_UNSET"), None);
+    }
+
+    #[test]
+    fn malformed_outage_schedules_behave_like_unset() {
+        for (name, value) in [
+            ("IC_TEST_OUTAGE_BAD1", "1:300"),          // Missing duration.
+            ("IC_TEST_OUTAGE_BAD2", "1:300:0"),        // Zero duration.
+            ("IC_TEST_OUTAGE_BAD3", "1:300:-5"),       // Negative duration.
+            ("IC_TEST_OUTAGE_BAD4", "x:300:10"),       // Non-numeric pool.
+            ("IC_TEST_OUTAGE_BAD5", "1:300:10:9"),     // Extra field.
+            ("IC_TEST_OUTAGE_BAD6", "1:300:10;2:bad"), // One bad entry poisons all.
+            ("IC_TEST_OUTAGE_BAD7", ";"),              // Empty entries only.
+        ] {
+            unsafe { std::env::set_var(name, value) };
+            assert_eq!(parse_outages(name), None, "{value:?} must read as unset");
+        }
     }
 
     #[test]

@@ -275,13 +275,24 @@ fn online_run_from_engine(
 /// - `IC_KV_HOST_BLOCKS` — host (CPU) blocks swapped-out KV state may
 ///   occupy (`0` = unbounded); overflowing victims are evicted
 ///   recompute-priced
+/// - `IC_ROUTER_REPLICAS` — router replicas in the front-end tier.
+///   Unset/`1` is the single-router topology and reproduces the
+///   no-replication `BENCH_e2e.json` byte-for-byte except the report's
+///   `router` stats block (CI-enforced); higher values run gossiped,
+///   deterministically-assigned replicas.
+/// - `IC_GOSSIP_PERIOD` — seconds between router-tier gossip rounds
+///   (`0` disables; irrelevant at one replica)
+/// - `IC_POOL_OUTAGE` — deterministic pool-failover injections,
+///   `pool:at:duration[;...]` (e.g. `1:300:120`); flushed jobs are
+///   retried through the router tier and counted in the `router`
+///   block's `failover_requeues`
 ///
 /// With none of the variables set this is exactly
 /// [`EngineConfig::default`], which keeps `BENCH_e2e.json`
 /// byte-deterministic (the CI determinism job relies on this, and the
 /// `golden_e2e` regression test pins the quick-scale bytes in-repo).
 pub fn engine_config() -> EngineConfig {
-    use crate::env::{parse_env, parse_watermarks};
+    use crate::env::{parse_env, parse_outages, parse_watermarks};
     let mut config = EngineConfig::default();
     if let Some(chunk) = parse_env::<u32>("IC_PREFILL_CHUNK") {
         config.prefill_chunk_tokens = chunk;
@@ -304,6 +315,15 @@ pub fn engine_config() -> EngineConfig {
     }
     if let Some(host) = parse_env::<u32>("IC_KV_HOST_BLOCKS") {
         config.kv_swap.host_capacity_blocks = host;
+    }
+    if let Some(replicas) = parse_env::<usize>("IC_ROUTER_REPLICAS") {
+        config.router_replicas = replicas.max(1);
+    }
+    if let Some(period) = parse_env::<f64>("IC_GOSSIP_PERIOD") {
+        config.gossip_period_s = period;
+    }
+    if let Some(outages) = parse_outages("IC_POOL_OUTAGE") {
+        config.pool_outages = outages;
     }
     config
 }

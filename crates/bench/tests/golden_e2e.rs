@@ -27,6 +27,15 @@ const GOLDEN_PATH: &str = concat!(
     "/tests/golden/BENCH_e2e.quick.json"
 );
 
+/// The quick-scale payload as the engine produced it *before* the
+/// replicated-router-tier refactor (no `router` block). Frozen — never
+/// reblessed — so the single-replica engine's equivalence with the
+/// pre-refactor engine stays pinned to the actual historical bytes.
+const PREROUTER_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/BENCH_e2e.quick.prerouter.json"
+);
+
 #[test]
 fn quick_e2e_report_matches_golden() {
     let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
@@ -45,5 +54,29 @@ fn quick_e2e_report_matches_golden() {
         golden.trim_end(),
         "BENCH_e2e.json (quick, default seed) drifted from the committed golden. \
          If intentional, regenerate with: IC_BLESS=1 cargo test -q -p ic-bench --test golden_e2e"
+    );
+}
+
+/// The router-tier acceptance pin: with the default single replica, the
+/// engine's output masked of its `router` stats block must match the
+/// *pre-refactor* golden byte for byte. Unlike the blessable golden
+/// above, this file is frozen history — if this test fails, the
+/// replicated front end stopped being inert at `router_replicas = 1`.
+#[test]
+fn quick_e2e_masked_of_router_block_matches_prerouter_golden() {
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        return; // Blessing the sibling golden; this one never reblesses.
+    }
+    let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
+    let start = json.find("\"router\":{").expect("router block present");
+    let end = start + json[start..].find('}').expect("router block closes") + 2;
+    let masked = format!("{}{}", &json[..start], &json[end..]);
+    let golden = std::fs::read_to_string(PREROUTER_GOLDEN_PATH)
+        .expect("frozen pre-refactor golden exists (never regenerate it)");
+    assert_eq!(
+        masked,
+        golden.trim_end(),
+        "the single-replica engine drifted from the pre-refactor bytes \
+         outside the router block"
     );
 }

@@ -28,11 +28,16 @@ impl ComponentHealth {
     }
 }
 
-/// Tracks the selector's and router's health.
+/// Tracks the selector's and router's health, plus the health of the
+/// model pools behind them (a pool failover drains the pool's work back
+/// through the router tier and keeps new routing decisions off the
+/// model until it recovers).
 #[derive(Debug, Clone)]
 pub struct FailoverState {
     selector: ComponentHealth,
     router: ComponentHealth,
+    /// Models whose serving pools are currently down (sorted; tiny).
+    down_models: Vec<ic_llmsim::ModelId>,
     /// Clean probes required before an unhealthy component recovers.
     recovery_probes: u32,
     /// Failures observed (diagnostics).
@@ -44,6 +49,7 @@ impl Default for FailoverState {
         Self {
             selector: ComponentHealth::Healthy,
             router: ComponentHealth::Healthy,
+            down_models: Vec::new(),
             recovery_probes: 3,
             failures: 0,
         }
@@ -82,6 +88,32 @@ impl FailoverState {
         } else {
             ComponentHealth::Unhealthy { clean_probes: 0 }
         };
+    }
+
+    /// Whether a model's serving pool is up (routing should avoid down
+    /// models; the system falls back to the best healthy arm).
+    pub fn model_healthy(&self, model: ic_llmsim::ModelId) -> bool {
+        self.down_models.binary_search(&model).is_err()
+    }
+
+    /// Marks a model's serving pool up or down. A down transition counts
+    /// as a failure; repeated marks are idempotent.
+    pub fn set_model_healthy(&mut self, model: ic_llmsim::ModelId, healthy: bool) {
+        match self.down_models.binary_search(&model) {
+            Ok(i) if healthy => {
+                self.down_models.remove(i);
+            }
+            Err(i) if !healthy => {
+                self.down_models.insert(i, model);
+                self.failures += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of models currently marked down.
+    pub fn down_models(&self) -> usize {
+        self.down_models.len()
     }
 
     /// Reports a selector failure (request timed out / errored).
@@ -142,6 +174,27 @@ mod tests {
         assert!(!f.selector_healthy(), "needs 3 clean probes");
         f.probe_tick();
         assert!(f.selector_healthy());
+    }
+
+    #[test]
+    fn model_health_marks_are_idempotent_and_counted() {
+        use ic_llmsim::ModelId;
+        let mut f = FailoverState::default();
+        assert!(f.model_healthy(ModelId(0)));
+        assert_eq!(f.down_models(), 0);
+        f.set_model_healthy(ModelId(1), false);
+        f.set_model_healthy(ModelId(1), false); // Idempotent.
+        assert!(!f.model_healthy(ModelId(1)));
+        assert!(f.model_healthy(ModelId(0)));
+        assert_eq!(f.down_models(), 1);
+        assert_eq!(f.failures(), 1, "re-marking down is not a new failure");
+        f.set_model_healthy(ModelId(0), false);
+        assert_eq!(f.down_models(), 2);
+        f.set_model_healthy(ModelId(1), true);
+        f.set_model_healthy(ModelId(1), true); // Idempotent.
+        assert!(f.model_healthy(ModelId(1)));
+        assert_eq!(f.down_models(), 1);
+        assert_eq!(f.failures(), 2);
     }
 
     #[test]

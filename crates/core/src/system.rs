@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use crate::config::IcCacheConfig;
 use crate::failover::FailoverState;
+use crate::frontend::FrontEnd;
 
 /// The outcome of serving one request.
 #[derive(Debug)]
@@ -52,7 +53,9 @@ pub struct MaintenanceReport {
 pub struct IcCacheSystem {
     config: IcCacheConfig,
     selector: ExampleSelector,
-    router: RequestRouter,
+    /// The (possibly replicated) router tier; replica 0 is the primary
+    /// the single-router accessors expose.
+    frontend: FrontEnd,
     manager: ExampleManager,
     failover: FailoverState,
     /// EMA of feedback quality for *bare* (unaugmented) servings per
@@ -91,7 +94,7 @@ impl IcCacheSystem {
         let rng = rng_from_seed(config.seed);
         Self {
             selector,
-            router,
+            frontend: FrontEnd::new(router),
             manager,
             failover: FailoverState::default(),
             bare_quality: HashMap::new(),
@@ -142,14 +145,36 @@ impl IcCacheSystem {
         &self.selector
     }
 
-    /// Read access to the router.
+    /// Read access to the primary router (replica 0 of the front end).
     pub fn router(&self) -> &RequestRouter {
-        &self.router
+        self.frontend.router(0)
     }
 
-    /// Feeds a serving-load observation (requests/second) to the router.
+    /// Read access to the replicated router tier.
+    pub fn front_end(&self) -> &FrontEnd {
+        &self.frontend
+    }
+
+    /// Mutable access to the router tier (the engine feeds per-replica
+    /// load observations and reshapes the tier between runs).
+    pub fn front_end_mut(&mut self) -> &mut FrontEnd {
+        &mut self.frontend
+    }
+
+    /// Feeds a serving-load observation (requests/second) to every
+    /// router replica — the single-view path used by warm-up loops and
+    /// experiments outside the event-driven engine. The engine itself
+    /// feeds per-replica observations through
+    /// [`FrontEnd::observe_arrival_load`] /
+    /// [`FrontEnd::observe_completion`].
     pub fn observe_load(&mut self, rps: f64) {
-        self.router.observe_load(rps);
+        self.frontend.observe_load_all(rps);
+    }
+
+    /// One gossip round of the router tier at simulation time `now`
+    /// (no-op with a single replica). See [`crate::frontend`].
+    pub fn run_gossip(&mut self, now: f64) {
+        self.frontend.gossip_round(now);
     }
 
     /// Runs the selection step only (no routing, no generation, no
@@ -177,16 +202,25 @@ impl IcCacheSystem {
             .collect()
     }
 
-    /// Replaces the router configuration (rebuilding the bandit from a
-    /// fresh prior) — used by the Fig. 13 offload-aggressiveness sweep.
-    /// Call before warm-up: learned state is discarded.
+    /// Replaces the router configuration (rebuilding every replica's
+    /// bandit from a fresh prior) — used by the Fig. 13
+    /// offload-aggressiveness sweep. Call before warm-up: learned state
+    /// is discarded; the replica count and gossip tuning of the tier
+    /// are preserved.
     pub fn set_router_config(&mut self, cfg: ic_router::RouterConfig) {
-        self.router = RequestRouter::new(
+        let replicas = self.frontend.num_replicas();
+        let gossip = self.frontend.gossip_config();
+        let mut frontend = FrontEnd::new(RequestRouter::new(
             self.config.models.clone(),
             &self.config.catalog,
             64,
             cfg.clone(),
-        );
+        ));
+        frontend.set_gossip_config(gossip);
+        if replicas > 1 {
+            frontend.reconfigure(replicas, crate::frontend::DEFAULT_LATENCY_ALPHA);
+        }
+        self.frontend = frontend;
         self.config.router = cfg;
     }
 
@@ -261,17 +295,43 @@ impl IcCacheSystem {
             Selection::empty(0.0)
         };
 
-        // 2. Request Router (bypassed when unhealthy: straight to primary).
+        // 2. Request Router (bypassed when unhealthy: straight to
+        //    primary). The decision comes from the replica that owns the
+        //    request id; a chosen model whose pool is marked down by the
+        //    failover state is overridden by the best-scoring healthy arm
+        //    (retries after a pool failover must not land back on the
+        //    dead pool), falling back to the original choice only when
+        //    every arm is down.
         let (chosen, solicit, second, bias) = if self.failover.router_healthy() {
-            let d = self
-                .router
-                .route(request, &selection.predicted_utility, &mut self.rng);
-            (
-                d.chosen,
-                d.solicit_feedback,
-                d.second_choice,
-                d.applied_bias,
-            )
+            let (d, _replica) =
+                self.frontend
+                    .route(request, &selection.predicted_utility, &mut self.rng);
+            let chosen = if self.failover.model_healthy(d.chosen) {
+                d.chosen
+            } else {
+                d.scores
+                    .iter()
+                    .filter(|&&(m, _)| self.failover.model_healthy(m))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|&(m, _)| m)
+                    .unwrap_or(d.chosen)
+            };
+            // Preference solicitation only makes sense against a live,
+            // *distinct* alternative: the health override may have moved
+            // `chosen` onto the sampled second choice (a self-comparison
+            // would record contradictory rewards on one arm), and a down
+            // second choice cannot generate a comparison response.
+            let (solicit, second) = match d.second_choice {
+                Some(other)
+                    if d.solicit_feedback
+                        && other != chosen
+                        && self.failover.model_healthy(other) =>
+                {
+                    (true, Some(other))
+                }
+                _ => (false, None),
+            };
+            (chosen, solicit, second, d.applied_bias)
         } else {
             (self.config.primary, false, None, 0.0)
         };
@@ -331,8 +391,10 @@ impl IcCacheSystem {
         used_ids: &[ExampleId],
     ) {
         // Thumbs-style feedback: latent quality seen through noise.
+        // Rewards and preferences are recorded only at the replica that
+        // owns the request — peers learn of them through gossip.
         let fb = (outcome.quality + 0.1 * (self.rng.random::<f64>() - 0.5)).clamp(0.0, 1.0);
-        self.router
+        self.frontend
             .record_reward(chosen, request, &selection.predicted_utility, fb);
 
         // Preference solicitation: generate with the sampled second choice
@@ -353,11 +415,19 @@ impl IcCacheSystem {
                     .generate(other_spec, request, &other_setup, &mut self.rng);
             let alt_fb = (alt.quality + 0.1 * (self.rng.random::<f64>() - 0.5)).clamp(0.0, 1.0);
             if fb >= alt_fb {
-                self.router
-                    .record_preference(request, &selection.predicted_utility, chosen, other);
+                self.frontend.record_preference(
+                    request,
+                    &selection.predicted_utility,
+                    chosen,
+                    other,
+                );
             } else {
-                self.router
-                    .record_preference(request, &selection.predicted_utility, other, chosen);
+                self.frontend.record_preference(
+                    request,
+                    &selection.predicted_utility,
+                    other,
+                    chosen,
+                );
             }
         }
 
@@ -488,12 +558,23 @@ impl IcCacheSystem {
     }
 
     /// Serves a request with IC disabled (primary model, no examples) —
-    /// the "w/o IC-Cache" baseline path used by experiments.
+    /// the "w/o IC-Cache" baseline path used by experiments. Completion
+    /// latency feeds the owning replica's load estimate through the same
+    /// [`FrontEnd::observe_completion`] path as the engine's primary and
+    /// failover-retry completions (a standalone zero-load serving has
+    /// one job in flight, so Little's law reads `1 / latency`); the
+    /// baseline path must not starve the load tracker the router biases
+    /// on.
     pub fn serve_without_ic(&mut self, request: &Request, model: ModelId) -> GenOutcome {
         let spec = self.config.catalog.get(model);
-        self.config
-            .generator
-            .generate(spec, request, &GenSetup::bare(), &mut self.rng)
+        let outcome =
+            self.config
+                .generator
+                .generate(spec, request, &GenSetup::bare(), &mut self.rng);
+        let replica = self.frontend.replica_of(request.id);
+        self.frontend
+            .observe_completion(replica, outcome.latency.total(), 1);
+        outcome
     }
 }
 
@@ -677,6 +758,69 @@ mod tests {
             assert_eq!(out.model, primary);
             assert!(!out.offloaded);
         }
+    }
+
+    #[test]
+    fn down_model_routing_falls_back_to_best_healthy_arm() {
+        let (mut system, mut wg) = seeded_system(Dataset::MsMarco, 400);
+        let offload = system.config().offload_models()[0];
+        let primary = system.config().primary;
+        // With every offload pool down, everything must serve on the
+        // primary; with the primary down, nothing may land on it.
+        system.failover_mut().set_model_healthy(offload, false);
+        for r in wg.generate_requests(30) {
+            let out = system.serve(&r);
+            assert_eq!(out.model, primary, "down offload pool must be avoided");
+        }
+        system.failover_mut().set_model_healthy(offload, true);
+        system.failover_mut().set_model_healthy(primary, false);
+        for r in wg.generate_requests(30) {
+            let out = system.serve(&r);
+            assert_eq!(out.model, offload, "down primary pool must be avoided");
+        }
+        // All pools down: degrade to the router's original choice rather
+        // than dropping the request.
+        system.failover_mut().set_model_healthy(offload, false);
+        for r in wg.generate_requests(5) {
+            let out = system.serve(&r);
+            assert!(out.model == primary || out.model == offload);
+        }
+    }
+
+    #[test]
+    fn replicated_tier_serves_and_spreads_decisions() {
+        let (mut system, mut wg) = seeded_system(Dataset::MsMarco, 500);
+        system
+            .front_end_mut()
+            .reconfigure(4, crate::frontend::DEFAULT_LATENCY_ALPHA);
+        for r in wg.generate_requests(200) {
+            let _ = system.serve(&r);
+        }
+        let stats = system.front_end().stats();
+        assert_eq!(stats.replicas, 4);
+        assert_eq!(stats.decisions.iter().sum::<u64>(), 200);
+        assert!(
+            stats.decisions.iter().all(|&d| d > 0),
+            "hash assignment should hit every replica: {:?}",
+            stats.decisions
+        );
+        system.run_gossip(10.0);
+        assert_eq!(system.front_end().stats().gossip_rounds, 1);
+    }
+
+    #[test]
+    fn serve_without_ic_feeds_the_load_estimate() {
+        let (mut system, mut wg) = seeded_system(Dataset::MsMarco, 50);
+        let primary = system.config().primary;
+        assert_eq!(system.router().current_load(), 0.0);
+        let r = wg.generate_requests(1).pop().unwrap();
+        let out = system.serve_without_ic(&r, primary);
+        let replica = system.front_end().replica_of(r.id);
+        let est = system.front_end().load_estimate(replica);
+        assert!(
+            (est - 1.0 / out.latency.total()).abs() < 1e-9,
+            "baseline completion must feed Little's law: {est}"
+        );
     }
 
     #[test]

@@ -33,8 +33,10 @@
 //! assert_eq!(order, ["earlier", "first"]);
 //! ```
 
+pub mod periodic;
 pub mod sim;
 pub mod time;
 
+pub use periodic::Periodic;
 pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};

@@ -2,18 +2,32 @@
 //! flow diagram).
 
 use ic_cache::IcCacheSystem;
-use ic_desim::{SimDuration, SimTime, Simulator};
+use ic_desim::{Periodic, SimDuration, SimTime, Simulator};
 use ic_llmsim::{ModelId, Request};
 use ic_serving::{
     IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig, Watermarks,
 };
-use ic_stats::Ema;
 use std::collections::VecDeque;
 
 use ic_serving::busy_interval_rps;
 
 use crate::engine::{ServingEngine, cache_stats};
-use crate::report::{EngineReport, LatencyStats, RequestRecord, SelectorStats};
+use crate::report::{EngineReport, LatencyStats, RequestRecord, RouterStats, SelectorStats};
+
+/// A deterministic fault-injection window: `pool` goes down `at_s`
+/// seconds into the run and recovers `duration_s` later. While down, the
+/// pool's queued + running jobs are preempted (their KV blocks released)
+/// and re-enqueued through the router tier as retries, and new routing
+/// decisions avoid the pool's model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolOutage {
+    /// Pool index in routing order (see `EventDrivenEngine` pool layout).
+    pub pool: usize,
+    /// Failure time, seconds into the run.
+    pub at_s: f64,
+    /// Outage length in seconds; non-positive outages are ignored.
+    pub duration_s: f64,
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone)]
@@ -55,6 +69,22 @@ pub struct EngineConfig {
     /// Swap-vs-recompute pricing for pressure preemptions, plus the
     /// host-side swap capacity (`KvSwap::host_capacity_blocks`).
     pub kv_swap: KvSwap,
+    /// Router replicas in the front-end tier. `1` (the default) is the
+    /// pre-refactor topology — one router owning every request — and is
+    /// byte-identical to it modulo the report's `router` stats block.
+    /// With more replicas, arrivals are assigned by a deterministic hash
+    /// of the request id, each replica learns only from its own
+    /// requests' feedback, and replicas converge through gossip rounds
+    /// (env `IC_ROUTER_REPLICAS` in the bench binaries).
+    pub router_replicas: usize,
+    /// Period of the router tier's gossip rounds, seconds (env
+    /// `IC_GOSSIP_PERIOD`); `0` disables gossip. Irrelevant (never
+    /// scheduled) with a single replica.
+    pub gossip_period_s: f64,
+    /// Deterministic pool-failover injections (env `IC_POOL_OUTAGE`,
+    /// `pool:at:duration[;...]`). Empty by default: no failovers, no
+    /// behaviour change.
+    pub pool_outages: Vec<PoolOutage>,
     /// Period of full maintenance (replay + capacity), seconds; `0`
     /// disables.
     pub maintenance_period_s: f64,
@@ -84,6 +114,9 @@ impl Default for EngineConfig {
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
             kv_swap: KvSwap::DEFAULT,
+            router_replicas: 1,
+            gossip_period_s: 5.0,
+            pool_outages: Vec::new(),
             maintenance_period_s: 0.0,
             rebalance_period_s: 60.0,
             load_window: 30,
@@ -98,8 +131,21 @@ impl Default for EngineConfig {
 enum Event {
     /// Request `i` of the workload arrives.
     Arrival(usize),
-    /// The in-flight iteration (token step) of `pool` ends.
-    StepComplete(usize),
+    /// The in-flight iteration (token step) of `pool` ends. The second
+    /// field is the pool's failover epoch at arming time: a pool
+    /// failover bumps the epoch, so a step armed before the flush is
+    /// recognisably stale and dropped — otherwise a pool that refills
+    /// before the stale event fires would end up with two step
+    /// lineages advancing it twice per iteration.
+    StepComplete(usize, u64),
+    /// One gossip round of the router tier (periodic; only scheduled
+    /// with more than one replica).
+    GossipRound,
+    /// Fault injection: `pool` goes down — flush its work back through
+    /// the router tier and keep routing off its model.
+    PoolDown(usize),
+    /// Fault injection: `pool` recovers.
+    PoolUp(usize),
     /// Full offline maintenance (replay + capacity enforcement).
     Maintenance,
     /// Capacity-only cross-shard budget rebalance.
@@ -189,11 +235,17 @@ impl EventDrivenEngine {
     }
 
     /// Reschedules `pool`'s step event iff it still has a running batch.
-    /// Invariant: each busy pool has exactly one `StepComplete` in
-    /// flight — armed here and by an `Offer::Started` admission.
-    fn arm_step(sim: &mut Simulator<Event>, pools: &[ModelPool], pool: usize) {
+    /// Invariant: each busy pool has exactly one *live* `StepComplete`
+    /// in flight — armed here and by an `Offer::Started` admission; a
+    /// pool failover bumps `epoch` so the flushed lineage's pending
+    /// event dies on delivery instead of double-stepping a refilled
+    /// pool.
+    fn arm_step(sim: &mut Simulator<Event>, pools: &[ModelPool], pool: usize, epoch: u64) {
         if let Some(dt) = pools[pool].step_secs() {
-            sim.schedule_in(SimDuration::from_secs_f64(dt), Event::StepComplete(pool));
+            sim.schedule_in(
+                SimDuration::from_secs_f64(dt),
+                Event::StepComplete(pool, epoch),
+            );
         }
     }
 }
@@ -218,9 +270,46 @@ impl ServingEngine for EventDrivenEngine {
             .map(ModelPool::new)
             .collect();
 
+        // Shape the router tier for this run. A changed replica count
+        // re-clones the (possibly warmed) primary router into every
+        // replica; an unchanged tier just resets the run-scoped
+        // counters and latency EMAs. With the default single replica
+        // this is behaviourally the pre-refactor engine.
+        let replicas = self.config.router_replicas.max(1);
+        {
+            let fe = self.system.front_end_mut();
+            if fe.num_replicas() != replicas {
+                fe.reconfigure(replicas, self.config.latency_ema_alpha);
+            } else {
+                fe.begin_run(self.config.latency_ema_alpha);
+            }
+        }
+
         let mut sim: Simulator<Event> = Simulator::new();
         for (i, &at) in arrivals.iter().enumerate() {
             sim.schedule(SimTime::from_secs_f64(at), Event::Arrival(i));
+        }
+        // Gossip only exists on a real tier: a single replica has no
+        // peers, so no events are scheduled and the run is event-for-
+        // event identical to the pre-refactor engine.
+        let gossip = if replicas > 1 {
+            Periodic::every_secs(self.config.gossip_period_s)
+        } else {
+            Periodic::every_secs(0.0)
+        };
+        gossip.arm(&mut sim, Event::GossipRound);
+        for outage in &self.config.pool_outages {
+            if outage.duration_s <= 0.0 || outage.pool >= pools.len() {
+                continue;
+            }
+            sim.schedule(
+                SimTime::from_secs_f64(outage.at_s),
+                Event::PoolDown(outage.pool),
+            );
+            sim.schedule(
+                SimTime::from_secs_f64(outage.at_s + outage.duration_s),
+                Event::PoolUp(outage.pool),
+            );
         }
         if self.config.maintenance_period_s > 0.0 {
             sim.schedule(
@@ -250,8 +339,11 @@ impl ServingEngine for EventDrivenEngine {
         };
 
         let mut records: Vec<Option<RequestRecord>> = (0..n).map(|_| None).collect();
-        let mut arrival_window: VecDeque<f64> = VecDeque::new();
-        let mut e2e_ema = Ema::new(self.config.latency_ema_alpha);
+        // One arrival window per router replica: each replica estimates
+        // the arrival rate from the requests *it* owns — a stale, local
+        // view by construction (with one replica this is exactly the
+        // old global window).
+        let mut arrival_windows: Vec<VecDeque<f64>> = vec![VecDeque::new(); replicas];
         let mut completions: Vec<f64> = Vec::with_capacity(n);
         let mut completed = 0usize;
         let mut offloaded = 0u64;
@@ -260,6 +352,15 @@ impl ServingEngine for EventDrivenEngine {
         let mut examples_used = 0u64;
         let mut evicted = 0u64;
         let mut quality_sum = 0.0f64;
+        let mut failover_requeues = 0u64;
+        let mut retry_rejects = 0u64;
+        // Failover bookkeeping: `pool_epochs` invalidates a flushed
+        // pool's in-flight step event (see `Event::StepComplete`);
+        // `down_depth` counts overlapping outage windows so a nested
+        // window's `PoolUp` cannot revive a pool an enclosing window
+        // still declares down.
+        let mut pool_epochs: Vec<u64> = vec![0; pools.len()];
+        let mut down_depth: Vec<u32> = vec![0; pools.len()];
 
         while let Some((at, event)) = sim.next() {
             let now = at.as_secs_f64();
@@ -300,17 +401,22 @@ impl ServingEngine for EventDrivenEngine {
                     selector_stats.max_batch = selector_stats.max_batch.max(batch.len() as u64);
 
                     for (i, stage1) in batch.into_iter().zip(stage1) {
-                        // Windowed arrival-rate estimate feeds the router's
-                        // load tracker before the routing decision.
-                        arrival_window.push_back(now);
-                        while arrival_window.len() > self.config.load_window {
-                            arrival_window.pop_front();
+                        // Windowed arrival-rate estimate feeds the owning
+                        // replica's load tracker before its routing
+                        // decision (each replica sees only its own
+                        // arrivals).
+                        let owner = self.system.front_end().replica_of(requests[i].id);
+                        let window = &mut arrival_windows[owner];
+                        window.push_back(now);
+                        while window.len() > self.config.load_window {
+                            window.pop_front();
                         }
-                        if arrival_window.len() >= 2 {
-                            let dt = now - arrival_window.front().expect("non-empty window");
+                        if window.len() >= 2 {
+                            let dt = now - window.front().expect("non-empty window");
                             if dt > 0.0 {
                                 self.system
-                                    .observe_load((arrival_window.len() - 1) as f64 / dt);
+                                    .front_end_mut()
+                                    .observe_arrival_load(owner, (window.len() - 1) as f64 / dt);
                             }
                         }
 
@@ -339,6 +445,7 @@ impl ServingEngine for EventDrivenEngine {
                             decode_secs: out.outcome.latency.decode,
                             prefill_tokens: out.outcome.input_tokens,
                             decode_tokens: out.outcome.output_tokens,
+                            priority: 0,
                         };
                         // Iteration-level admission: an idle pool starts the
                         // job (arming its step event); a busy pool keeps it
@@ -352,7 +459,7 @@ impl ServingEngine for EventDrivenEngine {
                             completed += 1;
                         } else {
                             if offer == Offer::Started {
-                                Self::arm_step(&mut sim, &pools, pool);
+                                Self::arm_step(&mut sim, &pools, pool, pool_epochs[pool]);
                             }
                             if self.config.admit_served_pairs {
                                 let _ =
@@ -373,7 +480,13 @@ impl ServingEngine for EventDrivenEngine {
                         }
                     }
                 }
-                Event::StepComplete(pool) => {
+                Event::StepComplete(pool, epoch) => {
+                    if epoch != pool_epochs[pool] {
+                        // A failover flushed the lineage this event was
+                        // armed for; the live lineage (if any) has its
+                        // own pending event.
+                        continue;
+                    }
                     let step = pools[pool].advance_step(at);
                     // Loop-invariant across this boundary's finishers:
                     // the step already ran, so pool occupancy is fixed.
@@ -392,14 +505,131 @@ impl ServingEngine for EventDrivenEngine {
 
                         // Measured-latency feedback: Little's law turns
                         // the observed end-to-end latency and the work in
-                        // flight into a demand estimate for the router.
-                        e2e_ema.observe(record.e2e_s);
-                        if e2e_ema.value() > 0.0 {
-                            self.system
-                                .observe_load(f64::from(in_system) / e2e_ema.value());
+                        // flight into a demand estimate, recorded at the
+                        // replica that owns the completed request (the
+                        // same path failover retries and the baseline
+                        // `serve_without_ic` feed).
+                        let e2e_s = record.e2e_s;
+                        let owner = self.system.front_end().replica_of(requests[i].id);
+                        self.system
+                            .front_end_mut()
+                            .observe_completion(owner, e2e_s, in_system);
+                    }
+                    Self::arm_step(&mut sim, &pools, pool, pool_epochs[pool]);
+                }
+                Event::GossipRound => {
+                    self.system.run_gossip(now);
+                    if completed < n {
+                        gossip.arm(&mut sim, Event::GossipRound);
+                    }
+                }
+                Event::PoolDown(pool) => {
+                    // Mark the model down first so the retries below (and
+                    // all future arrivals) route around it, then flush
+                    // everything the pool held — running sequences free
+                    // their KV blocks through the normal kvmem release
+                    // path — and re-enqueue each job through the router
+                    // tier as a retry. Overlapping outage windows nest:
+                    // the depth counter keeps the pool down until the
+                    // last window's recovery. The epoch bump invalidates
+                    // the flushed lineage's in-flight step event.
+                    let model = self.model_pools[pool].0;
+                    self.system.failover_mut().set_model_healthy(model, false);
+                    down_depth[pool] += 1;
+                    pool_epochs[pool] += 1;
+                    for job_id in pools[pool].fail_over() {
+                        let i = job_id.0 as usize;
+                        failover_requeues += 1;
+                        let old = records[i].as_ref().expect("flushed job was served");
+                        let original_arrival = SimTime::from_secs_f64(old.arrival_s);
+                        // The first serving never completed: withdraw its
+                        // contributions before the retry re-tallies.
+                        if old.offloaded {
+                            offloaded -= 1;
+                        }
+                        if old.solicited {
+                            solicited -= 1;
+                        }
+                        if old.examples > 0 {
+                            selection_hits -= 1;
+                            examples_used -= old.examples as u64;
+                        }
+                        quality_sum -= old.quality;
+                        let arrival_s = old.arrival_s;
+
+                        // Retry: a fresh selection + routing decision at
+                        // the owning replica (the down model is excluded
+                        // by the failover state) and a fresh generation.
+                        let request = &requests[i];
+                        let out = self.system.serve(request);
+                        records[i] = Some(RequestRecord {
+                            index: i,
+                            model: out.model.0,
+                            offloaded: out.offloaded,
+                            quality: out.outcome.quality,
+                            solicited: out.solicited_feedback,
+                            examples: out.selection.ids.len(),
+                            arrival_s,
+                            queue_s: 0.0,
+                            ttft_s: 0.0,
+                            e2e_s: 0.0,
+                            rejected: false,
+                        });
+                        let retry_pool = self.pool_of(out.model);
+                        let job = JobSpec {
+                            id: JobId(i as u64),
+                            pool: retry_pool,
+                            // Latency stays measured from the *original*
+                            // arrival: the outage's lost time is part of
+                            // the user-visible queueing delay.
+                            arrival: original_arrival,
+                            ttft_secs: out.outcome.latency.ttft,
+                            decode_secs: out.outcome.latency.decode,
+                            prefill_tokens: out.outcome.input_tokens,
+                            decode_tokens: out.outcome.output_tokens,
+                            priority: 0,
+                        };
+                        let offer = pools[retry_pool].offer(job, at);
+                        if offer == Offer::Rejected {
+                            let record = records[i].as_mut().expect("record created above");
+                            record.rejected = true;
+                            completed += 1;
+                            retry_rejects += 1;
+                        } else {
+                            if offer == Offer::Started {
+                                Self::arm_step(
+                                    &mut sim,
+                                    &pools,
+                                    retry_pool,
+                                    pool_epochs[retry_pool],
+                                );
+                            }
+                            // No `update_cache` here: the request's pair
+                            // was already admitted at its arrival (when
+                            // `admit_served_pairs` is on); re-admitting
+                            // the retry outcome would double-cache it.
+                            if out.offloaded {
+                                offloaded += 1;
+                            }
+                            if out.solicited_feedback {
+                                solicited += 1;
+                            }
+                            if !out.selection.ids.is_empty() {
+                                selection_hits += 1;
+                                examples_used += out.selection.ids.len() as u64;
+                            }
+                            quality_sum += out.outcome.quality;
                         }
                     }
-                    Self::arm_step(&mut sim, &pools, pool);
+                }
+                Event::PoolUp(pool) => {
+                    // Recover only when the outermost outage window
+                    // closes (nested windows each delivered a PoolDown).
+                    down_depth[pool] = down_depth[pool].saturating_sub(1);
+                    if down_depth[pool] == 0 {
+                        let model = self.model_pools[pool].0;
+                        self.system.failover_mut().set_model_healthy(model, true);
+                    }
                 }
                 Event::Maintenance => {
                     let report = self.system.run_maintenance(now);
@@ -429,6 +659,11 @@ impl ServingEngine for EventDrivenEngine {
             iter.merge(&p.iter_stats());
             kv.merge(&p.kv_stats());
         }
+        let router = RouterStats::from_tier(
+            self.system.front_end().stats(),
+            failover_requeues,
+            retry_rejects,
+        );
         let per_request: Vec<RequestRecord> = records
             .into_iter()
             .map(|r| r.expect("every request served"))
@@ -453,6 +688,7 @@ impl ServingEngine for EventDrivenEngine {
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, evicted),
             iter,
+            router,
             selector: selector_stats,
             kv,
             per_request,

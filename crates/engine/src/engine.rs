@@ -147,8 +147,11 @@ impl ServingEngine for DirectEngine {
             },
             cache: cache_stats(&self.system, selection_hits, examples_used, 0),
             // The direct path executes nothing: no iterations to count,
-            // no KV blocks to page, no arrival ticks to coalesce.
+            // no KV blocks to page, no arrival ticks to coalesce, no
+            // router-tier event loop (it always serves through the
+            // system's single-view path).
             iter: ic_serving::IterStats::default(),
+            router: crate::report::RouterStats::default(),
             selector: crate::report::SelectorStats::default(),
             kv: ic_serving::KvStats::default(),
             per_request,

@@ -34,14 +34,17 @@
 //!   - replay best-of-n (off-peak)                    - advance batch one
 //!   - cross-shard budget rebalance                     token step
 //!     (knapsack DP over gain quanta)                 - finishers: TTFT/E2E,
-//!                                                      Little's law -> router
-//!                                                    - boundary admission
-//!                                                      and preemption
+//!  GossipRound (periodic, R > 1)                       Little's law -> owning
+//!   - router replicas merge bandit deltas              router replica
+//!     + load estimates on a ring                    - boundary admission
+//!  PoolDown / PoolUp (fault injection)                and preemption
+//!   - flush the pool, retry via the tier
 //! ```
 //!
 //! Each **arrival** event runs Algorithm 1 (`IcCacheSystem::serve`):
-//! example selection against the sharded cache, load-aware routing (the
-//! engine has just fed the router a windowed arrival-rate estimate), and
+//! example selection against the sharded cache, load-aware routing at
+//! the router replica that owns the request id (the engine has just fed
+//! that replica a windowed arrival-rate estimate), and
 //! simulated generation, producing the job's zero-load prefill/decode
 //! demand and token counts. The job then joins its model's pool at a
 //! step boundary: the pool's `slots_per_replica` concurrent sequences
@@ -68,6 +71,19 @@
 //! byte budgets re-divided by the knapsack DP according to where the
 //! decayed offload gains currently live (see `ic_manager::shard`).
 //!
+//! With `EngineConfig::router_replicas > 1` the front end is a
+//! replicated router tier (`ic_cache::FrontEnd`): requests are assigned
+//! to replicas by a deterministic id hash, feedback lands only at the
+//! owner, and periodic **gossip-round** events merge bandit
+//! sufficient-statistic deltas and load estimates across the ring (see
+//! `ic_router::gossip`). **Pool-outage** events
+//! ([`driven::PoolOutage`]) model pool failover: the dead pool's
+//! queued + running jobs are preempted — their KV blocks released
+//! through the normal `ic_kvmem` path — and re-enqueued through the
+//! tier as retries that route around the down model; the requeue counts
+//! and the tier's decisions/gossip statistics ride in the report's
+//! `router` block.
+//!
 //! # Shard layout
 //!
 //! The example cache behind the engine is an
@@ -88,6 +104,8 @@ pub mod driven;
 pub mod engine;
 pub mod report;
 
-pub use driven::{EngineConfig, EventDrivenEngine};
+pub use driven::{EngineConfig, EventDrivenEngine, PoolOutage};
 pub use engine::{DirectEngine, ServingEngine};
-pub use report::{CacheStats, EngineReport, LatencyStats, RequestRecord, SelectorStats};
+pub use report::{
+    CacheStats, EngineReport, LatencyStats, RequestRecord, RouterStats, SelectorStats,
+};

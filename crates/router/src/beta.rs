@@ -122,6 +122,29 @@ impl BetaBandit {
     pub fn total_updates(&self) -> u64 {
         self.arms.iter().map(|a| (a.wins + a.losses) as u64).sum()
     }
+
+    /// Additive gossip merge: folds a peer's Beta posteriors into this
+    /// bandit, discounting the peer's pseudo-counts by `discount` (the
+    /// staleness factor — stale remote evidence counts for less than
+    /// fresh local evidence). Arms unknown to this bandit are ignored;
+    /// Beta sufficient statistics are additive, so the merged posterior
+    /// is exactly the posterior of the combined (discounted) evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `discount` is outside `[0, 1]` (programming error).
+    pub fn merge_discounted(&mut self, peer: &BetaBandit, discount: f64) {
+        assert!(
+            (0.0..=1.0).contains(&discount),
+            "discount must be in [0, 1], got {discount}"
+        );
+        for arm in &mut self.arms {
+            if let Some(p) = peer.arms.iter().find(|a| a.model == arm.model) {
+                arm.wins += discount * p.wins;
+                arm.losses += discount * p.losses;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +258,37 @@ mod tests {
     fn unknown_model_reads_neutral() {
         let b = BetaBandit::new(vec![ModelId(0)]);
         assert_eq!(b.posterior_mean(ModelId(42)), 0.5);
+    }
+
+    #[test]
+    fn discounted_merge_folds_peer_evidence() {
+        let mut local = BetaBandit::new(vec![ModelId(0), ModelId(1)]);
+        let mut peer = BetaBandit::new(vec![ModelId(0), ModelId(1)]);
+        for _ in 0..8 {
+            peer.update(ModelId(1), true);
+        }
+        for _ in 0..8 {
+            peer.update(ModelId(0), false);
+        }
+        local.merge_discounted(&peer, 0.5);
+        // 4 discounted wins: (1 + 4) / (2 + 4) for arm 1.
+        assert!((local.posterior_mean(ModelId(1)) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((local.posterior_mean(ModelId(0)) - 1.0 / 6.0).abs() < 1e-12);
+        // Full discount equals plain addition; zero discount is a no-op.
+        let mut zero = BetaBandit::new(vec![ModelId(1)]);
+        zero.merge_discounted(&peer, 0.0);
+        assert_eq!(zero.posterior_mean(ModelId(1)), 0.5);
+        // Peer arms the local bandit does not track are ignored.
+        let mut narrow = BetaBandit::new(vec![ModelId(7)]);
+        narrow.merge_discounted(&peer, 1.0);
+        assert_eq!(narrow.total_updates(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount must be in")]
+    fn merge_rejects_out_of_range_discount() {
+        let mut b = BetaBandit::new(vec![ModelId(0)]);
+        let peer = b.clone();
+        b.merge_discounted(&peer, 1.5);
     }
 }

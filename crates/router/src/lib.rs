@@ -17,11 +17,17 @@
 //!   pairing the top choice with a Thompson-sampled second ([`router`]).
 //! - A **Beta–Bernoulli bandit** ([`beta`]) matching Appendix A.2's
 //!   analysis, used for convergence tests and as a context-free ablation.
+//! - **Gossip dissemination** ([`gossip`]) for replicated front ends:
+//!   each router replica buffers its local bandit updates and ships them
+//!   around a deterministic ring with per-hop staleness discounting,
+//!   while load estimates blend by consensus — replicas converge on
+//!   stale views instead of sharing one mutable bandit.
 
 pub mod autoscale;
 pub mod bandit;
 pub mod beta;
 pub mod features;
+pub mod gossip;
 pub mod linalg;
 pub mod load;
 pub mod router;
@@ -30,6 +36,7 @@ pub use autoscale::{AutoscaleSignal, ScaleAdvice};
 pub use bandit::ContextualBandit;
 pub use beta::BetaBandit;
 pub use features::{ROUTE_FEATURE_DIM, RouteFeatures};
+pub use gossip::{ArmDelta, DeltaBatch, GossipConfig, GossipState, ring_blend};
 pub use linalg::Matrix;
 pub use load::{LoadBias, LoadTracker};
 pub use router::{RequestRouter, RouteDecision, RouterConfig};

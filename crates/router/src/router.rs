@@ -6,6 +6,7 @@ use rand::{Rng, RngExt};
 
 use crate::bandit::ContextualBandit;
 use crate::features::{ROUTE_FEATURE_DIM, RouteFeatures};
+use crate::gossip::{DeltaBatch, GossipState};
 use crate::load::{LoadBias, LoadTracker, normalize_costs};
 
 /// Router configuration.
@@ -96,7 +97,7 @@ pub struct RouteDecision {
 /// let decision = router.route(&request, &[0.3], &mut rng);
 /// assert!(decision.chosen == small || decision.chosen == large);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RequestRouter {
     bandit: ContextualBandit,
     features: RouteFeatures,
@@ -104,6 +105,9 @@ pub struct RequestRouter {
     bias: LoadBias,
     costs: Vec<(ModelId, f64)>,
     config: RouterConfig,
+    /// Local bandit updates since the last gossip round (the shippable
+    /// sufficient-statistic delta of a replicated front end).
+    gossip: GossipState,
     decisions: u64,
     solicited: u64,
 }
@@ -123,6 +127,7 @@ impl RequestRouter {
         let normalized = normalize_costs(&raw_costs);
         let costs = models.iter().copied().zip(normalized).collect();
         Self {
+            gossip: GossipState::new(&models, ROUTE_FEATURE_DIM),
             bandit: ContextualBandit::new(
                 models,
                 ROUTE_FEATURE_DIM,
@@ -245,6 +250,7 @@ impl RequestRouter {
     ) {
         let x = self.features.extract(request, selection_utilities);
         self.bandit.update(model, &x, reward);
+        self.gossip.record(model, &x, reward);
     }
 
     /// Absorbs a pairwise preference ("which response do you prefer?"):
@@ -260,6 +266,38 @@ impl RequestRouter {
         let x = self.features.extract(request, selection_utilities);
         self.bandit.update(preferred, &x, 1.0);
         self.bandit.update(other, &x, 0.0);
+        self.gossip.record(preferred, &x, 1.0);
+        self.gossip.record(other, &x, 0.0);
+    }
+
+    /// Seals the local updates since the last gossip round into a batch
+    /// for the ring (see [`crate::gossip`]); `None` when nothing was
+    /// learned locally. `ttl` is the number of ring hops the batch lives
+    /// (replica count minus one visits every peer exactly once).
+    pub fn gossip_take(&mut self, now_s: f64, ttl: u32) -> Option<DeltaBatch> {
+        self.gossip.take(now_s, ttl)
+    }
+
+    /// Folds a peer's delta batch into this replica's posterior at the
+    /// given staleness `discount` (see
+    /// [`crate::ContextualBandit::apply_stats`]).
+    pub fn gossip_apply(&mut self, batch: &DeltaBatch, discount: f64) {
+        for arm in &batch.arms {
+            self.bandit
+                .apply_stats(arm.model, &arm.a, &arm.b, arm.pulls, discount);
+        }
+    }
+
+    /// Gossip merge of the load estimate: blends a peer replica's
+    /// smoothed value into this tracker.
+    pub fn merge_load(&mut self, peer: f64, weight: f64) {
+        self.load.merge(peer, weight);
+    }
+
+    /// Discards the unsent gossip buffer (cloned replicas already share
+    /// the posterior the buffer describes).
+    pub fn gossip_clear(&mut self) {
+        self.gossip.clear();
     }
 
     /// Fraction of decisions that requested feedback — the data-efficiency
@@ -276,6 +314,11 @@ impl RequestRouter {
         self.decisions
     }
 
+    /// Updates an arm's posterior has absorbed (local and gossiped).
+    pub fn arm_pulls(&self, model: ModelId) -> u64 {
+        self.bandit.pulls(model)
+    }
+
     /// The candidate models.
     pub fn models(&self) -> Vec<ModelId> {
         self.bandit.models()
@@ -284,6 +327,7 @@ impl RequestRouter {
     /// Adds a model at runtime (fleet upgrade, §8).
     pub fn add_model(&mut self, model: ModelId, catalog: &Catalog) {
         self.bandit.add_arm(model);
+        self.gossip.add_arm(model);
         let raw: Vec<f64> = self
             .bandit
             .models()
@@ -487,6 +531,51 @@ mod tests {
             small_wins as f64 / reqs.len() as f64 > 0.8,
             "preferences should steer routing: {small_wins}/300"
         );
+    }
+
+    #[test]
+    fn gossiped_rewards_move_a_peer_replica() {
+        // Replica A learns that the large model wins; replica B never
+        // sees a reward. After B applies A's gossip batch at full
+        // discount, B's posterior must match what the same updates
+        // applied directly would give — the additive sufficient-statistic
+        // merge is exact.
+        let (catalog, small, large, mut wg) = setup();
+        let mk = || RequestRouter::new(vec![small, large], &catalog, 64, RouterConfig::default());
+        let mut a = mk();
+        let mut b = mk();
+        let mut direct = mk();
+        let train = wg.generate_requests(50);
+        for r in &train {
+            a.record_reward(large, r, &[], 0.9);
+            a.record_reward(small, r, &[], 0.2);
+            direct.record_reward(large, r, &[], 0.9);
+            direct.record_reward(small, r, &[], 0.2);
+        }
+        let batch = a.gossip_take(10.0, 1).expect("a learned locally");
+        assert!(a.gossip_take(10.0, 1).is_none(), "buffer drains on take");
+        b.gossip_apply(&batch, 1.0);
+        // Same posterior on fresh contexts (up to the float-summation
+        // order: the batch pre-sums outer products before the single
+        // `apply_stats` addition, direct updates add one at a time).
+        let probe = wg.generate_requests(5);
+        let mut rng_b = rng_from_seed(91);
+        let mut rng_d = rng_from_seed(91);
+        for r in &probe {
+            let db = b.route(r, &[], &mut rng_b);
+            let dd = direct.route(r, &[], &mut rng_d);
+            assert_eq!(db.chosen, dd.chosen);
+            for ((m1, s1), (m2, s2)) in db.scores.iter().zip(&dd.scores) {
+                assert_eq!(m1, m2);
+                assert!((s1 - s2).abs() < 1e-9, "posterior drifted: {s1} vs {s2}");
+            }
+        }
+        // Load merges blend the peer estimate in.
+        for _ in 0..50 {
+            a.observe_load(12.0);
+        }
+        b.merge_load(a.current_load(), 0.5);
+        assert!(b.current_load() > 0.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ enum Event {
 ///     decode_secs: 1.0,
 ///     prefill_tokens: 120,
 ///     decode_tokens: 100,
+///     priority: 0,
 /// }];
 /// let results = cluster.run(jobs);
 /// assert_eq!(results.len(), 1);
@@ -152,6 +153,7 @@ pub fn jobs_from_tuples(rows: &[(u64, usize, f64, f64, f64, u32, u32)]) -> Vec<J
             decode_secs: decode,
             prefill_tokens: ptoks,
             decode_tokens: dtoks,
+            priority: 0,
         })
         .collect()
 }
@@ -219,6 +221,7 @@ mod tests {
                     decode_secs: 1.0,
                     prefill_tokens: 50,
                     decode_tokens: 100,
+                    priority: 0,
                 })
                 .collect()
         };
@@ -261,6 +264,7 @@ mod tests {
                 decode_secs: 1.0,
                 prefill_tokens: 1,
                 decode_tokens: 50,
+                priority: 0,
             })
             .collect();
         let makespan = |replicas: u32| -> f64 {
@@ -294,6 +298,7 @@ mod tests {
                 decode_secs: 1.0,
                 prefill_tokens: 1,
                 decode_tokens: 50,
+                priority: 0,
             })
             .collect();
         let mean_e2e = |beta: f64| -> f64 {

@@ -31,6 +31,11 @@ pub struct JobSpec {
     /// Output length in tokens (decode work; zero-output jobs finish at
     /// the end of prefill).
     pub decode_tokens: u32,
+    /// Victim-selection priority class: under KV-memory pressure the
+    /// pool swaps out the *lowest* priority residents first (ties broken
+    /// by longest remaining decode). `0` — the default for all engine
+    /// traffic — is the lowest class; latency-critical jobs ride higher.
+    pub priority: u8,
 }
 
 /// The measured outcome of one job.

@@ -13,6 +13,8 @@ pub struct ServingMetrics {
     queue_wait: Percentiles,
     completions: Vec<f64>,
     rejected: u64,
+    requeued: u64,
+    retry_rejects: u64,
     kv: KvStats,
 }
 
@@ -44,6 +46,24 @@ impl ServingMetrics {
     /// [`crate::PoolConfig::max_queue`]).
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Records jobs preempted by a pool failover and re-enqueued through
+    /// the router tier as retries (see [`crate::ModelPool::fail_over`]),
+    /// and how many of those retries were then dropped by queue caps.
+    pub fn set_requeued(&mut self, requeued: u64, retry_rejects: u64) {
+        self.requeued = requeued;
+        self.retry_rejects = retry_rejects;
+    }
+
+    /// Jobs flushed by pool failovers and retried on a healthy pool.
+    pub fn requeued(&self) -> u64 {
+        self.requeued
+    }
+
+    /// Failover retries that were subsequently rejected by queue caps.
+    pub fn retry_rejects(&self) -> u64 {
+        self.retry_rejects
     }
 
     /// Attaches the cluster's KV-memory counters (see
@@ -130,6 +150,16 @@ mod tests {
         assert_eq!(m.rejected(), 0);
         m.set_rejected(7);
         assert_eq!(m.rejected(), 7);
+    }
+
+    #[test]
+    fn requeue_counts_are_surfaced() {
+        let mut m = ServingMetrics::from_results(&[]);
+        assert_eq!(m.requeued(), 0);
+        assert_eq!(m.retry_rejects(), 0);
+        m.set_requeued(5, 2);
+        assert_eq!(m.requeued(), 5);
+        assert_eq!(m.retry_rejects(), 2);
     }
 
     fn result(id: u64, arrival: f64, start: f64, first: f64, done: f64) -> JobResult {

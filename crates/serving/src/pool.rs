@@ -655,15 +655,22 @@ impl ModelPool {
                     // its tail into its allocated blocks instead.
                     break;
                 }
-                // Victim: longest remaining decode, earliest slot on
-                // ties (deterministic).
+                // Victim: lowest priority class first, then longest
+                // remaining decode, earliest slot on remaining ties
+                // (deterministic). Priority outranks the decode
+                // heuristic: a background job always yields before a
+                // latency-critical one regardless of remaining work.
                 let victim = self
                     .slots
                     .iter()
                     .enumerate()
                     .filter(|(_, s)| s.replica == replica)
                     .max_by(|(ia, a), (ib, b)| {
-                        a.remaining_decode.cmp(&b.remaining_decode).then(ib.cmp(ia))
+                        b.job
+                            .priority
+                            .cmp(&a.job.priority)
+                            .then(a.remaining_decode.cmp(&b.remaining_decode))
+                            .then(ib.cmp(ia))
                     })
                     .map(|(i, _)| i)
                     .expect("residents > 1");
@@ -973,6 +980,35 @@ impl ModelPool {
         self.queue.clear();
         ids
     }
+
+    /// Pool failover: flushes *everything* — running sequences (their
+    /// device blocks freed through the normal kvmem release path),
+    /// swapped-out sequences (their host-ledger entries released), and
+    /// the queue — returning the evicted job ids in a deterministic
+    /// order (slots, then swapped, then queue) so the caller can
+    /// re-enqueue them through the router tier as retries. The pool
+    /// comes back empty and idle; any in-flight `StepComplete` event
+    /// finds an empty batch and simply does not re-arm.
+    pub fn fail_over(&mut self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = Vec::new();
+        for mut s in std::mem::take(&mut self.slots) {
+            self.retire_kv(&mut s);
+            ids.push(s.job.id);
+        }
+        for mut s in std::mem::take(&mut self.swapped) {
+            if let Some(kv) = &mut self.kv
+                && s.host_blocks > 0
+            {
+                kv.host_unpark(s.host_blocks);
+                s.host_blocks = 0;
+            }
+            ids.push(s.job.id);
+        }
+        ids.extend(self.drain_queue());
+        // Nothing runs, so no pending swap penalty can be charged.
+        self.pending_penalty_secs = 0.0;
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -994,6 +1030,7 @@ mod tests {
             decode_secs: decode,
             prefill_tokens: ptoks,
             decode_tokens: dtoks,
+            priority: 0,
         }
     }
 
@@ -1691,6 +1728,133 @@ mod tests {
         // A model bigger than the cluster still gets one replica.
         let huge = PoolConfig::for_gpus("huge", 4, 16, 8);
         assert_eq!(huge.replicas, 1);
+    }
+
+    /// Like `job_with` but carrying a victim-selection priority class.
+    fn prio_job(id: u64, priority: u8, ptoks: u32, dtoks: u32) -> JobSpec {
+        JobSpec {
+            priority,
+            ..job_with(id, 0.1, 1.0, ptoks, dtoks)
+        }
+    }
+
+    /// Steps the pool until the first pressure preemption and returns
+    /// the victim order (ids in swap-out order).
+    fn victims_under_pressure(pool: &mut ModelPool, want: usize) -> Vec<u64> {
+        let mut now = 0.0;
+        let mut guard = 0;
+        let mut victims = Vec::new();
+        while victims.len() < want {
+            let dt = pool.step_secs().expect("pool busy");
+            now += dt;
+            let before = pool.swapped_len();
+            pool.advance_step(SimTime::from_secs_f64(now));
+            for s in pool.swapped.iter().skip(before) {
+                victims.push(s.job.id.0);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "no pressure preemption happened");
+        }
+        victims
+    }
+
+    #[test]
+    fn pressure_victims_are_lowest_priority_first() {
+        // Three residents on a budget that forces one victim: the
+        // low-priority job must yield even though a higher-priority
+        // peer has strictly more decode remaining.
+        let mut p = kv_pool(4, 8, 12, Watermarks::new(1.0, 1.0));
+        p.offer(prio_job(1, 2, 16, 60), SimTime::ZERO); // Most decode, high prio.
+        p.offer(prio_job(2, 0, 16, 30), SimTime::ZERO); // Lowest priority.
+        p.offer(prio_job(3, 1, 16, 45), SimTime::ZERO);
+        let victims = victims_under_pressure(&mut p, 1);
+        assert_eq!(victims, vec![2], "lowest priority class yields first");
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 3, "victim still completes");
+        assert_eq!(p.kv_stats().allocs, p.kv_stats().frees);
+    }
+
+    #[test]
+    fn equal_priority_ties_break_by_longest_remaining_decode() {
+        // Same class everywhere: the pre-existing rule must be
+        // unchanged — longest remaining decode goes first.
+        let mut p = kv_pool(4, 8, 12, Watermarks::new(1.0, 1.0));
+        p.offer(prio_job(1, 3, 16, 30), SimTime::ZERO);
+        p.offer(prio_job(2, 3, 16, 60), SimTime::ZERO); // Longest decode.
+        p.offer(prio_job(3, 3, 16, 45), SimTime::ZERO);
+        let victims = victims_under_pressure(&mut p, 1);
+        assert_eq!(victims, vec![2], "decode length decides within a class");
+    }
+
+    #[test]
+    fn priority_zero_everywhere_matches_the_legacy_rule() {
+        // The engine threads priority 0 for all traffic: the victim
+        // schedule must be identical to the pre-priority behaviour
+        // (longest remaining decode, earliest slot on ties).
+        let run = |prio: u8| {
+            let mut p = kv_pool(4, 8, 8, Watermarks::new(1.0, 1.0));
+            p.offer(prio_job(1, prio, 16, 40), SimTime::ZERO);
+            p.offer(prio_job(2, prio, 16, 40), SimTime::ZERO);
+            let (done, now) = drain(&mut p);
+            assert_eq!(done.len(), 2);
+            (p.kv_stats().pressure_preemptions, now)
+        };
+        let (preempts_0, secs_0) = run(0);
+        let (preempts_9, secs_9) = run(9);
+        assert!(preempts_0 > 0, "scenario must thrash");
+        assert_eq!(preempts_0, preempts_9, "uniform class cancels out");
+        assert_eq!(secs_0.to_bits(), secs_9.to_bits());
+    }
+
+    #[test]
+    fn fail_over_flushes_everything_and_conserves_blocks() {
+        // Build the contested state: two fat residents thrashing a tiny
+        // budget (one swapped out) plus a queued third job.
+        let mut p = kv_pool(2, 8, 8, Watermarks::new(1.0, 1.0));
+        p.offer(job_with(1, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        p.offer(job_with(2, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        p.offer(job_with(3, 0.1, 1.0, 16, 40), SimTime::ZERO);
+        let mut now = 0.0;
+        let mut guard = 0;
+        while p.swapped_len() == 0 {
+            let dt = p.step_secs().expect("pool busy");
+            now += dt;
+            p.advance_step(SimTime::from_secs_f64(now));
+            guard += 1;
+            assert!(guard < 10_000, "scenario must swap");
+        }
+        assert!(p.active() > 0);
+        let expect = p.active() as usize + p.swapped_len() + p.queue_len();
+        let flushed = p.fail_over();
+        assert_eq!(flushed.len(), expect, "every job comes back for retry");
+        let mut sorted: Vec<u64> = flushed.iter().map(|id| id.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+        // The pool is empty and idle; all memory released.
+        assert_eq!(p.active(), 0);
+        assert_eq!(p.queue_len(), 0);
+        assert_eq!(p.swapped_len(), 0);
+        assert!(p.step_secs().is_none(), "no step to arm after failover");
+        assert_eq!(p.kv_stats().allocs, p.kv_stats().frees, "blocks conserved");
+        assert_eq!(p.kv_occupancy(), 0.0);
+        assert_eq!(p.kv_host_blocks(), 0, "host ledger released");
+        // The pool serves fresh work again afterwards.
+        assert_eq!(
+            p.offer(job_with(9, 0.1, 0.5, 8, 4), SimTime::ZERO),
+            Offer::Started
+        );
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn fail_over_on_slot_only_pool_returns_all_jobs() {
+        let mut p = pool_with(1, 0, 0, None);
+        p.offer(job(1), SimTime::ZERO);
+        p.offer(job(2), SimTime::ZERO);
+        let flushed = p.fail_over();
+        assert_eq!(flushed, vec![JobId(1), JobId(2)]);
+        assert_eq!(p.active(), 0);
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn main() {
             decode_secs: out.outcome.latency.decode,
             prefill_tokens: out.outcome.input_tokens,
             decode_tokens: out.outcome.output_tokens,
+            priority: 0,
         });
         let lo = sim.generate(&large_spec, r, &GenSetup::bare(), &mut rng);
         large_jobs.push(JobSpec {
@@ -69,6 +70,7 @@ fn main() {
             decode_secs: lo.latency.decode,
             prefill_tokens: lo.input_tokens,
             decode_tokens: lo.output_tokens,
+            priority: 0,
         });
     }
 

@@ -124,6 +124,7 @@ fn offloading_reduces_cluster_latency_under_load() {
             decode_secs: lo.latency.decode,
             prefill_tokens: lo.input_tokens,
             decode_tokens: lo.output_tokens,
+            priority: 0,
         });
     }
     let mut large_only = ClusterSim::new(vec![PoolConfig::for_gpus(

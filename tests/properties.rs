@@ -176,6 +176,7 @@ proptest! {
             decode_secs: decode,
             prefill_tokens: ptoks,
             decode_tokens: dtoks,
+            priority: 0,
         };
         let expected = ModelPool::new(cfg.clone()).service_secs(&job);
         let mut cluster = ClusterSim::new(vec![cfg]);
@@ -249,6 +250,7 @@ proptest! {
                 // Vary sizes across jobs deterministically.
                 prefill_tokens: ptoks + (i as u32 * 37) % 200,
                 decode_tokens: dtoks + (i as u32 * 13) % 40,
+                priority: 0,
             })
             .collect();
         let total_decode: u64 = jobs.iter().map(|j| u64::from(j.decode_tokens)).sum();
