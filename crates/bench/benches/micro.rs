@@ -244,6 +244,55 @@ fn bench_generation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_replay(c: &mut Criterion) {
+    use ic_cache::{IcCacheConfig, IcCacheSystem};
+    use ic_engine::{EngineConfig, EventDrivenEngine, ServingEngine};
+    use ic_workloads::fixed_qps_arrivals;
+
+    // A tiny end-to-end replay (same trace, three engine configs) so
+    // the speedup of the look-ahead window and of pool-parallel
+    // stepping is visible in one criterion table. Setup (example
+    // seeding) happens once; each measured iteration replays the trace
+    // through a fresh engine sharing the seeded example bank.
+    let sys_cfg = IcCacheConfig::gemma_pair();
+    let large = sys_cfg.primary;
+    let large_spec = sys_cfg.catalog.get(large).clone();
+    let mut wg = WorkloadGenerator::sized(Dataset::MsMarco, 97, 300);
+    let examples = wg.generate_examples(300, &large_spec, large, &Generator::new());
+    let arrivals = fixed_qps_arrivals(4.0, 20.0, 98);
+    let requests = wg.generate_requests(arrivals.len());
+
+    let run = |config: EngineConfig| {
+        let mut system = IcCacheSystem::new(IcCacheConfig::gemma_pair());
+        system.seed_examples(examples.clone(), 0.0);
+        let mut engine = EventDrivenEngine::new(system, config);
+        engine.serve_workload(&requests, &arrivals).served
+    };
+
+    let mut g = c.benchmark_group("replay");
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(run(EngineConfig::default())))
+    });
+    g.bench_function("windowed_2s", |b| {
+        b.iter(|| {
+            black_box(run(EngineConfig {
+                selector_batch: 8,
+                selector_window_s: 2.0,
+                ..EngineConfig::default()
+            }))
+        })
+    });
+    g.bench_function("threads_4", |b| {
+        b.iter(|| {
+            black_box(run(EngineConfig {
+                replay_threads: 4,
+                ..EngineConfig::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_index_search,
@@ -253,6 +302,7 @@ criterion_group!(
     bench_knapsack,
     bench_serving_step,
     bench_kvmem,
-    bench_generation
+    bench_generation,
+    bench_replay
 );
 criterion_main!(benches);

@@ -1,79 +1,192 @@
 //! Regenerates the `fig12_e2e` experiment through the unified
 //! `ServingEngine` and writes `BENCH_e2e.json` (p50/p99 latency, offload
 //! ratio, cache hit + shard stats, and per-iteration scheduler stats
-//! from the event-driven run). Pass `--quick` for a fast run.
+//! from the event-driven run). Pass `--quick` for a fast run, or
+//! `--fraction F` for an engine-replay-only run at an arbitrary
+//! fraction of the paper-scale workload (skips the baseline-policy
+//! comparisons and `BENCH_e2e.json`; writes only `BENCH_replay.json`).
 //!
-//! The iteration-scheduler, KV-memory and router-tier knobs can be
-//! overridden via the environment (`IC_PREFILL_CHUNK`,
+//! Every run also writes `BENCH_replay.json`: the replay-performance
+//! record (wall-clock seconds, simulator events per second, and the
+//! window/parallel-stepping counters). Its `wall_s`/`events_per_sec`
+//! fields are measured wall time and are **not** part of any
+//! determinism contract — the CI determinism job diffs only
+//! `BENCH_e2e.json`.
+//!
+//! The iteration-scheduler, KV-memory, router-tier and replay knobs
+//! can be overridden via the environment (`IC_PREFILL_CHUNK`,
 //! `IC_PREEMPT_QUANTUM`, `IC_MAX_QUEUE`, `IC_SELECTOR_BATCH`,
-//! `IC_KV_BLOCK`, `IC_KV_BUDGET`, `IC_KV_WATERMARKS`,
-//! `IC_KV_HOST_BLOCKS`, `IC_ROUTER_REPLICAS`, `IC_GOSSIP_PERIOD`,
-//! `IC_POOL_OUTAGE` — see
+//! `IC_SELECTOR_WINDOW`, `IC_REPLAY_THREADS`, `IC_KV_BLOCK`,
+//! `IC_KV_BUDGET`, `IC_KV_WATERMARKS`, `IC_KV_HOST_BLOCKS`,
+//! `IC_ROUTER_REPLICAS`, `IC_GOSSIP_PERIOD`, `IC_POOL_OUTAGE` — see
 //! `ic_bench::experiments::e2e::engine_config`, parsed by
 //! `ic_bench::env`); leave them unset for the byte-deterministic output
 //! the CI determinism job diffs (including its `selector`, `router`
-//! and `kv` blocks). `IC_SELECTOR_BATCH` is special: it changes only
-//! the `selector` stats block — every other byte of `BENCH_e2e.json`
-//! is identical with and without it (the batched probe is a pure
-//! speedup). `IC_ROUTER_REPLICAS=1` (or unset) likewise reproduces the
-//! pre-replication bytes except the added `router` block; higher
-//! replica counts route on genuinely diverged, gossiped state and are
-//! deterministic per seed rather than byte-equal to the single-router
-//! run.
+//! and `kv` blocks). `IC_SELECTOR_BATCH` and `IC_SELECTOR_WINDOW` are
+//! special: they change only the `selector` stats block — every other
+//! byte of `BENCH_e2e.json` is identical with and without them (the
+//! batched/windowed probes are pure speedups). `IC_REPLAY_THREADS` is
+//! stricter still: the parallel replay is bit-identical to the
+//! sequential one, `selector` block included. `IC_ROUTER_REPLICAS=1`
+//! (or unset) likewise reproduces the pre-replication bytes except the
+//! added `router` block; higher replica counts route on genuinely
+//! diverged, gossiped state and are deterministic per seed rather than
+//! byte-equal to the single-router run.
+
+use std::time::Instant;
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
+use ic_engine::{EngineReport, ServingEngine};
+use ic_workloads::Dataset;
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::full() };
-    let (report, engine_report) = e2e::fig12_e2e_full(scale);
-    std::fs::write("BENCH_e2e.json", engine_report.to_json()).expect("write BENCH_e2e.json");
-    println!("{}", report.to_markdown());
+/// The replay-performance record. Deterministic fields first, measured
+/// wall-clock fields last; only `BENCH_e2e.json` carries determinism
+/// guarantees.
+fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64) -> String {
+    let events = report.served + report.iter.steps;
+    let r = &report.replay;
+    format!(
+        concat!(
+            "{{\"fraction\":{:.6},\"threads\":{},\"served\":{},\"steps\":{},",
+            "\"events\":{},\"preselects\":{},\"preselect_hits\":{},",
+            "\"stage1_reuses\":{},\"invalidations\":{},\"parallel_regions\":{},",
+            "\"parallel_steps\":{},\"wall_s\":{:.3},\"events_per_sec\":{:.1}}}"
+        ),
+        fraction,
+        r.threads,
+        report.served,
+        report.iter.steps,
+        events,
+        r.preselects,
+        r.preselect_hits,
+        r.stage1_reuses,
+        r.invalidations,
+        r.parallel_regions,
+        r.parallel_steps,
+        wall_s,
+        events as f64 / wall_s.max(1e-9),
+    )
+}
+
+fn print_engine_summary(report: &EngineReport) {
     println!(
-        "wrote BENCH_e2e.json (engine={}, served={}, offload {:.1}%, p50 {:.3}s, p99 {:.3}s)",
-        engine_report.engine,
-        engine_report.served,
-        engine_report.offload_ratio() * 100.0,
-        engine_report.latency.p50_e2e,
-        engine_report.latency.p99_e2e,
+        "engine={}, served={}, offload {:.1}%, p50 {:.3}s, p99 {:.3}s",
+        report.engine,
+        report.served,
+        report.offload_ratio() * 100.0,
+        report.latency.p50_e2e,
+        report.latency.p99_e2e,
     );
     println!(
         "iteration scheduler: {} steps, mean batch {:.2}, chunked-prefill {:.1}%, \
          {} preemptions, {} queue rejects",
-        engine_report.iter.steps,
-        engine_report.iter.mean_step_batch(),
-        engine_report.iter.chunked_prefill_ratio() * 100.0,
-        engine_report.iter.preemptions,
-        engine_report.iter.queue_rejects,
+        report.iter.steps,
+        report.iter.mean_step_batch(),
+        report.iter.chunked_prefill_ratio() * 100.0,
+        report.iter.preemptions,
+        report.iter.queue_rejects,
     );
     println!(
         "router tier: {} replica(s), decisions {:?}, {} gossip rounds / {} merges \
          (mean staleness {:.3}s), {} failover requeues ({} retry rejects)",
-        engine_report.router.replicas,
-        engine_report.router.decisions,
-        engine_report.router.gossip_rounds,
-        engine_report.router.merges,
-        engine_report.router.mean_staleness_s(),
-        engine_report.router.failover_requeues,
-        engine_report.router.retry_rejects,
+        report.router.replicas,
+        report.router.decisions,
+        report.router.gossip_rounds,
+        report.router.merges,
+        report.router.mean_staleness_s(),
+        report.router.failover_requeues,
+        report.router.retry_rejects,
     );
     println!(
         "selector batching: cap {}, {} stage-1 probes over {} requests (max batch {}, mean {:.2})",
-        engine_report.selector.batch_limit,
-        engine_report.selector.batches,
-        engine_report.selector.requests,
-        engine_report.selector.max_batch,
-        engine_report.selector.mean_batch(),
+        report.selector.batch_limit,
+        report.selector.batches,
+        report.selector.requests,
+        report.selector.max_batch,
+        report.selector.mean_batch(),
     );
     println!(
         "paged KV memory: peak occupancy {:.1}% (mean {:.1}%), \
          {} pressure preemptions, {} swap-outs / {} swap-ins, fragmentation {:.1}%",
-        engine_report.kv.peak_occupancy() * 100.0,
-        engine_report.kv.mean_occupancy() * 100.0,
-        engine_report.kv.pressure_preemptions,
-        engine_report.kv.swap_outs,
-        engine_report.kv.swap_ins,
-        engine_report.kv.fragmentation_ratio() * 100.0,
+        report.kv.peak_occupancy() * 100.0,
+        report.kv.mean_occupancy() * 100.0,
+        report.kv.pressure_preemptions,
+        report.kv.swap_outs,
+        report.kv.swap_ins,
+        report.kv.fragmentation_ratio() * 100.0,
     );
+}
+
+fn print_replay_summary(report: &EngineReport, wall_s: f64) {
+    let events = report.served + report.iter.steps;
+    let r = &report.replay;
+    println!(
+        "replay: {} events in {:.2}s wall ({:.0} events/s), {} thread(s), \
+         {} preselects ({} hits / {} stage-1 reuses / {} invalidations), \
+         {} parallel regions covering {} steps",
+        events,
+        wall_s,
+        events as f64 / wall_s.max(1e-9),
+        r.threads,
+        r.preselects,
+        r.preselect_hits,
+        r.stage1_reuses,
+        r.invalidations,
+        r.parallel_regions,
+        r.parallel_steps,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fraction = args
+        .iter()
+        .position(|a| a == "--fraction")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok());
+
+    if let Some(fraction) = fraction {
+        // Engine-replay-only fast path: one event-driven run at an
+        // arbitrary workload fraction, timed.
+        let scale = Scale {
+            fraction,
+            seed: 20_250_613,
+        };
+        let (mut engine, requests, arrivals) = e2e::engine_e2e_parts(scale, Dataset::MsMarco);
+        let start = Instant::now();
+        let engine_report = engine.serve_workload(&requests, &arrivals);
+        let wall_s = start.elapsed().as_secs_f64();
+        std::fs::write(
+            "BENCH_replay.json",
+            replay_json(fraction, &engine_report, wall_s),
+        )
+        .expect("write BENCH_replay.json");
+        print_engine_summary(&engine_report);
+        print_replay_summary(&engine_report, wall_s);
+        println!("wrote BENCH_replay.json (fraction {fraction})");
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let (report, engine_report) = e2e::fig12_e2e_full(scale);
+    std::fs::write("BENCH_e2e.json", engine_report.to_json()).expect("write BENCH_e2e.json");
+    // The replay-performance record times the engine replay alone — a
+    // dedicated run, so neither the suite's baseline policies and
+    // judging nor the workload-generation setup pollute the
+    // events-per-second figure.
+    let (mut engine, requests, arrivals) = e2e::engine_e2e_parts(scale, Dataset::MsMarco);
+    let start = Instant::now();
+    let timed = engine.serve_workload(&requests, &arrivals);
+    let wall_s = start.elapsed().as_secs_f64();
+    std::fs::write(
+        "BENCH_replay.json",
+        replay_json(scale.fraction, &timed, wall_s),
+    )
+    .expect("write BENCH_replay.json");
+    println!("{}", report.to_markdown());
+    println!("wrote BENCH_e2e.json and BENCH_replay.json");
+    print_engine_summary(&engine_report);
+    print_replay_summary(&timed, wall_s);
 }

@@ -269,6 +269,18 @@ fn online_run_from_engine(
 ///   multi-query selector probe (`0`/`1` = off). A pure speedup:
 ///   `BENCH_e2e.json` stays byte-identical except its `selector` stats
 ///   block.
+/// - `IC_SELECTOR_WINDOW` — bounded-delay selector look-ahead window
+///   in simulated seconds (`0` = same-tick coalescing only). Arrivals
+///   within the window of an unprobed arrival are batch-probed in one
+///   `search_batch` shot and their selections precomputed, each
+///   re-validated against the selector epochs at its own event
+///   position. A pure speedup: byte-identical except the `selector`
+///   stats block (CI-enforced).
+/// - `IC_REPLAY_THREADS` — worker threads for deterministic
+///   pool-parallel stepping (`0`/`1` = sequential). Step-chain regions
+///   between router interactions run on workers and merge in exact
+///   `(time, seq)` order: `BENCH_e2e.json` is bit-identical to the
+///   sequential replay, every stats block included (CI-enforced).
 /// - `IC_KV_BLOCK` — tokens per KV block (`0` disables the memory model)
 /// - `IC_KV_BUDGET` — KV blocks per replica (`0` disables)
 /// - `IC_KV_WATERMARKS` — `high,low` occupancy gates (e.g. `0.9,0.7`)
@@ -304,6 +316,12 @@ pub fn engine_config() -> EngineConfig {
     if let Some(batch) = parse_env::<usize>("IC_SELECTOR_BATCH") {
         config.selector_batch = batch;
     }
+    if let Some(window) = parse_env::<f64>("IC_SELECTOR_WINDOW") {
+        config.selector_window_s = window;
+    }
+    if let Some(threads) = parse_env::<usize>("IC_REPLAY_THREADS") {
+        config.replay_threads = threads.max(1);
+    }
     if let Some(block) = parse_env::<u32>("IC_KV_BLOCK") {
         config.kv_block_tokens = block;
     }
@@ -335,13 +353,27 @@ pub fn engine_config() -> EngineConfig {
 /// scale (and untouched [`engine_config`] environment) yields a
 /// byte-identical [`EngineReport::to_json`].
 pub fn engine_e2e_run(scale: Scale, dataset: Dataset) -> EngineReport {
+    let (mut engine, requests, arrivals) = engine_e2e_parts(scale, dataset);
+    engine.serve_workload(&requests, &arrivals)
+}
+
+/// The pieces of [`engine_e2e_run`], pre-replay: the seeded engine, the
+/// request stream, and the arrival trace. Lets callers time the replay
+/// itself (`serve_workload`) without the workload-generation and
+/// example-seeding setup — at paper-scale fractions the setup embeds
+/// and indexes tens of thousands of examples and would otherwise
+/// dominate any wall-clock figure.
+pub fn engine_e2e_parts(
+    scale: Scale,
+    dataset: Dataset,
+) -> (EventDrivenEngine, Vec<ic_llmsim::Request>, Vec<f64>) {
     let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
     let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
     let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
     setup.warm_up(scale.count(5_000, 300));
     let requests = setup.generator.generate_requests(arrivals.len());
-    let mut engine = EventDrivenEngine::new(setup.system, engine_config());
-    engine.serve_workload(&requests, &arrivals)
+    let engine = EventDrivenEngine::new(setup.system, engine_config());
+    (engine, requests, arrivals)
 }
 
 #[derive(Clone, Copy)]

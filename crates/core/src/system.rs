@@ -68,6 +68,9 @@ pub struct IcCacheSystem {
     next_example_id: u64,
     served: u64,
     offloaded: u64,
+    /// Normalized per-model costs, precomputed at build time — the
+    /// feedback path used to rebuild the whole cost vector per call.
+    cost_norm: HashMap<ModelId, f64>,
 }
 
 impl std::fmt::Debug for IcCacheSystem {
@@ -92,6 +95,11 @@ impl IcCacheSystem {
         );
         let manager = ExampleManager::new(config.manager.clone());
         let rng = rng_from_seed(config.seed);
+        let cost_norm = config
+            .models
+            .iter()
+            .map(|&m| (m, normalized_cost(&config, m)))
+            .collect();
         Self {
             selector,
             frontend: FrontEnd::new(router),
@@ -102,6 +110,7 @@ impl IcCacheSystem {
             next_example_id: 0x1000_0000,
             served: 0,
             offloaded: 0,
+            cost_norm,
             config,
         }
     }
@@ -269,19 +278,11 @@ impl IcCacheSystem {
         request: &Request,
         stage1: Option<Vec<(ExampleId, f64)>>,
     ) -> ServeOutcome {
-        self.served += 1;
-
         // 1. Example Retriever (bypassed when unhealthy, §5).
         //    Examples target the cheapest offload candidate; the router
         //    sees their predicted utilities as context.
-        let offload_model = self
-            .config
-            .offload_models()
-            .first()
-            .copied()
-            .unwrap_or(self.config.primary);
         let selection = if self.failover.selector_healthy() {
-            let spec = self.config.catalog.get(offload_model);
+            let spec = self.config.catalog.get(self.offload_target());
             match stage1 {
                 Some(candidates) => self.selector.select_with_stage1(
                     request,
@@ -294,6 +295,63 @@ impl IcCacheSystem {
         } else {
             Selection::empty(0.0)
         };
+        self.serve_routed(request, selection)
+    }
+
+    /// [`IcCacheSystem::serve`] with the whole selection precomputed by
+    /// [`IcCacheSystem::preselect`] — the replay engine's windowed
+    /// look-ahead hook. Routing, generation, and feedback run exactly as
+    /// in the sequential path.
+    ///
+    /// `selection` must be what the selection step would produce right
+    /// now, i.e. [`IcCacheSystem::preselect`] evaluated against the
+    /// current index, proxy, threshold, and store (the selector's
+    /// `index_epoch`/`learn_epoch` counters certify that window). Under
+    /// that contract the serving is byte-identical to
+    /// [`IcCacheSystem::serve`]: selection is read-only and draws no
+    /// randomness, so hoisting it cannot shift any RNG stream or
+    /// learning update.
+    pub fn serve_with_selection(
+        &mut self,
+        request: &Request,
+        selection: Selection,
+    ) -> ServeOutcome {
+        // Mirror the failover gate: a bypassed selector serves empty
+        // regardless of what was precomputed.
+        let selection = if self.failover.selector_healthy() {
+            selection
+        } else {
+            Selection::empty(0.0)
+        };
+        self.serve_routed(request, selection)
+    }
+
+    /// The selection step alone, over caller-supplied stage-1
+    /// candidates, without serving — read-only. Pairs with
+    /// [`IcCacheSystem::serve_with_selection`].
+    pub fn preselect(&self, request: &Request, candidates: Vec<(ExampleId, f64)>) -> Selection {
+        if !self.failover.selector_healthy() {
+            return Selection::empty(0.0);
+        }
+        let spec = self.config.catalog.get(self.offload_target());
+        self.selector
+            .select_with_stage1(request, candidates, self.manager.cache(), spec)
+    }
+
+    /// The offload model selections are computed against (examples
+    /// target the cheapest offload candidate).
+    fn offload_target(&self) -> ModelId {
+        self.config
+            .offload_models()
+            .first()
+            .copied()
+            .unwrap_or(self.config.primary)
+    }
+
+    /// Steps 2–4 of `ServeRequests` — routing, generation, feedback —
+    /// shared by every serve entry point above.
+    fn serve_routed(&mut self, request: &Request, selection: Selection) -> ServeOutcome {
+        self.served += 1;
 
         // 2. Request Router (bypassed when unhealthy: straight to
         //    primary). The decision comes from the replica that owns the
@@ -431,7 +489,7 @@ impl IcCacheSystem {
             }
         }
 
-        let chosen_cost = normalized_cost(&self.config, chosen);
+        let chosen_cost = self.cost_norm.get(&chosen).copied().unwrap_or(0.0);
         if used_ids.is_empty() {
             // Bare serving: update the per-model baseline.
             self.bare_quality
@@ -723,6 +781,51 @@ mod tests {
         }
         assert_eq!(seq.served(), bat.served());
         assert_eq!(seq.offload_ratio(), bat.offload_ratio());
+    }
+
+    #[test]
+    fn preselected_serving_is_byte_identical_to_sequential() {
+        // serve_with_selection with a selection preselected from a
+        // batched stage-1 probe must match plain serve() bitwise — the
+        // contract the engine's windowed look-ahead is built on. The
+        // selector's epochs certify the precompute window: no feedback
+        // or index mutation happens between preselect and serve here.
+        let (mut seq, mut wg) = seeded_system(Dataset::MsMarco, 600);
+        let (mut pre, _) = seeded_system(Dataset::MsMarco, 600);
+        let requests = wg.generate_requests(50);
+        for r in &requests {
+            let index_epoch = pre.selector().index_epoch();
+            let learn_epoch = pre.selector().learn_epoch();
+            let stage1 = pre.stage1_batch(&[r]).pop().unwrap();
+            let sel = pre.preselect(r, stage1);
+            assert_eq!(pre.selector().index_epoch(), index_epoch);
+            assert_eq!(pre.selector().learn_epoch(), learn_epoch);
+            let a = seq.serve(r);
+            let b = pre.serve_with_selection(r, sel);
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.offloaded, b.offloaded);
+            assert_eq!(a.solicited_feedback, b.solicited_feedback);
+            assert_eq!(a.selection.ids, b.selection.ids);
+            assert_eq!(
+                a.selection.threshold_used.to_bits(),
+                b.selection.threshold_used.to_bits()
+            );
+            for (x, y) in a
+                .selection
+                .predicted_utility
+                .iter()
+                .zip(&b.selection.predicted_utility)
+            {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.outcome.quality.to_bits(), b.outcome.quality.to_bits());
+            assert_eq!(
+                a.outcome.latency.total().to_bits(),
+                b.outcome.latency.total().to_bits()
+            );
+        }
+        assert_eq!(seq.served(), pre.served());
+        assert_eq!(seq.offload_ratio(), pre.offload_ratio());
     }
 
     #[test]

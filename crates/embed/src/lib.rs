@@ -11,6 +11,8 @@
 //!
 //! Layout:
 //! - [`vector`] — the [`Embedding`] type and dense-vector arithmetic.
+//! - [`slab`] — [`EmbeddingSlab`]: contiguous (SoA) row storage with
+//!   cached norms, the hot-path layout behind the vector index.
 //! - [`topic`] — [`TopicSpace`]: shared-anchor + topic-direction latent
 //!   construction with tunable cross-topic and within-topic similarity.
 //! - [`embedder`] — the observable embedding extractor (imperfect view).
@@ -18,11 +20,13 @@
 //!   sensitive-span injection for the admission-control path.
 
 pub mod embedder;
+pub mod slab;
 pub mod text;
 pub mod topic;
 pub mod vector;
 
 pub use embedder::Embedder;
+pub use slab::EmbeddingSlab;
 pub use text::{SyntheticText, TextSynthesizer, contains_sensitive, scrub_sensitive};
 pub use topic::{TopicSpace, TopicSpaceConfig};
-pub use vector::Embedding;
+pub use vector::{Embedding, cosine_with_norms, dot_slices, norm_slice};

@@ -69,17 +69,16 @@ impl Embedding {
 
     /// Dot product accumulated in `f64`.
     ///
+    /// Delegates to [`dot_slices`] so the owned and slab-resident
+    /// representations share one reduction, bit for bit.
+    ///
     /// # Panics
     ///
     /// Panics if dimensions differ (a programming error in this workspace:
     /// all embeddings in one space share a dimension).
     pub fn dot(&self, other: &Embedding) -> f64 {
         assert_eq!(self.dim(), other.dim(), "embedding dimension mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f64::from(a) * f64::from(b))
-            .sum()
+        dot_slices(&self.data, &other.data)
     }
 
     /// Euclidean norm.
@@ -155,10 +154,68 @@ impl Embedding {
     }
 }
 
+/// Dot product of two equal-length `f32` component slices, accumulated
+/// in `f64` — the single reduction behind [`Embedding::dot`] and every
+/// slab-resident scoring path. Keeping one definition (same iteration
+/// order, same widening, same accumulator) is what makes the arena/SoA
+/// layout a pure layout change: a slab row and the `Embedding` it was
+/// copied from produce bit-identical dots, norms, and cosines.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_slices(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "embedding dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum()
+}
+
+/// Euclidean norm of a component slice — bit-identical to
+/// [`Embedding::norm`] on the same components.
+pub fn norm_slice(a: &[f32]) -> f64 {
+    dot_slices(a, a).sqrt()
+}
+
+/// Cosine similarity of two component slices with pre-computed norms —
+/// bit-identical to [`Embedding::cosine`], which evaluates
+/// `(a.dot(b) / (a.norm() * b.norm())).clamp(-1.0, 1.0)` with a zero
+/// check on the denominator. Callers hoist the norms (once per query,
+/// once per stored row) instead of recomputing them per pair.
+pub fn cosine_with_norms(a: &[f32], a_norm: f64, b: &[f32], b_norm: f64) -> f64 {
+    let denom = a_norm * b_norm;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (dot_slices(a, b) / denom).clamp(-1.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ic_stats::rng::rng_from_seed;
+
+    #[test]
+    fn slice_reductions_match_embedding_methods_bitwise() {
+        let mut rng = rng_from_seed(9);
+        let a = Embedding::gaussian(33, 1.3, &mut rng);
+        let b = Embedding::gaussian(33, 0.7, &mut rng);
+        assert_eq!(
+            dot_slices(a.as_slice(), b.as_slice()).to_bits(),
+            a.dot(&b).to_bits()
+        );
+        assert_eq!(norm_slice(a.as_slice()).to_bits(), a.norm().to_bits());
+        assert_eq!(
+            cosine_with_norms(a.as_slice(), a.norm(), b.as_slice(), b.norm()).to_bits(),
+            a.cosine(&b).to_bits()
+        );
+        let z = Embedding::zeros(33);
+        assert_eq!(
+            cosine_with_norms(z.as_slice(), z.norm(), b.as_slice(), b.norm()),
+            0.0
+        );
+    }
 
     #[test]
     fn cosine_of_identical_is_one() {

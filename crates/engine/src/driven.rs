@@ -1,18 +1,23 @@
 //! The event-driven serving engine (see the crate docs for the event
 //! flow diagram).
 
-use ic_cache::IcCacheSystem;
+use ic_cache::{IcCacheSystem, Selection, ServeOutcome};
 use ic_desim::{Periodic, SimDuration, SimTime, Simulator};
-use ic_llmsim::{ModelId, Request};
+use ic_llmsim::{ExampleId, ModelId, Request};
 use ic_serving::{
-    IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig, Watermarks,
+    ChainStep, IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig, Watermarks,
 };
-use std::collections::VecDeque;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::mpsc;
 
 use ic_serving::busy_interval_rps;
 
 use crate::engine::{ServingEngine, cache_stats};
-use crate::report::{EngineReport, LatencyStats, RequestRecord, RouterStats, SelectorStats};
+use crate::report::{
+    EngineReport, LatencyStats, ReplayStats, RequestRecord, RouterStats, SelectorStats,
+};
 
 /// A deterministic fault-injection window: `pool` goes down `at_s`
 /// seconds into the run and recovers `duration_s` later. While down, the
@@ -58,6 +63,29 @@ pub struct EngineConfig {
     /// could be indexed before a later member's probe in the sequential
     /// order, which a hoisted batch probe cannot observe.
     pub selector_batch: usize,
+    /// Bounded-delay selector look-ahead window, in simulated seconds
+    /// (env `IC_SELECTOR_WINDOW` in the bench binaries). On an arrival
+    /// with no precomputed selection, the engine probes stage 1 for
+    /// every arrival landing within the window in one multi-query
+    /// `search_batch` shot and precomputes their full selections; each
+    /// arrival then consumes its entry at its own event position,
+    /// re-validating it against the selector's index/learn epochs (a
+    /// learn-epoch bump re-scores stage 2 over the cached stage-1
+    /// candidates; an index-epoch bump recomputes from scratch). `0.0`
+    /// (default) keeps the same-tick-only coalescing path byte-for-byte.
+    /// A pure speedup: the report is byte-identical to the sequential
+    /// engine modulo the report's `selector` stats block. Ignored
+    /// (treated as `0`) while `admit_served_pairs` is on, for the same
+    /// reason as `selector_batch`.
+    pub selector_window_s: f64,
+    /// Worker threads for deterministic pool-parallel stepping (env
+    /// `IC_REPLAY_THREADS` in the bench binaries). Maximal runs of
+    /// `StepComplete` events between router interactions execute as
+    /// per-pool step chains on worker threads and merge back in exact
+    /// `(time, seq)` order, so the report — every stats block included —
+    /// is bit-identical to the sequential replay. `0`/`1` (default)
+    /// keeps the sequential path.
+    pub replay_threads: usize,
     /// Tokens per KV block (paged KV memory; `0` with a zero budget
     /// disables the memory model).
     pub kv_block_tokens: u32,
@@ -110,6 +138,8 @@ impl Default for EngineConfig {
             preempt_decode_quantum: 64,
             max_queue: None,
             selector_batch: 0,
+            selector_window_s: 0.0,
+            replay_threads: 1,
             kv_block_tokens: 16,
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
@@ -150,6 +180,96 @@ enum Event {
     Maintenance,
     /// Capacity-only cross-shard budget rebalance.
     Rebalance,
+}
+
+/// A selection precomputed by the bounded-delay look-ahead window
+/// (`EngineConfig::selector_window_s`), plus the selector epochs it was
+/// certified under. At the arrival's own event position the entry is
+/// re-validated: both epochs unchanged serves the cached [`Selection`]
+/// outright; an unchanged index epoch alone still reuses the cached
+/// stage-1 candidates (stage 2 re-scores); anything else recomputes.
+struct PreSel {
+    stage1: Vec<(ExampleId, f64)>,
+    selection: Selection,
+    index_epoch: u64,
+    learn_epoch: u64,
+}
+
+/// Multiset of pending non-step event times. Its earliest entry is the
+/// barrier a pool-parallel step region must not cross: every router
+/// interaction (arrival, gossip, outage, maintenance, rebalance) is
+/// tracked here, so any run of `StepComplete` chains strictly before it
+/// is provably independent and safe to execute out of line.
+#[derive(Debug, Default)]
+struct BarrierSet(BTreeMap<SimTime, u32>);
+
+impl BarrierSet {
+    fn add(&mut self, t: SimTime) {
+        *self.0.entry(t).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, t: SimTime) {
+        match self.0.get_mut(&t) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.0.remove(&t);
+            }
+            None => debug_assert!(false, "barrier multiset underflow at {t}"),
+        }
+    }
+
+    fn earliest(&self) -> Option<SimTime> {
+        self.0.keys().next().copied()
+    }
+}
+
+/// One per-pool chain assignment for a region worker.
+struct RegionTask {
+    /// Index into the region's head list (result routing).
+    slot: usize,
+    /// Pool whose chain to advance.
+    pool: usize,
+    /// Time of the chain's first (already-popped) step event.
+    at: SimTime,
+    /// Region barrier: the chain stops before this instant.
+    barrier: Option<SimTime>,
+}
+
+/// Channel endpoints of the persistent region workers spawned for one
+/// `serve_workload` run (`EngineConfig::replay_threads`). Workers hold
+/// `&[Mutex<ModelPool>]` and run [`ModelPool::advance_chain`] per task;
+/// they exit when the task senders drop at scope end.
+struct RegionWorkers {
+    task_txs: Vec<mpsc::Sender<RegionTask>>,
+    results_rx: mpsc::Receiver<(usize, Vec<ChainStep>)>,
+}
+
+impl RegionWorkers {
+    fn spawn<'scope, 'pools: 'scope>(
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        pools: &'pools [Mutex<ModelPool>],
+        workers: usize,
+    ) -> Self {
+        let (results_tx, results_rx) = mpsc::channel();
+        let mut task_txs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (task_tx, task_rx) = mpsc::channel::<RegionTask>();
+            let results_tx = results_tx.clone();
+            scope.spawn(move || {
+                for task in task_rx {
+                    let chain = pools[task.pool].lock().advance_chain(task.at, task.barrier);
+                    if results_tx.send((task.slot, chain)).is_err() {
+                        break;
+                    }
+                }
+            });
+            task_txs.push(task_tx);
+        }
+        Self {
+            task_txs,
+            results_rx,
+        }
+    }
 }
 
 /// The production-shaped serving path: IC-Cache admission, selection and
@@ -225,28 +345,105 @@ impl EventDrivenEngine {
     pub fn into_system(self) -> IcCacheSystem {
         self.system
     }
+}
 
-    fn pool_of(&self, model: ModelId) -> usize {
-        self.model_pools
-            .iter()
-            .find(|(m, _)| *m == model)
-            .map(|&(_, p)| p)
-            .expect("routed model has a pool")
-    }
+/// Pool index of `model` in routing order.
+fn pool_index(model_pools: &[(ModelId, usize)], model: ModelId) -> usize {
+    model_pools
+        .iter()
+        .find(|(m, _)| *m == model)
+        .map(|&(_, p)| p)
+        .expect("routed model has a pool")
+}
 
-    /// Reschedules `pool`'s step event iff it still has a running batch.
-    /// Invariant: each busy pool has exactly one *live* `StepComplete`
-    /// in flight — armed here and by an `Offer::Started` admission; a
-    /// pool failover bumps `epoch` so the flushed lineage's pending
-    /// event dies on delivery instead of double-stepping a refilled
-    /// pool.
-    fn arm_step(sim: &mut Simulator<Event>, pools: &[ModelPool], pool: usize, epoch: u64) {
-        if let Some(dt) = pools[pool].step_secs() {
-            sim.schedule_in(
-                SimDuration::from_secs_f64(dt),
-                Event::StepComplete(pool, epoch),
-            );
+/// The post-selection tail of one arrival, shared by the sequential and
+/// windowed paths: record the decision, offer the job to its routed
+/// pool (arming the step event on an idle-pool start), and fold the
+/// outcome into the run tallies. A queue-cap reject produced no
+/// response: it contributes nothing to the quality/offload/cache
+/// aggregates. Callers running `admit_served_pairs` cache the pair
+/// afterwards, gated on the record not being rejected.
+#[allow(clippy::too_many_arguments)] // run-scoped tallies, not a real API
+fn admit_arrival(
+    i: usize,
+    out: &ServeOutcome,
+    at: SimTime,
+    now: f64,
+    sim: &mut Simulator<Event>,
+    pools: &[Mutex<ModelPool>],
+    model_pools: &[(ModelId, usize)],
+    pool_epochs: &[u64],
+    records: &mut [Option<RequestRecord>],
+    completed: &mut usize,
+    offloaded: &mut u64,
+    solicited: &mut u64,
+    selection_hits: &mut u64,
+    examples_used: &mut u64,
+    quality_sum: &mut f64,
+) {
+    records[i] = Some(RequestRecord {
+        index: i,
+        model: out.model.0,
+        offloaded: out.offloaded,
+        quality: out.outcome.quality,
+        solicited: out.solicited_feedback,
+        examples: out.selection.ids.len(),
+        arrival_s: now,
+        queue_s: 0.0,
+        ttft_s: 0.0,
+        e2e_s: 0.0,
+        rejected: false,
+    });
+
+    let pool = pool_index(model_pools, out.model);
+    let job = JobSpec {
+        id: JobId(i as u64),
+        pool,
+        arrival: at,
+        ttft_secs: out.outcome.latency.ttft,
+        decode_secs: out.outcome.latency.decode,
+        prefill_tokens: out.outcome.input_tokens,
+        decode_tokens: out.outcome.output_tokens,
+        priority: 0,
+    };
+    // Iteration-level admission: an idle pool starts the job (arming
+    // its step event); a busy pool keeps it queued until the next step
+    // boundary.
+    let offer = pools[pool].lock().offer(job, at);
+    if offer == Offer::Rejected {
+        let record = records[i].as_mut().expect("record created above");
+        record.rejected = true;
+        *completed += 1;
+    } else {
+        if offer == Offer::Started {
+            arm_step(sim, pools, pool, pool_epochs[pool]);
         }
+        if out.offloaded {
+            *offloaded += 1;
+        }
+        if out.solicited_feedback {
+            *solicited += 1;
+        }
+        if !out.selection.ids.is_empty() {
+            *selection_hits += 1;
+            *examples_used += out.selection.ids.len() as u64;
+        }
+        *quality_sum += out.outcome.quality;
+    }
+}
+
+/// Reschedules `pool`'s step event iff it still has a running batch.
+/// Invariant: each busy pool has exactly one *live* `StepComplete`
+/// in flight — armed here and by an `Offer::Started` admission; a
+/// pool failover bumps `epoch` so the flushed lineage's pending
+/// event dies on delivery instead of double-stepping a refilled
+/// pool.
+fn arm_step(sim: &mut Simulator<Event>, pools: &[Mutex<ModelPool>], pool: usize, epoch: u64) {
+    if let Some(dt) = pools[pool].lock().step_secs() {
+        sim.schedule_in(
+            SimDuration::from_secs_f64(dt),
+            Event::StepComplete(pool, epoch),
+        );
     }
 }
 
@@ -263,79 +460,132 @@ impl ServingEngine for EventDrivenEngine {
         );
         let n = requests.len();
         // Fresh pools per run: queue state never leaks across workloads.
-        let mut pools: Vec<ModelPool> = self
+        // Mutex-wrapped so region workers can advance step chains in
+        // parallel; the sequential path pays only an uncontended lock.
+        let pools: Vec<Mutex<ModelPool>> = self
             .pool_configs
             .iter()
             .cloned()
-            .map(ModelPool::new)
+            .map(|pc| Mutex::new(ModelPool::new(pc)))
             .collect();
+        let config = self.config.clone();
+        let model_pools = self.model_pools.clone();
+        let system = &mut self.system;
 
         // Shape the router tier for this run. A changed replica count
         // re-clones the (possibly warmed) primary router into every
         // replica; an unchanged tier just resets the run-scoped
         // counters and latency EMAs. With the default single replica
         // this is behaviourally the pre-refactor engine.
-        let replicas = self.config.router_replicas.max(1);
+        let replicas = config.router_replicas.max(1);
         {
-            let fe = self.system.front_end_mut();
+            let fe = system.front_end_mut();
             if fe.num_replicas() != replicas {
-                fe.reconfigure(replicas, self.config.latency_ema_alpha);
+                fe.reconfigure(replicas, config.latency_ema_alpha);
             } else {
-                fe.begin_run(self.config.latency_ema_alpha);
+                fe.begin_run(config.latency_ema_alpha);
             }
         }
 
+        // Pool-parallel stepping (`IC_REPLAY_THREADS`): while on, every
+        // pending non-step event time is mirrored in `barrier`, whose
+        // earliest entry bounds how far a step region may run ahead.
+        let threads = config.replay_threads.max(1);
+        let par_on = threads > 1;
+        let mut barrier = BarrierSet::default();
+
         let mut sim: Simulator<Event> = Simulator::new();
-        for (i, &at) in arrivals.iter().enumerate() {
-            sim.schedule(SimTime::from_secs_f64(at), Event::Arrival(i));
+        let times: Vec<SimTime> = arrivals
+            .iter()
+            .map(|&a| SimTime::from_secs_f64(a))
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule(t, Event::Arrival(i));
+            if par_on {
+                barrier.add(t);
+            }
         }
         // Gossip only exists on a real tier: a single replica has no
         // peers, so no events are scheduled and the run is event-for-
         // event identical to the pre-refactor engine.
         let gossip = if replicas > 1 {
-            Periodic::every_secs(self.config.gossip_period_s)
+            Periodic::every_secs(config.gossip_period_s)
         } else {
             Periodic::every_secs(0.0)
         };
-        gossip.arm(&mut sim, Event::GossipRound);
-        for outage in &self.config.pool_outages {
+        if gossip.arm(&mut sim, Event::GossipRound) && par_on {
+            barrier.add(sim.now() + gossip.period().expect("armed implies enabled"));
+        }
+        for outage in &config.pool_outages {
             if outage.duration_s <= 0.0 || outage.pool >= pools.len() {
                 continue;
             }
-            sim.schedule(
-                SimTime::from_secs_f64(outage.at_s),
-                Event::PoolDown(outage.pool),
-            );
-            sim.schedule(
-                SimTime::from_secs_f64(outage.at_s + outage.duration_s),
-                Event::PoolUp(outage.pool),
-            );
+            let down_at = SimTime::from_secs_f64(outage.at_s);
+            let up_at = SimTime::from_secs_f64(outage.at_s + outage.duration_s);
+            sim.schedule(down_at, Event::PoolDown(outage.pool));
+            sim.schedule(up_at, Event::PoolUp(outage.pool));
+            if par_on {
+                barrier.add(down_at);
+                barrier.add(up_at);
+            }
         }
-        if self.config.maintenance_period_s > 0.0 {
-            sim.schedule(
-                SimTime::from_secs_f64(self.config.maintenance_period_s),
-                Event::Maintenance,
-            );
+        if config.maintenance_period_s > 0.0 {
+            let t = SimTime::from_secs_f64(config.maintenance_period_s);
+            sim.schedule(t, Event::Maintenance);
+            if par_on {
+                barrier.add(t);
+            }
         }
-        if self.config.rebalance_period_s > 0.0 {
-            sim.schedule(
-                SimTime::from_secs_f64(self.config.rebalance_period_s),
-                Event::Rebalance,
-            );
+        if config.rebalance_period_s > 0.0 {
+            let t = SimTime::from_secs_f64(config.rebalance_period_s);
+            sim.schedule(t, Event::Rebalance);
+            if par_on {
+                barrier.add(t);
+            }
         }
 
         // Cross-request selector batching: how many same-tick arrivals
         // one stage-1 probe may cover. Disabled (singletons) while
         // served pairs are cached back, because the sequential order
         // would index a batch member's pair before later members probe.
-        let coalesce = if self.config.admit_served_pairs {
+        let coalesce = if config.admit_served_pairs {
             1
         } else {
-            self.config.selector_batch.max(1)
+            config.selector_batch.max(1)
         };
+        // Bounded-delay look-ahead (`IC_SELECTOR_WINDOW`): precompute
+        // selections for arrivals up to `window` ahead of the probing
+        // event, consumed (epoch-validated) at their own positions.
+        // Disabled alongside coalescing while served pairs are cached.
+        let window_s = if config.admit_served_pairs {
+            0.0
+        } else {
+            config.selector_window_s.max(0.0)
+        };
+        let window_on = window_s > 0.0 && window_s.is_finite();
+        let window = SimDuration::from_secs_f64(if window_on { window_s } else { 0.0 });
+        let probe_cap = if config.selector_batch >= 2 {
+            config.selector_batch
+        } else {
+            64
+        };
+        // Arrival indices in firing order — the heap pops `(time, seq)`
+        // and arrivals are scheduled in index order, so this is exactly
+        // `(time, index)`.
+        let mut order: Vec<usize> = (0..n).collect();
+        if window_on {
+            order.sort_by_key(|&i| (times[i], i));
+        }
+        let mut win_cursor = 0usize;
+        let mut presel: Vec<Option<PreSel>> = (0..n).map(|_| None).collect();
+
         let mut selector_stats = SelectorStats {
-            batch_limit: self.config.selector_batch as u64,
+            batch_limit: config.selector_batch as u64,
             ..SelectorStats::default()
+        };
+        let mut replay_stats = ReplayStats {
+            threads: threads as u64,
+            ..ReplayStats::default()
         };
 
         let mut records: Vec<Option<RequestRecord>> = (0..n).map(|_| None).collect();
@@ -362,300 +612,523 @@ impl ServingEngine for EventDrivenEngine {
         let mut pool_epochs: Vec<u64> = vec![0; pools.len()];
         let mut down_depth: Vec<u32> = vec![0; pools.len()];
 
-        while let Some((at, event)) = sim.next() {
-            let now = at.as_secs_f64();
-            match event {
-                Event::Arrival(first) => {
-                    // Coalesce the run of arrivals sharing this event
-                    // tick into one selector batch. Only *consecutive*
-                    // same-tick arrival events are taken, so ordering
-                    // relative to any interleaved step, maintenance or
-                    // rebalance event is untouched.
-                    let mut batch = vec![first];
-                    while batch.len() < coalesce {
-                        match sim.next_if(|t, ev| t == at && matches!(ev, Event::Arrival(_))) {
-                            Some((_, Event::Arrival(j))) => batch.push(j),
-                            Some(_) => unreachable!("predicate admits only arrivals"),
-                            None => break,
-                        }
-                    }
-                    // One multi-query stage-1 probe for the whole batch.
-                    // Nothing in this path mutates the example index
-                    // between these arrivals, so each entry is exactly
-                    // the stage-1 result the sequential path would
-                    // compute at its serve call; stage 2, routing and
-                    // feedback still run per request below, in order.
-                    // Singletons let `serve` probe inline.
-                    let stage1: Vec<Option<Vec<(ic_llmsim::ExampleId, f64)>>> = if batch.len() > 1 {
-                        let refs: Vec<&Request> = batch.iter().map(|&j| &requests[j]).collect();
-                        self.system
-                            .stage1_batch(&refs)
-                            .into_iter()
-                            .map(Some)
-                            .collect()
-                    } else {
-                        vec![None]
-                    };
-                    selector_stats.batches += 1;
-                    selector_stats.requests += batch.len() as u64;
-                    selector_stats.max_batch = selector_stats.max_batch.max(batch.len() as u64);
-
-                    for (i, stage1) in batch.into_iter().zip(stage1) {
+        // The event loop, generic over the worker tier: `None` runs
+        // everything inline (sequential replay); `Some` dispatches step
+        // regions to the workers. The loop pops with `next_if_full` so
+        // region merges know each head's exact sequence number.
+        let mut event_loop = |workers: Option<&RegionWorkers>| {
+            while let Some((at, seq, event)) = sim.next_if_full(|_, _| true) {
+                let now = at.as_secs_f64();
+                if par_on && !matches!(event, Event::StepComplete(..)) {
+                    barrier.remove(at);
+                }
+                match event {
+                    Event::Arrival(i) if window_on => {
+                        // --- bounded-delay look-ahead path ---
                         // Windowed arrival-rate estimate feeds the owning
-                        // replica's load tracker before its routing
-                        // decision (each replica sees only its own
-                        // arrivals).
-                        let owner = self.system.front_end().replica_of(requests[i].id);
-                        let window = &mut arrival_windows[owner];
-                        window.push_back(now);
-                        while window.len() > self.config.load_window {
-                            window.pop_front();
+                        // replica's load tracker before its routing decision,
+                        // exactly as on the sequential path below.
+                        let owner = system.front_end().replica_of(requests[i].id);
+                        let load_win = &mut arrival_windows[owner];
+                        load_win.push_back(now);
+                        while load_win.len() > config.load_window {
+                            load_win.pop_front();
                         }
-                        if window.len() >= 2 {
-                            let dt = now - window.front().expect("non-empty window");
+                        if load_win.len() >= 2 {
+                            let dt = now - load_win.front().expect("non-empty window");
                             if dt > 0.0 {
-                                self.system
+                                system
                                     .front_end_mut()
-                                    .observe_arrival_load(owner, (window.len() - 1) as f64 / dt);
+                                    .observe_arrival_load(owner, (load_win.len() - 1) as f64 / dt);
                             }
                         }
 
                         let request = &requests[i];
-                        let out = self.system.serve_with_stage1(request, stage1);
-                        records[i] = Some(RequestRecord {
-                            index: i,
-                            model: out.model.0,
-                            offloaded: out.offloaded,
-                            quality: out.outcome.quality,
-                            solicited: out.solicited_feedback,
-                            examples: out.selection.ids.len(),
-                            arrival_s: now,
-                            queue_s: 0.0,
-                            ttft_s: 0.0,
-                            e2e_s: 0.0,
-                            rejected: false,
-                        });
-
-                        let pool = self.pool_of(out.model);
-                        let job = JobSpec {
-                            id: JobId(i as u64),
-                            pool,
-                            arrival: at,
-                            ttft_secs: out.outcome.latency.ttft,
-                            decode_secs: out.outcome.latency.decode,
-                            prefill_tokens: out.outcome.input_tokens,
-                            decode_tokens: out.outcome.output_tokens,
-                            priority: 0,
+                        let out = match presel[i].take() {
+                            // Both epochs unchanged: the precomputed selection
+                            // is exactly what `serve` would compute now.
+                            Some(e)
+                                if e.index_epoch == system.selector().index_epoch()
+                                    && e.learn_epoch == system.selector().learn_epoch() =>
+                            {
+                                replay_stats.preselect_hits += 1;
+                                system.serve_with_selection(request, e.selection)
+                            }
+                            // The proxy/threshold learned since the probe but
+                            // the index is untouched: stage-1 candidates are
+                            // still exact; re-score stage 2 only.
+                            Some(e) if e.index_epoch == system.selector().index_epoch() => {
+                                replay_stats.stage1_reuses += 1;
+                                system.serve_with_stage1(request, Some(e.stage1))
+                            }
+                            // The index moved (admission/eviction): recompute
+                            // from scratch, as `serve` would.
+                            Some(_) => {
+                                replay_stats.invalidations += 1;
+                                selector_stats.batches += 1;
+                                selector_stats.requests += 1;
+                                selector_stats.max_batch = selector_stats.max_batch.max(1);
+                                system.serve_with_stage1(request, None)
+                            }
+                            // No entry yet: probe stage 1 for every arrival in
+                            // the window in one multi-query shot, precompute
+                            // their full selections, then consume this one's.
+                            None => {
+                                if order.get(win_cursor).copied() != Some(i) {
+                                    debug_assert!(false, "window cursor out of sync at {i}");
+                                    win_cursor = order
+                                        .iter()
+                                        .position(|&j| j == i)
+                                        .expect("arrival is in the firing order");
+                                }
+                                let horizon = at + window;
+                                let mut batch = Vec::new();
+                                while win_cursor < order.len() && batch.len() < probe_cap {
+                                    let j = order[win_cursor];
+                                    if times[j] > horizon {
+                                        break;
+                                    }
+                                    batch.push(j);
+                                    win_cursor += 1;
+                                }
+                                let refs: Vec<&Request> =
+                                    batch.iter().map(|&j| &requests[j]).collect();
+                                let stage1 = system.stage1_batch(&refs);
+                                let index_epoch = system.selector().index_epoch();
+                                let learn_epoch = system.selector().learn_epoch();
+                                for (&j, s1) in batch.iter().zip(stage1) {
+                                    let selection = system.preselect(&requests[j], s1.clone());
+                                    presel[j] = Some(PreSel {
+                                        stage1: s1,
+                                        selection,
+                                        index_epoch,
+                                        learn_epoch,
+                                    });
+                                }
+                                replay_stats.preselects += batch.len() as u64;
+                                selector_stats.batches += 1;
+                                selector_stats.requests += batch.len() as u64;
+                                selector_stats.max_batch =
+                                    selector_stats.max_batch.max(batch.len() as u64);
+                                let e = presel[i].take().expect("the probe covers its own arrival");
+                                replay_stats.preselect_hits += 1;
+                                system.serve_with_selection(request, e.selection)
+                            }
                         };
-                        // Iteration-level admission: an idle pool starts the
-                        // job (arming its step event); a busy pool keeps it
-                        // queued until the next step boundary. A queue-cap
-                        // reject produced no response: it contributes nothing
-                        // to the quality/offload/cache aggregates.
-                        let offer = pools[pool].offer(job, at);
-                        if offer == Offer::Rejected {
-                            let record = records[i].as_mut().expect("record created above");
-                            record.rejected = true;
-                            completed += 1;
+                        admit_arrival(
+                            i,
+                            &out,
+                            at,
+                            now,
+                            &mut sim,
+                            &pools,
+                            &model_pools,
+                            &pool_epochs,
+                            &mut records,
+                            &mut completed,
+                            &mut offloaded,
+                            &mut solicited,
+                            &mut selection_hits,
+                            &mut examples_used,
+                            &mut quality_sum,
+                        );
+                    }
+                    Event::Arrival(first) => {
+                        // Coalesce the run of arrivals sharing this event
+                        // tick into one selector batch. Only *consecutive*
+                        // same-tick arrival events are taken, so ordering
+                        // relative to any interleaved step, maintenance or
+                        // rebalance event is untouched.
+                        let mut batch = vec![first];
+                        while batch.len() < coalesce {
+                            match sim.next_if(|t, ev| t == at && matches!(ev, Event::Arrival(_))) {
+                                Some((_, Event::Arrival(j))) => {
+                                    if par_on {
+                                        barrier.remove(at);
+                                    }
+                                    batch.push(j);
+                                }
+                                Some(_) => unreachable!("predicate admits only arrivals"),
+                                None => break,
+                            }
+                        }
+                        // One multi-query stage-1 probe for the whole batch.
+                        // Nothing in this path mutates the example index
+                        // between these arrivals, so each entry is exactly
+                        // the stage-1 result the sequential path would
+                        // compute at its serve call; stage 2, routing and
+                        // feedback still run per request below, in order.
+                        // Singletons let `serve` probe inline.
+                        let stage1: Vec<Option<Vec<(ExampleId, f64)>>> = if batch.len() > 1 {
+                            let refs: Vec<&Request> = batch.iter().map(|&j| &requests[j]).collect();
+                            system.stage1_batch(&refs).into_iter().map(Some).collect()
                         } else {
-                            if offer == Offer::Started {
-                                Self::arm_step(&mut sim, &pools, pool, pool_epochs[pool]);
-                            }
-                            if self.config.admit_served_pairs {
-                                let _ =
-                                    self.system
-                                        .update_cache(request, &out.outcome, out.model, now);
-                            }
-                            if out.offloaded {
-                                offloaded += 1;
-                            }
-                            if out.solicited_feedback {
-                                solicited += 1;
-                            }
-                            if !out.selection.ids.is_empty() {
-                                selection_hits += 1;
-                                examples_used += out.selection.ids.len() as u64;
-                            }
-                            quality_sum += out.outcome.quality;
-                        }
-                    }
-                }
-                Event::StepComplete(pool, epoch) => {
-                    if epoch != pool_epochs[pool] {
-                        // A failover flushed the lineage this event was
-                        // armed for; the live lineage (if any) has its
-                        // own pending event.
-                        continue;
-                    }
-                    let step = pools[pool].advance_step(at);
-                    // Loop-invariant across this boundary's finishers:
-                    // the step already ran, so pool occupancy is fixed.
-                    let in_system: u32 = pools
-                        .iter()
-                        .map(|p| p.active() + p.queue_len() as u32)
-                        .sum();
-                    for fin in step.finished {
-                        let i = fin.job.id.0 as usize;
-                        let record = records[i].as_mut().expect("completion follows arrival");
-                        record.queue_s = (fin.started - fin.job.arrival).as_secs_f64();
-                        record.ttft_s = (fin.first_token - fin.job.arrival).as_secs_f64();
-                        record.e2e_s = (fin.completed - fin.job.arrival).as_secs_f64();
-                        completions.push(now);
-                        completed += 1;
-
-                        // Measured-latency feedback: Little's law turns
-                        // the observed end-to-end latency and the work in
-                        // flight into a demand estimate, recorded at the
-                        // replica that owns the completed request (the
-                        // same path failover retries and the baseline
-                        // `serve_without_ic` feed).
-                        let e2e_s = record.e2e_s;
-                        let owner = self.system.front_end().replica_of(requests[i].id);
-                        self.system
-                            .front_end_mut()
-                            .observe_completion(owner, e2e_s, in_system);
-                    }
-                    Self::arm_step(&mut sim, &pools, pool, pool_epochs[pool]);
-                }
-                Event::GossipRound => {
-                    self.system.run_gossip(now);
-                    if completed < n {
-                        gossip.arm(&mut sim, Event::GossipRound);
-                    }
-                }
-                Event::PoolDown(pool) => {
-                    // Mark the model down first so the retries below (and
-                    // all future arrivals) route around it, then flush
-                    // everything the pool held — running sequences free
-                    // their KV blocks through the normal kvmem release
-                    // path — and re-enqueue each job through the router
-                    // tier as a retry. Overlapping outage windows nest:
-                    // the depth counter keeps the pool down until the
-                    // last window's recovery. The epoch bump invalidates
-                    // the flushed lineage's in-flight step event.
-                    let model = self.model_pools[pool].0;
-                    self.system.failover_mut().set_model_healthy(model, false);
-                    down_depth[pool] += 1;
-                    pool_epochs[pool] += 1;
-                    for job_id in pools[pool].fail_over() {
-                        let i = job_id.0 as usize;
-                        failover_requeues += 1;
-                        let old = records[i].as_ref().expect("flushed job was served");
-                        let original_arrival = SimTime::from_secs_f64(old.arrival_s);
-                        // The first serving never completed: withdraw its
-                        // contributions before the retry re-tallies.
-                        if old.offloaded {
-                            offloaded -= 1;
-                        }
-                        if old.solicited {
-                            solicited -= 1;
-                        }
-                        if old.examples > 0 {
-                            selection_hits -= 1;
-                            examples_used -= old.examples as u64;
-                        }
-                        quality_sum -= old.quality;
-                        let arrival_s = old.arrival_s;
-
-                        // Retry: a fresh selection + routing decision at
-                        // the owning replica (the down model is excluded
-                        // by the failover state) and a fresh generation.
-                        let request = &requests[i];
-                        let out = self.system.serve(request);
-                        records[i] = Some(RequestRecord {
-                            index: i,
-                            model: out.model.0,
-                            offloaded: out.offloaded,
-                            quality: out.outcome.quality,
-                            solicited: out.solicited_feedback,
-                            examples: out.selection.ids.len(),
-                            arrival_s,
-                            queue_s: 0.0,
-                            ttft_s: 0.0,
-                            e2e_s: 0.0,
-                            rejected: false,
-                        });
-                        let retry_pool = self.pool_of(out.model);
-                        let job = JobSpec {
-                            id: JobId(i as u64),
-                            pool: retry_pool,
-                            // Latency stays measured from the *original*
-                            // arrival: the outage's lost time is part of
-                            // the user-visible queueing delay.
-                            arrival: original_arrival,
-                            ttft_secs: out.outcome.latency.ttft,
-                            decode_secs: out.outcome.latency.decode,
-                            prefill_tokens: out.outcome.input_tokens,
-                            decode_tokens: out.outcome.output_tokens,
-                            priority: 0,
+                            vec![None]
                         };
-                        let offer = pools[retry_pool].offer(job, at);
-                        if offer == Offer::Rejected {
-                            let record = records[i].as_mut().expect("record created above");
-                            record.rejected = true;
+                        selector_stats.batches += 1;
+                        selector_stats.requests += batch.len() as u64;
+                        selector_stats.max_batch = selector_stats.max_batch.max(batch.len() as u64);
+
+                        for (i, stage1) in batch.into_iter().zip(stage1) {
+                            // Windowed arrival-rate estimate feeds the owning
+                            // replica's load tracker before its routing
+                            // decision (each replica sees only its own
+                            // arrivals).
+                            let owner = system.front_end().replica_of(requests[i].id);
+                            let load_win = &mut arrival_windows[owner];
+                            load_win.push_back(now);
+                            while load_win.len() > config.load_window {
+                                load_win.pop_front();
+                            }
+                            if load_win.len() >= 2 {
+                                let dt = now - load_win.front().expect("non-empty window");
+                                if dt > 0.0 {
+                                    system.front_end_mut().observe_arrival_load(
+                                        owner,
+                                        (load_win.len() - 1) as f64 / dt,
+                                    );
+                                }
+                            }
+
+                            let request = &requests[i];
+                            let out = system.serve_with_stage1(request, stage1);
+                            admit_arrival(
+                                i,
+                                &out,
+                                at,
+                                now,
+                                &mut sim,
+                                &pools,
+                                &model_pools,
+                                &pool_epochs,
+                                &mut records,
+                                &mut completed,
+                                &mut offloaded,
+                                &mut solicited,
+                                &mut selection_hits,
+                                &mut examples_used,
+                                &mut quality_sum,
+                            );
+                            if config.admit_served_pairs
+                                && !records[i].as_ref().expect("record created above").rejected
+                            {
+                                let _ = system.update_cache(request, &out.outcome, out.model, now);
+                            }
+                        }
+                    }
+                    Event::StepComplete(pool, epoch) if !par_on => {
+                        if epoch != pool_epochs[pool] {
+                            // A failover flushed the lineage this event was
+                            // armed for; the live lineage (if any) has its
+                            // own pending event.
+                            continue;
+                        }
+                        let step = pools[pool].lock().advance_step(at);
+                        // Loop-invariant across this boundary's finishers:
+                        // the step already ran, so pool occupancy is fixed.
+                        let in_system: u32 = pools
+                            .iter()
+                            .map(|p| {
+                                let p = p.lock();
+                                p.active() + p.queue_len() as u32
+                            })
+                            .sum();
+                        for fin in step.finished {
+                            let i = fin.job.id.0 as usize;
+                            let record = records[i].as_mut().expect("completion follows arrival");
+                            record.queue_s = (fin.started - fin.job.arrival).as_secs_f64();
+                            record.ttft_s = (fin.first_token - fin.job.arrival).as_secs_f64();
+                            record.e2e_s = (fin.completed - fin.job.arrival).as_secs_f64();
+                            completions.push(now);
                             completed += 1;
-                            retry_rejects += 1;
-                        } else {
-                            if offer == Offer::Started {
-                                Self::arm_step(
-                                    &mut sim,
-                                    &pools,
-                                    retry_pool,
-                                    pool_epochs[retry_pool],
+
+                            // Measured-latency feedback: Little's law turns
+                            // the observed end-to-end latency and the work in
+                            // flight into a demand estimate, recorded at the
+                            // replica that owns the completed request (the
+                            // same path failover retries and the baseline
+                            // `serve_without_ic` feed).
+                            let e2e_s = record.e2e_s;
+                            let owner = system.front_end().replica_of(requests[i].id);
+                            system
+                                .front_end_mut()
+                                .observe_completion(owner, e2e_s, in_system);
+                        }
+                        arm_step(&mut sim, &pools, pool, pool_epochs[pool]);
+                    }
+                    Event::StepComplete(pool, epoch) => {
+                        // --- pool-parallel step region ---
+                        // Gather every consecutive step event off the heap:
+                        // all of them sort before the earliest pending
+                        // non-step event (the region barrier), so each
+                        // pool's chain between here and the barrier depends
+                        // only on that pool's own state.
+                        let mut heads = vec![(at, seq, pool, epoch)];
+                        while let Some((t2, s2, ev)) =
+                            sim.next_if_full(|_, ev| matches!(ev, Event::StepComplete(..)))
+                        {
+                            match ev {
+                                Event::StepComplete(p2, e2) => heads.push((t2, s2, p2, e2)),
+                                _ => unreachable!("predicate admits only step events"),
+                            }
+                        }
+                        // Drop stale lineages (the sequential `continue`).
+                        heads.retain(|&(_, _, p, e)| e == pool_epochs[p]);
+                        if heads.is_empty() {
+                            continue;
+                        }
+                        let region_barrier = barrier.earliest();
+                        debug_assert!(
+                            region_barrier.is_none_or(|b| heads.iter().all(|&(t, ..)| t <= b)),
+                            "step heads must not outrun the barrier"
+                        );
+                        // Occupancy snapshot before any chain advances; the
+                        // merge below updates it in sequential handling
+                        // order so every finisher sees the same `in_system`
+                        // the sequential engine reports.
+                        let mut occ: Vec<u32> = pools
+                            .iter()
+                            .map(|p| {
+                                let p = p.lock();
+                                p.active() + p.queue_len() as u32
+                            })
+                            .collect();
+                        let k = heads.len();
+                        let mut chains: Vec<Option<Vec<ChainStep>>> =
+                            (0..k).map(|_| None).collect();
+                        match workers {
+                            Some(w) if k > 1 => {
+                                let nw = w.task_txs.len();
+                                for (slot, &(t_h, _, p_h, _)) in heads.iter().enumerate().skip(1) {
+                                    w.task_txs[(slot - 1) % nw]
+                                        .send(RegionTask {
+                                            slot,
+                                            pool: p_h,
+                                            at: t_h,
+                                            barrier: region_barrier,
+                                        })
+                                        .expect("region worker alive");
+                                }
+                                chains[0] = Some(
+                                    pools[heads[0].2]
+                                        .lock()
+                                        .advance_chain(heads[0].0, region_barrier),
                                 );
+                                for _ in 1..k {
+                                    let (slot, chain) =
+                                        w.results_rx.recv().expect("region worker returns");
+                                    chains[slot] = Some(chain);
+                                }
                             }
-                            // No `update_cache` here: the request's pair
-                            // was already admitted at its arrival (when
-                            // `admit_served_pairs` is on); re-admitting
-                            // the retry outcome would double-cache it.
-                            if out.offloaded {
-                                offloaded += 1;
+                            _ => {
+                                for (slot, &(t_h, _, p_h, _)) in heads.iter().enumerate() {
+                                    chains[slot] =
+                                        Some(pools[p_h].lock().advance_chain(t_h, region_barrier));
+                                }
                             }
-                            if out.solicited_feedback {
-                                solicited += 1;
+                        }
+                        replay_stats.parallel_regions += 1;
+
+                        // Deterministic merge: replay the chains in the exact
+                        // `(time, seq)` order the sequential engine would
+                        // have handled them, burning the same sequence
+                        // numbers it would have assigned — intermediate
+                        // rearms consume a reserved seq, the final rearm per
+                        // pool goes back into the real queue.
+                        let mut merge: BinaryHeap<Reverse<(SimTime, u64, usize, usize)>> = heads
+                            .iter()
+                            .enumerate()
+                            .map(|(slot, &(t, s, _, _))| Reverse((t, s, slot, 0)))
+                            .collect();
+                        while let Some(Reverse((t, _, slot, idx))) = merge.pop() {
+                            let (_, _, p_h, e_h) = heads[slot];
+                            let chain = chains[slot].as_ref().expect("chain collected");
+                            let step = &chain[idx];
+                            debug_assert_eq!(step.at, t, "merge key tracks the chain");
+                            replay_stats.parallel_steps += 1;
+                            occ[p_h] = step.occ_after;
+                            let in_system: u32 = occ.iter().sum();
+                            let t_s = t.as_secs_f64();
+                            for fin in &step.report.finished {
+                                let i = fin.job.id.0 as usize;
+                                let record =
+                                    records[i].as_mut().expect("completion follows arrival");
+                                record.queue_s = (fin.started - fin.job.arrival).as_secs_f64();
+                                record.ttft_s = (fin.first_token - fin.job.arrival).as_secs_f64();
+                                record.e2e_s = (fin.completed - fin.job.arrival).as_secs_f64();
+                                completions.push(t_s);
+                                completed += 1;
+                                let e2e_s = record.e2e_s;
+                                let owner = system.front_end().replica_of(requests[i].id);
+                                system
+                                    .front_end_mut()
+                                    .observe_completion(owner, e2e_s, in_system);
                             }
-                            if !out.selection.ids.is_empty() {
-                                selection_hits += 1;
-                                examples_used += out.selection.ids.len() as u64;
+                            if let Some(dt) = step.next_dt {
+                                let next_t = step.at + SimDuration::from_secs_f64(dt);
+                                if idx + 1 < chain.len() {
+                                    let s_next = sim.reserve_seq();
+                                    merge.push(Reverse((next_t, s_next, slot, idx + 1)));
+                                } else {
+                                    // The chain stopped at the barrier: rearm
+                                    // in the real queue, at exactly the seq
+                                    // the sequential engine would assign at
+                                    // this point in its handling order.
+                                    sim.schedule(next_t, Event::StepComplete(p_h, e_h));
+                                }
                             }
-                            quality_sum += out.outcome.quality;
                         }
                     }
-                }
-                Event::PoolUp(pool) => {
-                    // Recover only when the outermost outage window
-                    // closes (nested windows each delivered a PoolDown).
-                    down_depth[pool] = down_depth[pool].saturating_sub(1);
-                    if down_depth[pool] == 0 {
-                        let model = self.model_pools[pool].0;
-                        self.system.failover_mut().set_model_healthy(model, true);
+                    Event::GossipRound => {
+                        system.run_gossip(now);
+                        if completed < n && gossip.arm(&mut sim, Event::GossipRound) && par_on {
+                            barrier.add(at + gossip.period().expect("armed implies enabled"));
+                        }
                     }
-                }
-                Event::Maintenance => {
-                    let report = self.system.run_maintenance(now);
-                    evicted += report.evicted as u64;
-                    if completed < n {
-                        sim.schedule_in(
-                            SimDuration::from_secs_f64(self.config.maintenance_period_s),
-                            Event::Maintenance,
-                        );
+                    Event::PoolDown(pool) => {
+                        // Mark the model down first so the retries below (and
+                        // all future arrivals) route around it, then flush
+                        // everything the pool held — running sequences free
+                        // their KV blocks through the normal kvmem release
+                        // path — and re-enqueue each job through the router
+                        // tier as a retry. Overlapping outage windows nest:
+                        // the depth counter keeps the pool down until the
+                        // last window's recovery. The epoch bump invalidates
+                        // the flushed lineage's in-flight step event.
+                        let model = model_pools[pool].0;
+                        system.failover_mut().set_model_healthy(model, false);
+                        down_depth[pool] += 1;
+                        pool_epochs[pool] += 1;
+                        for job_id in pools[pool].lock().fail_over() {
+                            let i = job_id.0 as usize;
+                            failover_requeues += 1;
+                            let old = records[i].as_ref().expect("flushed job was served");
+                            let original_arrival = SimTime::from_secs_f64(old.arrival_s);
+                            // The first serving never completed: withdraw its
+                            // contributions before the retry re-tallies.
+                            if old.offloaded {
+                                offloaded -= 1;
+                            }
+                            if old.solicited {
+                                solicited -= 1;
+                            }
+                            if old.examples > 0 {
+                                selection_hits -= 1;
+                                examples_used -= old.examples as u64;
+                            }
+                            quality_sum -= old.quality;
+                            let arrival_s = old.arrival_s;
+
+                            // Retry: a fresh selection + routing decision at
+                            // the owning replica (the down model is excluded
+                            // by the failover state) and a fresh generation.
+                            let request = &requests[i];
+                            let out = system.serve(request);
+                            records[i] = Some(RequestRecord {
+                                index: i,
+                                model: out.model.0,
+                                offloaded: out.offloaded,
+                                quality: out.outcome.quality,
+                                solicited: out.solicited_feedback,
+                                examples: out.selection.ids.len(),
+                                arrival_s,
+                                queue_s: 0.0,
+                                ttft_s: 0.0,
+                                e2e_s: 0.0,
+                                rejected: false,
+                            });
+                            let retry_pool = pool_index(&model_pools, out.model);
+                            let job = JobSpec {
+                                id: JobId(i as u64),
+                                pool: retry_pool,
+                                // Latency stays measured from the *original*
+                                // arrival: the outage's lost time is part of
+                                // the user-visible queueing delay.
+                                arrival: original_arrival,
+                                ttft_secs: out.outcome.latency.ttft,
+                                decode_secs: out.outcome.latency.decode,
+                                prefill_tokens: out.outcome.input_tokens,
+                                decode_tokens: out.outcome.output_tokens,
+                                priority: 0,
+                            };
+                            let offer = pools[retry_pool].lock().offer(job, at);
+                            if offer == Offer::Rejected {
+                                let record = records[i].as_mut().expect("record created above");
+                                record.rejected = true;
+                                completed += 1;
+                                retry_rejects += 1;
+                            } else {
+                                if offer == Offer::Started {
+                                    arm_step(&mut sim, &pools, retry_pool, pool_epochs[retry_pool]);
+                                }
+                                // No `update_cache` here: the request's pair
+                                // was already admitted at its arrival (when
+                                // `admit_served_pairs` is on); re-admitting
+                                // the retry outcome would double-cache it.
+                                if out.offloaded {
+                                    offloaded += 1;
+                                }
+                                if out.solicited_feedback {
+                                    solicited += 1;
+                                }
+                                if !out.selection.ids.is_empty() {
+                                    selection_hits += 1;
+                                    examples_used += out.selection.ids.len() as u64;
+                                }
+                                quality_sum += out.outcome.quality;
+                            }
+                        }
                     }
-                }
-                Event::Rebalance => {
-                    evicted += self.system.run_rebalance(now) as u64;
-                    if completed < n {
-                        sim.schedule_in(
-                            SimDuration::from_secs_f64(self.config.rebalance_period_s),
-                            Event::Rebalance,
-                        );
+                    Event::PoolUp(pool) => {
+                        // Recover only when the outermost outage window
+                        // closes (nested windows each delivered a PoolDown).
+                        down_depth[pool] = down_depth[pool].saturating_sub(1);
+                        if down_depth[pool] == 0 {
+                            let model = model_pools[pool].0;
+                            system.failover_mut().set_model_healthy(model, true);
+                        }
+                    }
+                    Event::Maintenance => {
+                        let report = system.run_maintenance(now);
+                        evicted += report.evicted as u64;
+                        if completed < n {
+                            let period = SimDuration::from_secs_f64(config.maintenance_period_s);
+                            sim.schedule_in(period, Event::Maintenance);
+                            if par_on {
+                                barrier.add(at + period);
+                            }
+                        }
+                    }
+                    Event::Rebalance => {
+                        evicted += system.run_rebalance(now) as u64;
+                        if completed < n {
+                            let period = SimDuration::from_secs_f64(config.rebalance_period_s);
+                            sim.schedule_in(period, Event::Rebalance);
+                            if par_on {
+                                barrier.add(at + period);
+                            }
+                        }
                     }
                 }
             }
+        };
+
+        // Sequential replay runs the loop inline; the parallel replay
+        // hosts it inside a thread scope so region workers can borrow
+        // the pools for the duration of the run.
+        if par_on {
+            std::thread::scope(|scope| {
+                let workers = RegionWorkers::spawn(scope, &pools, threads - 1);
+                event_loop(Some(&workers));
+            });
+        } else {
+            event_loop(None);
         }
 
         let mut iter = IterStats::default();
         let mut kv = KvStats::default();
         for p in &pools {
+            let p = p.lock();
             iter.merge(&p.iter_stats());
             kv.merge(&p.kv_stats());
         }
@@ -691,6 +1164,7 @@ impl ServingEngine for EventDrivenEngine {
             router,
             selector: selector_stats,
             kv,
+            replay: replay_stats,
             per_request,
         }
     }
@@ -1068,5 +1542,158 @@ mod tests {
             engine.serve_workload(&requests, &arrivals).to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    /// One engine run with the replay knobs (look-ahead window, worker
+    /// threads) set on top of the default config.
+    fn run_replay(window_s: f64, threads: usize, arrivals: &[f64], seed: u64) -> EngineReport {
+        let config = EngineConfig {
+            selector_batch: 8,
+            selector_window_s: window_s,
+            replay_threads: threads,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(500, config, seed);
+        let requests = wg.generate_requests(arrivals.len());
+        engine.serve_workload(&requests, arrivals)
+    }
+
+    #[test]
+    fn windowed_lookahead_is_byte_identical_to_sequential() {
+        // A two-second look-ahead window over a 4 QPS trace: probes
+        // hoist ~8 arrivals at a time, every arrival consumes a
+        // precomputed selection, and nothing outside the selector stats
+        // block may move.
+        let arrivals = fixed_qps_arrivals(4.0, 60.0, 452);
+        let sequential = run_batched(0, None, &arrivals, 451);
+        let windowed = run_replay(2.0, 1, &arrivals, 451);
+        assert_eq!(windowed.replay.preselects, arrivals.len() as u64);
+        assert!(windowed.replay.preselect_hits > 0);
+        assert_eq!(
+            windowed.replay.preselects,
+            windowed.replay.preselect_hits
+                + windowed.replay.stage1_reuses
+                + windowed.replay.invalidations,
+            "every precomputed entry is consumed exactly once: {:?}",
+            windowed.replay
+        );
+        assert!(
+            windowed.selector.max_batch > 1,
+            "the window must coalesce probes"
+        );
+        assert_same_decisions(&sequential, &windowed);
+        assert_eq!(
+            mask_selector_block(&sequential.to_json()),
+            mask_selector_block(&windowed.to_json())
+        );
+    }
+
+    #[test]
+    fn window_spans_tick_boundaries() {
+        // Same-tick coalescing (window 0) can only merge the four
+        // arrivals sharing a microsecond; a 2 s window must batch
+        // across tick groups, and stay byte-identical.
+        let arrivals = tick_burst_arrivals(96, 4, 0.5);
+        let sequential = run_batched(0, None, &arrivals, 453);
+        let same_tick = run_batched(8, None, &arrivals, 453);
+        let windowed = run_replay(2.0, 1, &arrivals, 453);
+        assert_eq!(same_tick.selector.max_batch, 4);
+        assert!(
+            windowed.selector.max_batch > 4,
+            "the window must straddle ticks: {:?}",
+            windowed.selector
+        );
+        assert_same_decisions(&sequential, &windowed);
+        assert_eq!(
+            mask_selector_block(&sequential.to_json()),
+            mask_selector_block(&windowed.to_json())
+        );
+    }
+
+    #[test]
+    fn admit_served_pairs_disables_the_window() {
+        let config = EngineConfig {
+            selector_window_s: 5.0,
+            admit_served_pairs: true,
+            ..EngineConfig::default()
+        };
+        let (mut engine, mut wg) = seeded_engine(300, config, 455);
+        let arrivals = tick_burst_arrivals(40, 4, 0.5);
+        let requests = wg.generate_requests(arrivals.len());
+        let report = engine.serve_workload(&requests, &arrivals);
+        assert_eq!(report.replay.preselects, 0, "window must be off");
+        assert_eq!(report.selector.max_batch, 1);
+    }
+
+    #[test]
+    fn parallel_stepping_is_bit_identical_to_sequential() {
+        // Worker-thread stepping touches no selector state, so the
+        // whole report — selector block included — must match
+        // byte-for-byte, not just modulo masking.
+        let arrivals = fixed_qps_arrivals(3.0, 90.0, 457);
+        let run = |threads: usize| {
+            let config = EngineConfig {
+                replay_threads: threads,
+                ..EngineConfig::default()
+            };
+            let (mut engine, mut wg) = seeded_engine(500, config, 456);
+            let requests = wg.generate_requests(arrivals.len());
+            engine.serve_workload(&requests, &arrivals)
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert!(
+            parallel.replay.parallel_regions > 0,
+            "regions must form: {:?}",
+            parallel.replay
+        );
+        assert!(parallel.replay.parallel_steps > 0);
+        assert_eq!(sequential.replay.parallel_regions, 0);
+        assert_same_decisions(&sequential, &parallel);
+        assert_eq!(sequential.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn parallel_and_windowed_replay_compose() {
+        let arrivals = fixed_qps_arrivals(5.0, 60.0, 459);
+        let sequential = run_batched(0, None, &arrivals, 458);
+        let fast = run_replay(2.0, 4, &arrivals, 458);
+        assert!(fast.replay.preselect_hits > 0);
+        assert!(fast.replay.parallel_steps > 0);
+        assert_same_decisions(&sequential, &fast);
+        assert_eq!(
+            mask_selector_block(&sequential.to_json()),
+            mask_selector_block(&fast.to_json())
+        );
+    }
+
+    #[test]
+    fn parallel_stepping_survives_outages_and_gossip() {
+        // Failover flushes (pool epochs), retries and multi-replica
+        // gossip rounds all act as region barriers; the parallel replay
+        // must stay bit-identical through them.
+        let arrivals = fixed_qps_arrivals(25.0, 40.0, 461);
+        let run = |threads: usize| {
+            let config = EngineConfig {
+                replay_threads: threads,
+                router_replicas: 3,
+                gossip_period_s: 5.0,
+                pool_outages: vec![PoolOutage {
+                    pool: 0,
+                    at_s: 10.0,
+                    duration_s: 15.0,
+                }],
+                ..EngineConfig::default()
+            };
+            let (mut engine, mut wg) = seeded_engine(500, config, 460);
+            let requests = wg.generate_requests(arrivals.len());
+            engine.serve_workload(&requests, &arrivals)
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert!(sequential.router.failover_requeues > 0, "outage must bite");
+        assert!(parallel.replay.parallel_regions > 0);
+        assert_same_decisions(&sequential, &parallel);
+        assert_eq!(sequential.to_json(), parallel.to_json());
     }
 }

@@ -107,5 +107,5 @@ pub mod report;
 pub use driven::{EngineConfig, EventDrivenEngine, PoolOutage};
 pub use engine::{DirectEngine, ServingEngine};
 pub use report::{
-    CacheStats, EngineReport, LatencyStats, RequestRecord, RouterStats, SelectorStats,
+    CacheStats, EngineReport, LatencyStats, ReplayStats, RequestRecord, RouterStats, SelectorStats,
 };

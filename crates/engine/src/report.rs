@@ -146,6 +146,34 @@ impl SelectorStats {
     }
 }
 
+/// Replay-acceleration counters for one engine run (bounded-delay
+/// selector windows and pool-parallel stepping; see
+/// `EngineConfig::selector_window_s` / `EngineConfig::replay_threads`).
+///
+/// Diagnostics only: deliberately **not** serialized by
+/// [`EngineReport::to_json`], so the byte-deterministic report is
+/// identical whichever replay mode produced it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Worker threads the run was configured with (`<= 1` = sequential).
+    pub threads: u64,
+    /// Selections precomputed through the look-ahead window.
+    pub preselects: u64,
+    /// Arrivals served from a still-valid precomputed selection.
+    pub preselect_hits: u64,
+    /// Arrivals whose precomputed stage-1 candidates were reused with
+    /// stage 2 re-scored (the selector's learn epoch moved between the
+    /// window probe and the arrival).
+    pub stage1_reuses: u64,
+    /// Precomputed entries discarded because the example index changed
+    /// between the window probe and the arrival.
+    pub invalidations: u64,
+    /// Parallel step regions executed between router interactions.
+    pub parallel_regions: u64,
+    /// Step boundaries executed inside those regions.
+    pub parallel_steps: u64,
+}
+
 /// Router-tier counters for one engine run (see
 /// `EngineConfig::router_replicas`): how the replicated front end
 /// routed, gossiped, and absorbed pool failovers. A single-replica tier
@@ -231,6 +259,9 @@ pub struct EngineReport {
     /// Paged KV-memory counters merged across pools (block occupancy,
     /// pressure preemptions, swap traffic, fragmentation).
     pub kv: KvStats,
+    /// Replay-acceleration counters (look-ahead windows, parallel step
+    /// regions). Excluded from [`EngineReport::to_json`] by design.
+    pub replay: ReplayStats,
     /// Per-request join of decisions and timing, in arrival order.
     pub per_request: Vec<RequestRecord>,
 }

@@ -26,10 +26,29 @@ impl ProxyFeatures {
     /// embeddings, task tags, response text (via the quality signal),
     /// response length, and the target model's spec sheet.
     pub fn extract(request: &Request, example: &Example, target: &ModelSpec) -> Self {
-        let sim = request
-            .embedding
-            .cosine(&example.embedding)
-            .clamp(-1.0, 1.0);
+        Self::extract_with_sim(
+            request,
+            example,
+            target,
+            request.embedding.cosine(&example.embedding),
+        )
+    }
+
+    /// [`Self::extract`] with the request/example cosine similarity
+    /// supplied by the caller. Stage 1 already computed exactly this
+    /// value for every candidate it returned (the index kernel is
+    /// bit-identical to [`ic_embed::Embedding::cosine`]), so stage-2
+    /// scoring passes it in rather than re-reducing the embedding pair
+    /// per candidate. `sim` must be `request.embedding.cosine(&example
+    /// .embedding)` — bit-equality with [`Self::extract`] is pinned by a
+    /// test below.
+    pub fn extract_with_sim(
+        request: &Request,
+        example: &Example,
+        target: &ModelSpec,
+        sim: f64,
+    ) -> Self {
+        let sim = sim.clamp(-1.0, 1.0);
         let qsig = quality_signal(example);
         let task_match = if request.task == example.task {
             1.0
@@ -138,6 +157,25 @@ impl ProxyModel {
         self.predict(&ProxyFeatures::extract(request, example, target).as_array())
     }
 
+    /// Batched stage-2 scoring: predicted helpfulness for a whole
+    /// candidate set `(example, stage1_similarity)` in one call,
+    /// reusing the stage-1 cosine per candidate. `out[i]` is exactly
+    /// `predict_example(request, candidates[i].0, target)` — the proxy
+    /// is read-only here, so batching is a pure hoist.
+    pub fn predict_candidates(
+        &self,
+        request: &Request,
+        candidates: &[(&Example, f64)],
+        target: &ModelSpec,
+    ) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|&(ex, sim)| {
+                self.predict(&ProxyFeatures::extract_with_sim(request, ex, target, sim).as_array())
+            })
+            .collect()
+    }
+
     /// One SGD step toward `label` (observed helpfulness from feedback).
     pub fn update(&mut self, features: &[f64; FEATURE_DIM], label: f64) {
         let pred = self.predict(features);
@@ -178,6 +216,38 @@ mod tests {
     use ic_stats::pearson;
     use ic_workloads::{Dataset, WorkloadGenerator};
     use rand::RngExt;
+
+    #[test]
+    fn sim_reuse_and_batched_scoring_are_bitwise_equal() {
+        let mut wg = WorkloadGenerator::new(Dataset::MsMarco, 13);
+        let generator = Generator::new();
+        let small = ModelSpec::gemma_2_2b();
+        let exs = wg.generate_examples(
+            40,
+            &ModelSpec::gemma_2_27b(),
+            ic_llmsim::ModelId(0),
+            &generator,
+        );
+        let reqs = wg.generate_requests(5);
+        let model = ProxyModel::standard();
+        for r in &reqs {
+            let cands: Vec<(&Example, f64)> = exs
+                .iter()
+                .map(|e| (e, r.embedding.cosine(&e.embedding)))
+                .collect();
+            let batch = model.predict_candidates(r, &cands, &small);
+            for (e, got) in exs.iter().zip(&batch) {
+                let f_a = ProxyFeatures::extract(r, e, &small).as_array();
+                let f_b =
+                    ProxyFeatures::extract_with_sim(r, e, &small, r.embedding.cosine(&e.embedding))
+                        .as_array();
+                for (a, b) in f_a.iter().zip(&f_b) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "feature drift");
+                }
+                assert_eq!(got.to_bits(), model.predict_example(r, e, &small).to_bits());
+            }
+        }
+    }
 
     #[test]
     fn quality_signal_is_stable_and_informative() {

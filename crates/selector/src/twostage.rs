@@ -90,6 +90,10 @@ pub struct ExampleSelector {
     index: IvfIndex,
     proxy: ProxyModel,
     threshold: DynamicThreshold,
+    /// Bumped on every index mutation (see [`Self::index_epoch`]).
+    index_epoch: u64,
+    /// Bumped on every learning-state access (see [`Self::learn_epoch`]).
+    learn_epoch: u64,
 }
 
 impl ExampleSelector {
@@ -101,6 +105,8 @@ impl ExampleSelector {
             index: IvfIndex::new(ivf),
             proxy: ProxyModel::standard(),
             threshold: DynamicThreshold::standard(),
+            index_epoch: 0,
+            learn_epoch: 0,
         }
     }
 
@@ -115,8 +121,11 @@ impl ExampleSelector {
     }
 
     /// Mutable access to the proxy (the offline trainer in `ic-cache`
-    /// feeds it feedback batches).
+    /// feeds it feedback batches). Conservatively bumps
+    /// [`Self::learn_epoch`] — any access through here may change
+    /// stage-2 scores.
     pub fn proxy_mut(&mut self) -> &mut ProxyModel {
+        self.learn_epoch += 1;
         &mut self.proxy
     }
 
@@ -125,8 +134,10 @@ impl ExampleSelector {
         &self.proxy
     }
 
-    /// Mutable access to the threshold controller.
+    /// Mutable access to the threshold controller. Conservatively bumps
+    /// [`Self::learn_epoch`], like [`Self::proxy_mut`].
     pub fn threshold_mut(&mut self) -> &mut DynamicThreshold {
+        self.learn_epoch += 1;
         &mut self.threshold
     }
 
@@ -137,12 +148,36 @@ impl ExampleSelector {
 
     /// Indexes a new example (called by the Example Manager on admission).
     pub fn index_example(&mut self, id: ExampleId, embedding: Embedding) {
+        self.index_epoch += 1;
         self.index.insert(id.0, embedding);
     }
 
     /// Drops an example from the index (called on eviction).
     pub fn unindex_example(&mut self, id: ExampleId) -> bool {
-        self.index.remove(id.0)
+        let removed = self.index.remove(id.0);
+        if removed {
+            self.index_epoch += 1;
+        }
+        removed
+    }
+
+    /// Monotone counter bumped on every index mutation
+    /// ([`Self::index_example`] / [`Self::unindex_example`]). While it
+    /// is unchanged, [`Self::stage1`] is a pure function of the request
+    /// — the invariant the replay engine's windowed look-ahead relies
+    /// on to reuse batched stage-1 probes across arrivals.
+    pub fn index_epoch(&self) -> u64 {
+        self.index_epoch
+    }
+
+    /// Monotone counter bumped whenever the learning state (proxy
+    /// weights or threshold controller) may have changed, i.e. on every
+    /// [`Self::proxy_mut`] / [`Self::threshold_mut`] access. While both
+    /// this and [`Self::index_epoch`] are unchanged, [`Self::select`]
+    /// is a pure function of the request and store — so a precomputed
+    /// [`Selection`] can stand in for a fresh one, byte for byte.
+    pub fn learn_epoch(&self) -> u64 {
+        self.learn_epoch
     }
 
     /// Number of indexed examples.
@@ -250,13 +285,21 @@ impl ExampleSelector {
             return Selection::empty(threshold);
         }
 
-        // Stage 2: predicted helpfulness per candidate.
-        let mut scored: Vec<(ExampleId, f64)> = candidates
+        // Stage 2: predicted helpfulness, scored as one proxy batch.
+        // The stage-1 similarity *is* the request/example cosine (the
+        // index kernel computes it bit-identically), so scoring reuses
+        // it instead of re-reducing the embedding pair per candidate,
+        // and candidates resolve against the store exactly once.
+        let resolved: Vec<(ExampleId, f64, &Example)> = candidates
             .iter()
-            .filter_map(|&(id, _sim)| {
-                let ex = store.get_example(id)?;
-                Some((id, self.proxy.predict_example(request, ex, target)))
-            })
+            .filter_map(|&(id, sim)| store.get_example(id).map(|ex| (id, sim, ex)))
+            .collect();
+        let pairs: Vec<(&Example, f64)> = resolved.iter().map(|&(_, sim, ex)| (ex, sim)).collect();
+        let scores = self.proxy.predict_candidates(request, &pairs, target);
+        let mut scored: Vec<(ExampleId, f64, &Example)> = resolved
+            .iter()
+            .zip(scores)
+            .map(|(&(id, _, ex), s)| (id, s, ex))
             .collect();
         scored.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -265,24 +308,19 @@ impl ExampleSelector {
         });
 
         // Threshold + diversity greedy pick.
-        let mut picked: Vec<(ExampleId, f64)> = Vec::new();
-        for &(id, util) in &scored {
+        let mut picked: Vec<(ExampleId, f64, &Example)> = Vec::new();
+        for &(id, util, ex) in &scored {
             if picked.len() >= self.config.max_examples {
                 break;
             }
             if util < threshold {
                 break; // Sorted descending: everything after is below too.
             }
-            let Some(ex) = store.get_example(id) else {
-                continue;
-            };
-            let redundant = picked.iter().any(|&(pid, _)| {
-                store.get_example(pid).is_some_and(|p| {
-                    p.embedding.cosine(&ex.embedding) > self.config.diversity_ceiling
-                })
+            let redundant = picked.iter().any(|&(_, _, p)| {
+                p.embedding.cosine(&ex.embedding) > self.config.diversity_ceiling
             });
             if !redundant {
-                picked.push((id, util));
+                picked.push((id, util, ex));
             }
         }
 
@@ -291,8 +329,8 @@ impl ExampleSelector {
             picked.reverse();
         }
         Selection {
-            ids: picked.iter().map(|&(id, _)| id).collect(),
-            predicted_utility: picked.iter().map(|&(_, u)| u).collect(),
+            ids: picked.iter().map(|&(id, _, _)| id).collect(),
+            predicted_utility: picked.iter().map(|&(_, u, _)| u).collect(),
             stage1_count,
             threshold_used: threshold,
         }

@@ -95,7 +95,11 @@ impl VectorIndex for FlatIndex {
         }
         let query_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
         let selected: Vec<usize> = (0..queries.len()).collect();
-        let items: Vec<(ItemId, &Embedding)> = self.iter().collect();
+        let items: Vec<(ItemId, &[f32], f64)> = self
+            .items
+            .iter()
+            .map(|(id, e)| (*id, e.as_slice(), e.norm()))
+            .collect();
         let mut sinks = vec![Vec::with_capacity(items.len()); queries.len()];
         scan_blocked(queries, &query_norms, &selected, &items, &mut sinks);
         sinks.into_iter().map(|h| finalize_hits(h, k)).collect()

@@ -13,7 +13,8 @@
 
 use std::collections::HashMap;
 
-use ic_embed::Embedding;
+use ic_embed::{Embedding, EmbeddingSlab, cosine_with_norms};
+use parking_lot::Mutex;
 
 use crate::kernel::scan_blocked;
 use crate::kmeans::{KMeansModel, kmeans};
@@ -66,7 +67,11 @@ impl Default for IvfConfig {
 #[derive(Debug)]
 pub struct IvfIndex {
     config: IvfConfig,
-    items: HashMap<ItemId, Embedding>,
+    /// Slab slot of each stored item's row.
+    slots: HashMap<ItemId, u32>,
+    /// Contiguous (SoA) row storage with insert-time norm caching — the
+    /// layout every scan streams over.
+    slab: EmbeddingSlab,
     model: Option<KMeansModel>,
     /// Posting lists: cluster -> member ids. Rebuilt on retrain; patched
     /// incrementally on insert/remove.
@@ -75,6 +80,21 @@ pub struct IvfIndex {
     cluster_of: HashMap<ItemId, usize>,
     /// Pool size at the time of the last training.
     trained_at_len: usize,
+    /// Reusable batch-probe buffers; `search_batch` takes `&self`, so
+    /// the scratch lives behind an (uncontended) mutex.
+    scratch: Mutex<BatchScratch>,
+}
+
+/// Per-call allocations of [`IvfIndex::search_batch`], hoisted so a hot
+/// replay loop reuses them across probes instead of reallocating.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Hoisted per-query norms.
+    query_norms: Vec<f64>,
+    /// `Q x K` centroid distance rows for the shared centroid scan.
+    centroid_dists: Vec<Vec<f64>>,
+    /// Cluster-major inversion of the probe sets.
+    probing: Vec<Vec<usize>>,
 }
 
 impl IvfIndex {
@@ -82,11 +102,13 @@ impl IvfIndex {
     pub fn new(config: IvfConfig) -> Self {
         Self {
             config,
-            items: HashMap::new(),
+            slots: HashMap::new(),
+            slab: EmbeddingSlab::new(),
             model: None,
             lists: Vec::new(),
             cluster_of: HashMap::new(),
             trained_at_len: 0,
+            scratch: Mutex::new(BatchScratch::default()),
         }
     }
 
@@ -97,12 +119,12 @@ impl IvfIndex {
 
     /// Whether the next query would use the brute-force path.
     pub fn is_brute_force(&self) -> bool {
-        self.items.len() < self.config.brute_force_below || self.model.is_none()
+        self.slots.len() < self.config.brute_force_below || self.model.is_none()
     }
 
     /// Forces retraining with `K = sqrt(N)` clusters.
     pub fn retrain(&mut self) {
-        let n = self.items.len();
+        let n = self.slots.len();
         if n == 0 {
             self.model = None;
             self.lists.clear();
@@ -110,10 +132,15 @@ impl IvfIndex {
             self.trained_at_len = 0;
             return;
         }
-        // Deterministic training order: sort by id.
-        let mut ids: Vec<ItemId> = self.items.keys().copied().collect();
+        // Deterministic training order: sort by id. K-means wants owned
+        // vectors, so the (rare) retrain path materializes rows out of
+        // the slab — same components, so the fit is unchanged.
+        let mut ids: Vec<ItemId> = self.slots.keys().copied().collect();
         ids.sort_unstable();
-        let data: Vec<Embedding> = ids.iter().map(|id| self.items[id].clone()).collect();
+        let data: Vec<Embedding> = ids
+            .iter()
+            .map(|id| self.slab.to_embedding(self.slots[id]))
+            .collect();
         let k = sqrt_cluster_count(n);
         let model = kmeans(&data, k, self.config.train_iters, self.config.seed)
             .expect("non-empty data trains");
@@ -131,7 +158,7 @@ impl IvfIndex {
     }
 
     fn maybe_retrain(&mut self) {
-        let n = self.items.len();
+        let n = self.slots.len();
         if n < self.config.brute_force_below {
             return;
         }
@@ -152,18 +179,24 @@ impl IvfIndex {
     /// used by the overhead benchmarks.
     pub fn expected_comparisons(&self) -> f64 {
         if self.is_brute_force() {
-            return self.items.len() as f64;
+            return self.slots.len() as f64;
         }
         let k = self.num_clusters() as f64;
-        let n = self.items.len() as f64;
+        let n = self.slots.len() as f64;
         k + self.config.nprobe as f64 * (n / k)
+    }
+
+    /// The slab row and cached norm of a stored item.
+    fn row_of(&self, id: ItemId) -> (&[f32], f64) {
+        let slot = self.slots[&id];
+        (self.slab.row(slot), self.slab.norm(slot))
     }
 }
 
 impl VectorIndex for IvfIndex {
     fn insert(&mut self, id: ItemId, embedding: Embedding) {
         // Drop any stale posting-list entry first.
-        if self.items.contains_key(&id) {
+        if self.slots.contains_key(&id) {
             self.remove(id);
         }
         if let Some(model) = &self.model {
@@ -171,14 +204,16 @@ impl VectorIndex for IvfIndex {
             self.lists[c].push(id);
             self.cluster_of.insert(id, c);
         }
-        self.items.insert(id, embedding);
+        let slot = self.slab.insert(embedding.as_slice());
+        self.slots.insert(id, slot);
         self.maybe_retrain();
     }
 
     fn remove(&mut self, id: ItemId) -> bool {
-        if self.items.remove(&id).is_none() {
+        let Some(slot) = self.slots.remove(&id) else {
             return false;
-        }
+        };
+        self.slab.remove(slot);
         if let Some(c) = self.cluster_of.remove(&id)
             && let Some(list) = self.lists.get_mut(c)
             && let Some(pos) = list.iter().position(|&x| x == id)
@@ -189,16 +224,27 @@ impl VectorIndex for IvfIndex {
     }
 
     fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit> {
-        if k == 0 || self.items.is_empty() {
+        if k == 0 || self.slots.is_empty() {
             return Vec::new();
         }
+        // Hoisted once per query (`Embedding::cosine` recomputes it per
+        // pair); item norms come from the slab's insert-time cache. Both
+        // are pure functions of their vectors, so every similarity is
+        // bit-identical to `query.cosine(item)`.
+        let q = query.as_slice();
+        let q_norm = query.norm();
         if self.is_brute_force() {
             let hits = self
-                .items
+                .slots
                 .iter()
-                .map(|(&id, e)| SearchHit {
+                .map(|(&id, &slot)| SearchHit {
                     id,
-                    similarity: query.cosine(e),
+                    similarity: cosine_with_norms(
+                        q,
+                        q_norm,
+                        self.slab.row(slot),
+                        self.slab.norm(slot),
+                    ),
                 })
                 .collect();
             return finalize_hits(hits, k);
@@ -208,10 +254,10 @@ impl VectorIndex for IvfIndex {
         let mut hits = Vec::new();
         for c in probes {
             for &id in &self.lists[c] {
-                let e = &self.items[&id];
+                let (row, row_norm) = self.row_of(id);
                 hits.push(SearchHit {
                     id,
-                    similarity: query.cosine(e),
+                    similarity: cosine_with_norms(q, q_norm, row, row_norm),
                 });
             }
         }
@@ -219,7 +265,7 @@ impl VectorIndex for IvfIndex {
     }
 
     fn len(&self) -> usize {
-        self.items.len()
+        self.slots.len()
     }
 
     /// Multi-query probe. The centroid table is scanned once for the
@@ -233,39 +279,55 @@ impl VectorIndex for IvfIndex {
         if queries.is_empty() {
             return Vec::new();
         }
-        if k == 0 || self.items.is_empty() {
+        if k == 0 || self.slots.is_empty() {
             return vec![Vec::new(); queries.len()];
         }
-        let query_norms: Vec<f64> = queries.iter().map(|q| q.norm()).collect();
+        let mut scratch = self.scratch.lock();
+        let scratch = &mut *scratch;
+        scratch.query_norms.clear();
+        scratch.query_norms.extend(queries.iter().map(|q| q.norm()));
         let mut sinks: Vec<Vec<SearchHit>> = vec![Vec::new(); queries.len()];
         if self.is_brute_force() {
             let selected: Vec<usize> = (0..queries.len()).collect();
-            let items: Vec<(ItemId, &Embedding)> =
-                self.items.iter().map(|(&id, e)| (id, e)).collect();
-            scan_blocked(queries, &query_norms, &selected, &items, &mut sinks);
+            let items: Vec<(ItemId, &[f32], f64)> = self
+                .slots
+                .iter()
+                .map(|(&id, &slot)| (id, self.slab.row(slot), self.slab.norm(slot)))
+                .collect();
+            scan_blocked(queries, &scratch.query_norms, &selected, &items, &mut sinks);
             return sinks.into_iter().map(|h| finalize_hits(h, k)).collect();
         }
         let model = self.model.as_ref().expect("checked by is_brute_force");
-        let probes = model.assign_top_n_batch(queries, self.config.nprobe.max(1));
+        let probes = model.assign_top_n_batch_with(
+            queries,
+            self.config.nprobe.max(1),
+            &mut scratch.centroid_dists,
+        );
         // Invert query -> probes into cluster -> probing queries so each
         // list is traversed once for the whole batch.
-        let mut probing: Vec<Vec<usize>> = vec![Vec::new(); self.lists.len()];
+        for p in scratch.probing.iter_mut() {
+            p.clear();
+        }
+        scratch.probing.resize(self.lists.len(), Vec::new());
         for (qi, ps) in probes.iter().enumerate() {
             for &c in ps {
-                probing[c].push(qi);
+                scratch.probing[c].push(qi);
             }
         }
-        for (c, qis) in probing.iter().enumerate() {
+        // One id -> row resolution per list member for the whole batch
+        // (the sequential path pays it per query); the gather buffer is
+        // reused across lists.
+        let mut items: Vec<(ItemId, &[f32], f64)> = Vec::new();
+        for (c, qis) in scratch.probing.iter().enumerate() {
             if qis.is_empty() || self.lists[c].is_empty() {
                 continue;
             }
-            // One id -> embedding resolution per list member for the
-            // whole batch (the sequential path pays it per query).
-            let items: Vec<(ItemId, &Embedding)> = self.lists[c]
-                .iter()
-                .map(|&id| (id, &self.items[&id]))
-                .collect();
-            scan_blocked(queries, &query_norms, qis, &items, &mut sinks);
+            items.clear();
+            items.extend(self.lists[c].iter().map(|&id| {
+                let slot = self.slots[&id];
+                (id, self.slab.row(slot), self.slab.norm(slot))
+            }));
+            scan_blocked(queries, &scratch.query_norms, qis, &items, &mut sinks);
         }
         sinks.into_iter().map(|h| finalize_hits(h, k)).collect()
     }

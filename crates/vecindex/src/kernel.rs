@@ -19,28 +19,31 @@
 //!   them, so each item vector is loaded once per *block* instead of
 //!   once per *query*.
 //! - **Item-major streaming**: within a block the loop is item-major —
-//!   the item's norm is hoisted and computed once, then the item is
-//!   scored against every query in the block while its cache lines are
-//!   hot.
+//!   the item is scored against every query in the block while its
+//!   cache lines are hot. Since the index moved to the
+//!   [`ic_embed::EmbeddingSlab`] arena, the streamed rows are
+//!   contiguous `f32` slices and each row's norm arrives pre-computed
+//!   (cached at insert time) instead of being reduced once per block.
 //! - **Norm hoisting**: per-query norms are computed once per batch and
-//!   per-item norms once per block, collapsing the three O(d)
+//!   per-item norms once per row lifetime, collapsing the three O(d)
 //!   reductions per pair down to the single dot product.
 //!
 //! # Byte-for-byte equivalence
 //!
 //! The kernel is a pure speedup: it performs *exactly* the float
 //! operations of [`Embedding::cosine`] for every `(query, item)` pair —
-//! `dot / (norm_q * norm_item)` with the same f64 accumulation order,
-//! the same zero-denominator guard, and the same `[-1, 1]` clamp.
-//! Norms and dot products are pure functions of their operands, so
-//! hoisting them out of the pair loop cannot change a single bit of any
-//! similarity, and [`crate::finalize_hits`]' `(similarity desc, id
-//! asc)` order is total over unique ids, so per-query results are
-//! independent of the order in which hits were accumulated. The
-//! `batch_equivalence` proptests pin this down against the sequential
-//! paths.
+//! `dot / (norm_q * norm_item)` with the same f64 accumulation order
+//! (via the shared [`ic_embed::cosine_with_norms`] reduction), the same
+//! zero-denominator guard, and the same `[-1, 1]` clamp. Norms and dot
+//! products are pure functions of their operands, so hoisting them out
+//! of the pair loop — or caching them in the slab across calls —
+//! cannot change a single bit of any similarity, and
+//! [`crate::finalize_hits`]' `(similarity desc, id asc)` order is total
+//! over unique ids, so per-query results are independent of the order
+//! in which hits were accumulated. The `batch_equivalence` proptests
+//! pin this down against the sequential paths.
 
-use ic_embed::Embedding;
+use ic_embed::{Embedding, cosine_with_norms};
 
 use crate::{ItemId, SearchHit};
 
@@ -48,44 +51,34 @@ use crate::{ItemId, SearchHit};
 /// resident alongside the streaming item lines.
 pub(crate) const QUERY_BLOCK: usize = 8;
 
-/// Cosine similarity with pre-computed norms — bit-identical to
-/// [`Embedding::cosine`], which evaluates
-/// `(q.dot(e) / (q.norm() * e.norm())).clamp(-1.0, 1.0)` with a zero
-/// check on the denominator.
-#[inline]
-fn cosine_with_norms(q: &Embedding, q_norm: f64, e: &Embedding, e_norm: f64) -> f64 {
-    let denom = q_norm * e_norm;
-    if denom == 0.0 {
-        return 0.0;
-    }
-    (q.dot(e) / denom).clamp(-1.0, 1.0)
-}
-
-/// Scores every selected query against every item, pushing one
+/// Scores every selected query against every item row, pushing one
 /// [`SearchHit`] per pair into that query's sink.
 ///
 /// `selected` indexes into `queries` / `query_norms` / `sinks` (the
 /// IVF path scores only the queries probing the current list; the flat
 /// path selects everything). `query_norms` must be
 /// `queries[i].norm()` for each `i` — callers hoist it once per batch.
+/// Each item is `(id, row components, row norm)` with the norm equal to
+/// `norm_slice(row)` — the slab serves it from its insert-time cache.
 pub(crate) fn scan_blocked(
     queries: &[&Embedding],
     query_norms: &[f64],
     selected: &[usize],
-    items: &[(ItemId, &Embedding)],
+    items: &[(ItemId, &[f32], f64)],
     sinks: &mut [Vec<SearchHit>],
 ) {
     debug_assert_eq!(queries.len(), query_norms.len());
     for block in selected.chunks(QUERY_BLOCK) {
-        for &(id, e) in items {
-            // Hoisted per item per block: every query in the block
-            // reuses the same reduction `Embedding::cosine` would have
-            // recomputed per pair.
-            let e_norm = e.norm();
+        for &(id, row, row_norm) in items {
             for &qi in block {
                 sinks[qi].push(SearchHit {
                     id,
-                    similarity: cosine_with_norms(queries[qi], query_norms[qi], e, e_norm),
+                    similarity: cosine_with_norms(
+                        queries[qi].as_slice(),
+                        query_norms[qi],
+                        row,
+                        row_norm,
+                    ),
                 });
             }
         }
@@ -94,14 +87,21 @@ pub(crate) fn scan_blocked(
 
 /// Squared Euclidean distances from every query to every centroid, in
 /// one item-major blocked pass — the shared centroid scan of the IVF
-/// batch probe. Returns `out[query][centroid]`, with each distance
+/// batch probe. Distances land in `out[query][centroid]`, with each
 /// computed by the same [`Embedding::sq_dist`] the sequential
-/// `assign_top_n` uses.
+/// `assign_top_n` uses. `out` is a caller-owned scratch buffer that is
+/// resized and overwritten here, so repeated probes reuse its rows
+/// instead of reallocating per batch.
 pub(crate) fn centroid_distances_blocked(
     queries: &[&Embedding],
     centroids: &[Embedding],
-) -> Vec<Vec<f64>> {
-    let mut out = vec![vec![0.0f64; centroids.len()]; queries.len()];
+    out: &mut Vec<Vec<f64>>,
+) {
+    out.resize(queries.len(), Vec::new());
+    for row in out.iter_mut() {
+        row.clear();
+        row.resize(centroids.len(), 0.0f64);
+    }
     let all: Vec<usize> = (0..queries.len()).collect();
     for block in all.chunks(QUERY_BLOCK) {
         for (ci, c) in centroids.iter().enumerate() {
@@ -110,7 +110,6 @@ pub(crate) fn centroid_distances_blocked(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -129,7 +128,10 @@ mod tests {
             .collect();
         let qrefs: Vec<&Embedding> = queries.iter().collect();
         let qnorms: Vec<f64> = queries.iter().map(Embedding::norm).collect();
-        let irefs: Vec<(ItemId, &Embedding)> = items.iter().map(|(id, e)| (*id, e)).collect();
+        let irefs: Vec<(ItemId, &[f32], f64)> = items
+            .iter()
+            .map(|(id, e)| (*id, e.as_slice(), e.norm()))
+            .collect();
         let selected: Vec<usize> = (0..queries.len()).collect();
         let mut sinks = vec![Vec::new(); queries.len()];
         scan_blocked(&qrefs, &qnorms, &selected, &irefs, &mut sinks);
@@ -147,7 +149,13 @@ mod tests {
         let q = Embedding::zeros(4);
         let e = Embedding::from_vec(vec![1.0, 0.0, 0.0, 0.0]);
         let mut sinks = vec![Vec::new()];
-        scan_blocked(&[&q], &[q.norm()], &[0], &[(7, &e)], &mut sinks);
+        scan_blocked(
+            &[&q],
+            &[q.norm()],
+            &[0],
+            &[(7, e.as_slice(), e.norm())],
+            &mut sinks,
+        );
         assert_eq!(sinks[0][0].similarity, 0.0);
     }
 
@@ -161,8 +169,11 @@ mod tests {
             .map(|_| Embedding::gaussian(16, 1.0, &mut rng))
             .collect();
         let qrefs: Vec<&Embedding> = queries.iter().collect();
-        let d = centroid_distances_blocked(&qrefs, &centroids);
+        let mut d = vec![vec![1.0; 50]; 2]; // Dirty scratch must be overwritten.
+        centroid_distances_blocked(&qrefs, &centroids, &mut d);
+        assert_eq!(d.len(), queries.len());
         for (qi, row) in d.iter().enumerate() {
+            assert_eq!(row.len(), centroids.len());
             for (ci, &dist) in row.iter().enumerate() {
                 assert_eq!(
                     dist.to_bits(),

@@ -55,10 +55,24 @@ impl KMeansModel {
     /// values, sorted with the same stable comparator, so probe sets and
     /// their order are byte-identical to the sequential path.
     pub fn assign_top_n_batch(&self, queries: &[&Embedding], n: usize) -> Vec<Vec<usize>> {
-        crate::kernel::centroid_distances_blocked(queries, &self.centroids)
-            .into_iter()
+        let mut scratch = Vec::new();
+        self.assign_top_n_batch_with(queries, n, &mut scratch)
+    }
+
+    /// [`Self::assign_top_n_batch`] with a caller-owned distance scratch
+    /// buffer, so a hot probe loop reuses its `Q x K` distance rows
+    /// across batches instead of reallocating them per call.
+    pub fn assign_top_n_batch_with(
+        &self,
+        queries: &[&Embedding],
+        n: usize,
+        dist_scratch: &mut Vec<Vec<f64>>,
+    ) -> Vec<Vec<usize>> {
+        crate::kernel::centroid_distances_blocked(queries, &self.centroids, dist_scratch);
+        dist_scratch
+            .iter()
             .map(|row| {
-                let mut dists: Vec<(usize, f64)> = row.into_iter().enumerate().collect();
+                let mut dists: Vec<(usize, f64)> = row.iter().copied().enumerate().collect();
                 dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
                 dists.truncate(n);
                 dists.into_iter().map(|(i, _)| i).collect()
