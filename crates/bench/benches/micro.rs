@@ -171,6 +171,7 @@ fn bench_serving_step(c: &mut Criterion) {
                     prefill_tokens: 200,
                     decode_tokens: 150,
                     priority: 0,
+                    share: None,
                 })
                 .collect();
             black_box(cluster.run(jobs))
@@ -218,11 +219,55 @@ fn bench_kvmem(c: &mut Criterion) {
                     prefill_tokens: 200,
                     decode_tokens: 150,
                     priority: 0,
+                    share: None,
                 })
                 .collect();
             let results = cluster.run(jobs);
             black_box((results.len(), cluster.kv_stats()))
         })
+    });
+    g.finish();
+}
+
+fn bench_kv_sharing(c: &mut Criterion) {
+    // Private vs shared allocation churn on a shared-prefix-heavy job
+    // mix: bursts of 8 concurrent jobs each inject the same 64-token
+    // example set (4 blocks of 16). With `kv_share` on, 7 of every 8
+    // sequences map the burst leader's hash-consed prefix blocks
+    // instead of allocating private copies, so the shared run does
+    // strictly less allocator work at identical traffic.
+    let run = |share: bool| {
+        let mut cfg = PoolConfig::for_gpus("m", 4, 1, 8);
+        cfg.preempt_decode_quantum = 0;
+        cfg.kv_block_tokens = 16;
+        cfg.kv_budget_blocks = 256;
+        cfg.kv_share = share;
+        let mut cluster = ClusterSim::new(vec![cfg]);
+        let jobs: Vec<ic_serving::JobSpec> = (0..128u64)
+            .map(|i| ic_serving::JobSpec {
+                id: ic_serving::JobId(i),
+                pool: 0,
+                arrival: ic_desim::SimTime::from_secs_f64((i / 8) as f64 * 0.5),
+                ttft_secs: 0.1,
+                decode_secs: 1.5,
+                prefill_tokens: 200,
+                decode_tokens: 60,
+                priority: 0,
+                share: Some(ic_serving::SharedPrefix {
+                    set: i / 8,
+                    tokens: 64,
+                }),
+            })
+            .collect();
+        let results = cluster.run(jobs);
+        (results.len(), cluster.kv_stats())
+    };
+    let mut g = c.benchmark_group("kv_sharing");
+    g.bench_function("private_churn_16x8_bursts", |b| {
+        b.iter(|| black_box(run(false)))
+    });
+    g.bench_function("shared_churn_16x8_bursts", |b| {
+        b.iter(|| black_box(run(true)))
     });
     g.finish();
 }
@@ -302,6 +347,7 @@ criterion_group!(
     bench_knapsack,
     bench_serving_step,
     bench_kvmem,
+    bench_kv_sharing,
     bench_generation,
     bench_replay
 );

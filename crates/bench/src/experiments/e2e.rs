@@ -79,8 +79,17 @@ fn online_run(
     // feedback all happen inside the simulation clock (the other policies
     // have no load-adaptive logic, so they keep the replay path below).
     if matches!(policy, Policy::IcCache) {
+        // `IC_SHARE_BURST` reshapes only this engine run — the policy
+        // the KV-sharing knobs act on. Baseline policies keep the
+        // natural trace, so treat burst runs as IC-Cache scheduler
+        // sweeps, not controlled policy comparisons.
+        let mut requests = requests;
+        let mut arrivals = arrivals.to_vec();
+        if let Some(burst) = crate::env::parse_env::<usize>("IC_SHARE_BURST") {
+            burst_workload(&mut requests, &mut arrivals, burst);
+        }
         let mut engine = EventDrivenEngine::new(setup.system, engine_config());
-        let report = engine.serve_workload(&requests, arrivals);
+        let report = engine.serve_workload(&requests, &arrivals);
         return online_run_from_engine(name, report, reference_large, judge, &mut rng);
     }
 
@@ -287,6 +296,19 @@ fn online_run_from_engine(
 /// - `IC_KV_HOST_BLOCKS` — host (CPU) blocks swapped-out KV state may
 ///   occupy (`0` = unbounded); overflowing victims are evicted
 ///   recompute-priced
+/// - `IC_KV_SHARE` — shared-prefix KV reuse (`1` = on, default off).
+///   Requests carrying the same injected example set map the same
+///   hash-consed physical blocks for the shared prefix and
+///   copy-on-write at divergence; the report's `kv` block gains
+///   non-zero `dedup_ratio`/`shared_blocks_peak`/`cow_copies`/
+///   `blocks_saved`. With the knob off the allocator is untouched and
+///   `BENCH_e2e.json` is byte-identical to the pre-sharing engine
+///   (CI-enforced).
+/// - `IC_SHARE_BURST` — reshapes the trace into a shared-prefix-heavy
+///   workload: every `n` consecutive arrivals land at one instant
+///   carrying the same request, hence the same example set (`0`/`1` =
+///   natural trace, which almost never repeats a set). Combine with
+///   `IC_KV_SHARE=1` to see non-zero dedup counters.
 /// - `IC_ROUTER_REPLICAS` — router replicas in the front-end tier.
 ///   Unset/`1` is the single-router topology and reproduces the
 ///   no-replication `BENCH_e2e.json` byte-for-byte except the report's
@@ -334,6 +356,9 @@ pub fn engine_config() -> EngineConfig {
     if let Some(host) = parse_env::<u32>("IC_KV_HOST_BLOCKS") {
         config.kv_swap.host_capacity_blocks = host;
     }
+    if let Some(share) = parse_env::<u8>("IC_KV_SHARE") {
+        config.kv_share = share != 0;
+    }
     if let Some(replicas) = parse_env::<usize>("IC_ROUTER_REPLICAS") {
         config.router_replicas = replicas.max(1);
     }
@@ -357,6 +382,64 @@ pub fn engine_e2e_run(scale: Scale, dataset: Dataset) -> EngineReport {
     engine.serve_workload(&requests, &arrivals)
 }
 
+/// [`engine_e2e_run`] with an explicit [`EngineConfig`] instead of the
+/// environment-derived [`engine_config`]. Used by the golden tests to
+/// exercise knobs (e.g. `kv_share`) without racing on process-global
+/// environment variables.
+pub fn engine_e2e_run_with(scale: Scale, dataset: Dataset, config: EngineConfig) -> EngineReport {
+    let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
+    let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
+    let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
+    setup.warm_up(scale.count(5_000, 300));
+    let requests = setup.generator.generate_requests(arrivals.len());
+    let mut engine = EventDrivenEngine::new(setup.system, config);
+    engine.serve_workload(&requests, &arrivals)
+}
+
+/// Reshapes a request stream into a shared-prefix-heavy workload:
+/// every run of `burst` consecutive arrivals collapses onto the run's
+/// first arrival instant, all carrying the run's first *request* — so
+/// the selector hands each burst member the identical example set and
+/// the KV pools see `burst` concurrent sequences sharing one prefix.
+/// Traffic volume is unchanged (same request count, same trace span);
+/// `burst < 2` is a no-op. The natural trace almost never repeats an
+/// example set (selections are query-specific), so this is the
+/// workload shape that actually exercises `kv_share` — env knob
+/// `IC_SHARE_BURST` in the bench binaries.
+pub fn burst_workload(requests: &mut [ic_llmsim::Request], arrivals: &mut [f64], burst: usize) {
+    if burst < 2 {
+        return;
+    }
+    for i in 0..requests.len() {
+        let head = i - i % burst;
+        if head != i {
+            requests[i] = requests[head].clone();
+            arrivals[i] = arrivals[head];
+        }
+    }
+}
+
+/// A shared-prefix-heavy e2e run: [`engine_e2e_run_with`] over the
+/// [`burst_workload`]-reshaped trace. This is the acceptance workload
+/// for shared-prefix KV reuse — with `config.kv_share` on the report's
+/// `kv` block shows a positive `dedup_ratio` and a strictly lower
+/// `peak_occupancy` than the share-off run at identical traffic.
+pub fn engine_e2e_shared_run(
+    scale: Scale,
+    dataset: Dataset,
+    burst: usize,
+    config: EngineConfig,
+) -> EngineReport {
+    let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
+    let mut arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
+    let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
+    setup.warm_up(scale.count(5_000, 300));
+    let mut requests = setup.generator.generate_requests(arrivals.len());
+    burst_workload(&mut requests, &mut arrivals, burst);
+    let mut engine = EventDrivenEngine::new(setup.system, config);
+    engine.serve_workload(&requests, &arrivals)
+}
+
 /// The pieces of [`engine_e2e_run`], pre-replay: the seeded engine, the
 /// request stream, and the arrival trace. Lets callers time the replay
 /// itself (`serve_workload`) without the workload-generation and
@@ -371,7 +454,11 @@ pub fn engine_e2e_parts(
     let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
     let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
     setup.warm_up(scale.count(5_000, 300));
-    let requests = setup.generator.generate_requests(arrivals.len());
+    let mut requests = setup.generator.generate_requests(arrivals.len());
+    let mut arrivals = arrivals;
+    if let Some(burst) = crate::env::parse_env::<usize>("IC_SHARE_BURST") {
+        burst_workload(&mut requests, &mut arrivals, burst);
+    }
     let engine = EventDrivenEngine::new(setup.system, engine_config());
     (engine, requests, arrivals)
 }

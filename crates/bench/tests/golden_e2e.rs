@@ -19,7 +19,8 @@
 //! and would — correctly — fail the comparison).
 
 use ic_bench::Scale;
-use ic_bench::experiments::e2e::engine_e2e_run;
+use ic_bench::experiments::e2e::{engine_e2e_run, engine_e2e_run_with, engine_e2e_shared_run};
+use ic_engine::EngineConfig;
 use ic_workloads::Dataset;
 
 const GOLDEN_PATH: &str = concat!(
@@ -35,6 +36,29 @@ const PREROUTER_GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/BENCH_e2e.quick.prerouter.json"
 );
+
+/// The quick-scale payload as the engine produced it *before* the
+/// shared-prefix KV-reuse layer (no `dedup_ratio`/`shared_blocks_peak`/
+/// `cow_copies`/`blocks_saved` tail in the `kv` block). Frozen — never
+/// reblessed — so the share-off engine's equivalence with the
+/// pre-sharing engine stays pinned to the actual historical bytes.
+const PRESHARE_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/BENCH_e2e.quick.preshare.json"
+);
+
+/// Strips the dedup tail (the four sharing counters appended to the end
+/// of the `kv` block) so payloads can be compared against pre-sharing
+/// goldens. Mirrors CI's `sed 's/,"dedup_ratio":[^}]*}}/}}/'`.
+fn strip_dedup_tail(json: &str) -> String {
+    let start = json.find(",\"dedup_ratio\":").expect("dedup tail present");
+    assert!(
+        json[start..].ends_with("}}"),
+        "dedup fields must sit at the end of the kv block (the report's \
+         last fields) so a single splice masks them"
+    );
+    format!("{}}}}}", &json[..start])
+}
 
 #[test]
 fn quick_e2e_report_matches_golden() {
@@ -67,7 +91,7 @@ fn quick_e2e_masked_of_router_block_matches_prerouter_golden() {
     if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
         return; // Blessing the sibling golden; this one never reblesses.
     }
-    let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
+    let json = strip_dedup_tail(&engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json());
     let start = json.find("\"router\":{").expect("router block present");
     let end = start + json[start..].find('}').expect("router block closes") + 2;
     let masked = format!("{}{}", &json[..start], &json[end..]);
@@ -78,5 +102,112 @@ fn quick_e2e_masked_of_router_block_matches_prerouter_golden() {
         golden.trim_end(),
         "the single-replica engine drifted from the pre-refactor bytes \
          outside the router block"
+    );
+}
+
+/// The KV-sharing acceptance pin: with `kv_share` off (the default),
+/// the engine's output masked of the appended dedup tail must match
+/// the *pre-sharing* golden byte for byte. Frozen history — if this
+/// test fails, the refcounted block tables stopped being inert with
+/// sharing off (free-list order, pricing, or scheduling drifted).
+#[test]
+fn quick_e2e_masked_of_dedup_tail_matches_preshare_golden() {
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        return; // Blessing the sibling golden; this one never reblesses.
+    }
+    let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
+    let masked = strip_dedup_tail(&json);
+    let golden = std::fs::read_to_string(PRESHARE_GOLDEN_PATH)
+        .expect("frozen pre-sharing golden exists (never regenerate it)");
+    assert_eq!(
+        masked,
+        golden.trim_end(),
+        "the share-off engine drifted from the pre-sharing bytes outside \
+         the kv block's dedup tail"
+    );
+}
+
+/// Sharing on the *natural* quick trace is inert: example-set repeats
+/// exist (the selection cache re-serves popular sets) but almost never
+/// overlap in time, and content-table entries die with their blocks —
+/// so nothing maps and the share-on report is byte-identical to the
+/// share-off run. The knob only pays on overlapping traffic, which is
+/// exactly what makes it safe to leave on.
+#[test]
+fn quick_e2e_kv_share_is_byte_inert_on_the_natural_trace() {
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        return;
+    }
+    let on = engine_e2e_run_with(
+        Scale::quick(),
+        Dataset::MsMarco,
+        EngineConfig {
+            kv_share: true,
+            ..EngineConfig::default()
+        },
+    );
+    let off = engine_e2e_run_with(Scale::quick(), Dataset::MsMarco, EngineConfig::default());
+    assert_eq!(
+        on.to_json(),
+        off.to_json(),
+        "no two requests with the same example set are concurrently \
+         resident on the natural quick trace, so sharing must map \
+         nothing and perturb nothing"
+    );
+    assert_eq!(on.kv.blocks_saved, 0);
+}
+
+/// The acceptance workload: every 8 consecutive arrivals collapse onto
+/// one instant carrying the same request (≥ 8 concurrent sequences per
+/// example set). With `kv_share` on the replay must be (a)
+/// deterministic across runs, (b) actually deduplicating
+/// (`dedup_ratio > 0`), and (c) strictly lighter on memory than the
+/// share-off run at identical traffic (`peak_occupancy` and `allocs`
+/// both undercut it).
+#[test]
+fn quick_e2e_kv_share_deduplicates_on_shared_prefix_bursts() {
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        return;
+    }
+    let config = EngineConfig {
+        kv_share: true,
+        ..EngineConfig::default()
+    };
+    let a = engine_e2e_shared_run(Scale::quick(), Dataset::MsMarco, 8, config.clone());
+    let b = engine_e2e_shared_run(Scale::quick(), Dataset::MsMarco, 8, config);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "kv_share=1 burst replay must be deterministic"
+    );
+
+    let off = engine_e2e_shared_run(Scale::quick(), Dataset::MsMarco, 8, EngineConfig::default());
+    assert!(
+        a.kv.blocks_saved > 0,
+        "8-way bursts of one request must map prefix blocks \
+         (got blocks_saved=0)"
+    );
+    assert!(
+        a.kv.dedup_ratio() > 0.0,
+        "dedup_ratio must be positive when blocks were saved"
+    );
+    assert!(
+        a.kv.shared_blocks_peak > 0,
+        "burst members are concurrently resident, so some block must \
+         have been shared at its peak"
+    );
+    assert!(
+        a.kv.peak_occupancy() < off.kv.peak_occupancy(),
+        "dedup must strictly lower peak occupancy at identical traffic: \
+         share-on {} vs share-off {}",
+        a.kv.peak_occupancy(),
+        off.kv.peak_occupancy()
+    );
+    assert!(
+        a.kv.allocs < off.kv.allocs,
+        "every saved block is an allocation the share-off run performed: \
+         share-on allocs ({}) must undercut share-off allocs ({})",
+        a.kv.allocs,
+        off.kv.allocs
     );
 }

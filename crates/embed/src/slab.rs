@@ -24,6 +24,25 @@ use crate::vector::{Embedding, norm_slice};
 /// Contiguous storage for fixed-dimension embedding rows with cached
 /// per-row norms and free-list slot reuse.
 ///
+/// This is the backing store of `ic_vecindex::IvfIndex`'s posting
+/// lists — the single-thread hot path of stage-1 selection — and the
+/// reason a candidate scan costs one dot product plus two cached norms
+/// per item with no pointer chasing.
+///
+/// Invariants the callers lean on:
+///
+/// - **Fixed dimension.** The first [`insert`](Self::insert) fixes the
+///   row width; inserting a row of any other width panics (a
+///   dimension mix-up is an indexing bug, never data).
+/// - **Stable slots.** A slot returned by `insert` addresses the same
+///   row until [`remove`](Self::remove)d; removal parks the slot on a
+///   free list (LIFO) for reuse and never moves surviving rows, so
+///   external id → slot maps stay valid across churn.
+/// - **Bitwise norm determinism.** [`norm`](Self::norm) returns
+///   exactly what `norm_slice` computed at insert time, which is
+///   bit-identical to recomputing it per visit — caching is a pure
+///   speedup, invisible to the byte-determinism contract.
+///
 /// # Examples
 ///
 /// ```

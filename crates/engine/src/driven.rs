@@ -5,8 +5,10 @@ use ic_cache::{IcCacheSystem, Selection, ServeOutcome};
 use ic_desim::{Periodic, SimDuration, SimTime, Simulator};
 use ic_llmsim::{ExampleId, ModelId, Request};
 use ic_serving::{
-    ChainStep, IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig, Watermarks,
+    ChainStep, IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig,
+    SharedPrefix, Watermarks,
 };
+use ic_stats::split_mix64;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -97,6 +99,15 @@ pub struct EngineConfig {
     /// Swap-vs-recompute pricing for pressure preemptions, plus the
     /// host-side swap capacity (`KvSwap::host_capacity_blocks`).
     pub kv_swap: KvSwap,
+    /// Shared-prefix KV reuse (env `IC_KV_SHARE` in the bench
+    /// binaries). When on, every served request carries the identity of
+    /// its injected example set and the pools hash-cons the KV blocks
+    /// covering that prefix: concurrent requests handed the same
+    /// example set map the same physical blocks instead of allocating
+    /// copies, and the first write past the prefix copy-on-writes the
+    /// diverging block. Off (the default) the allocator is untouched
+    /// and the report is byte-identical to the pre-sharing engine.
+    pub kv_share: bool,
     /// Router replicas in the front-end tier. `1` (the default) is the
     /// pre-refactor topology — one router owning every request — and is
     /// byte-identical to it modulo the report's `router` stats block.
@@ -144,6 +155,7 @@ impl Default for EngineConfig {
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
             kv_swap: KvSwap::DEFAULT,
+            kv_share: false,
             router_replicas: 1,
             gossip_period_s: 5.0,
             pool_outages: Vec::new(),
@@ -326,6 +338,7 @@ impl EventDrivenEngine {
             pc.kv_budget_blocks = config.kv_budget_blocks;
             pc.kv_watermarks = config.kv_watermarks;
             pc.kv_swap = config.kv_swap;
+            pc.kv_share = config.kv_share;
             pool_configs.push(pc);
         }
         Self {
@@ -356,6 +369,36 @@ fn pool_index(model_pools: &[(ModelId, usize)], model: ModelId) -> usize {
         .expect("routed model has a pool")
 }
 
+/// The shareable example-set prefix of a served request's prompt, or
+/// `None` when sharing is off or no injected examples survived the
+/// context-window fit. The set identity is a deterministic
+/// `split_mix64` fold over the *kept* example ids in prompt order —
+/// two requests handed the same examples in the same order (the common
+/// case when concurrent requests hit the same selector entries) hash
+/// to the same set and so map the same hash-consed KV blocks; the
+/// prefix length is the tokens the template + examples occupy.
+fn shared_prefix_of(out: &ServeOutcome, enabled: bool) -> Option<SharedPrefix> {
+    if !enabled || out.outcome.example_tokens == 0 {
+        return None;
+    }
+    let kept = out
+        .selection
+        .ids
+        .len()
+        .saturating_sub(out.outcome.examples_dropped as usize);
+    if kept == 0 {
+        return None;
+    }
+    let mut set = 0x1C_CAC4E_u64; // domain tag: "IC-Cache" prefix sets
+    for id in &out.selection.ids[..kept] {
+        set = split_mix64(set ^ id.0);
+    }
+    Some(SharedPrefix {
+        set,
+        tokens: out.outcome.example_tokens,
+    })
+}
+
 /// The post-selection tail of one arrival, shared by the sequential and
 /// windowed paths: record the decision, offer the job to its routed
 /// pool (arming the step event on an idle-pool start), and fold the
@@ -367,6 +410,7 @@ fn pool_index(model_pools: &[(ModelId, usize)], model: ModelId) -> usize {
 fn admit_arrival(
     i: usize,
     out: &ServeOutcome,
+    kv_share: bool,
     at: SimTime,
     now: f64,
     sim: &mut Simulator<Event>,
@@ -405,6 +449,7 @@ fn admit_arrival(
         prefill_tokens: out.outcome.input_tokens,
         decode_tokens: out.outcome.output_tokens,
         priority: 0,
+        share: shared_prefix_of(out, kv_share),
     };
     // Iteration-level admission: an idle pool starts the job (arming
     // its step event); a busy pool keeps it queued until the next step
@@ -718,6 +763,7 @@ impl ServingEngine for EventDrivenEngine {
                         admit_arrival(
                             i,
                             &out,
+                            config.kv_share,
                             at,
                             now,
                             &mut sim,
@@ -795,6 +841,7 @@ impl ServingEngine for EventDrivenEngine {
                             admit_arrival(
                                 i,
                                 &out,
+                                config.kv_share,
                                 at,
                                 now,
                                 &mut sim,
@@ -1050,6 +1097,7 @@ impl ServingEngine for EventDrivenEngine {
                                 prefill_tokens: out.outcome.input_tokens,
                                 decode_tokens: out.outcome.output_tokens,
                                 priority: 0,
+                                share: shared_prefix_of(&out, config.kv_share),
                             };
                             let offer = pools[retry_pool].lock().offer(job, at);
                             if offer == Offer::Rejected {

@@ -326,7 +326,9 @@ impl EngineReport {
                 "\"peak_occupancy\":{},\"mean_occupancy\":{},",
                 "\"pressure_preemptions\":{},\"swap_outs\":{},\"swap_ins\":{},",
                 "\"fragmentation\":{},\"allocs\":{},\"frees\":{},",
-                "\"host_peak_blocks\":{},\"recompute_fallbacks\":{}}}}}"
+                "\"host_peak_blocks\":{},\"recompute_fallbacks\":{},",
+                "\"dedup_ratio\":{},\"shared_blocks_peak\":{},",
+                "\"cow_copies\":{},\"blocks_saved\":{}}}}}"
             ),
             self.engine,
             self.served,
@@ -388,6 +390,10 @@ impl EngineReport {
             self.kv.frees,
             self.kv.host_peak_blocks,
             self.kv.recompute_fallbacks,
+            f6(self.kv.dedup_ratio()),
+            self.kv.shared_blocks_peak,
+            self.kv.cow_copies,
+            self.kv.blocks_saved,
         )
     }
 }
@@ -447,6 +453,10 @@ mod tests {
         r.kv.alloc_token_steps = 64;
         r.kv.host_peak_blocks = 12;
         r.kv.recompute_fallbacks = 2;
+        r.kv.allocs = 30;
+        r.kv.blocks_saved = 10;
+        r.kv.shared_blocks_peak = 5;
+        r.kv.cow_copies = 4;
         r.selector.batch_limit = 8;
         r.selector.batches = 6;
         r.selector.requests = 10;
@@ -486,6 +496,13 @@ mod tests {
         assert!(a.contains("\"pressure_preemptions\":3"));
         assert!(a.contains("\"fragmentation\":0.250000"));
         assert!(a.contains("\"host_peak_blocks\":12,\"recompute_fallbacks\":2"));
+        // The dedup fields sit at the END of the kv block so the CI
+        // masking pattern `,"dedup_ratio":...}` can strip them when
+        // comparing against pre-sharing goldens.
+        assert!(a.ends_with(
+            "\"dedup_ratio\":0.250000,\"shared_blocks_peak\":5,\
+             \"cow_copies\":4,\"blocks_saved\":10}}"
+        ));
         // Balanced braces (cheap well-formedness check without a parser).
         assert_eq!(a.matches('{').count(), a.matches('}').count());
     }

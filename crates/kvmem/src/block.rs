@@ -1,4 +1,7 @@
-//! The paged block allocator: per-replica budgets and pool-wide stats.
+//! The paged block allocator: per-replica budgets, refcounted sharing,
+//! and pool-wide stats.
+
+use std::collections::BTreeMap;
 
 /// A physical KV block: `(replica, index)` within that replica's budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -10,8 +13,17 @@ pub struct BlockId {
 }
 
 /// One replica's KV memory: a fixed budget of blocks with a LIFO free
-/// list (freed blocks are reused first, like vLLM's block allocator) and
-/// strict accounting.
+/// list (freed blocks are reused first, like vLLM's block allocator),
+/// a per-block reference count for shared-prefix mappings, and strict
+/// accounting.
+///
+/// A freshly allocated block has refcount 1 (its allocator holds the
+/// only reference). Additional sequences mapping the block through the
+/// pool's content table take extra references ([`KvBudget::incref`]);
+/// [`KvBudget::free_block`] drops one reference and returns the block
+/// to the free list only when the count reaches zero. With no sharing
+/// in play every count is 1 and the budget behaves bit-for-bit like a
+/// plain allocator.
 #[derive(Debug, Clone)]
 pub struct KvBudget {
     replica: u32,
@@ -19,6 +31,9 @@ pub struct KvBudget {
     free_list: Vec<u32>,
     /// Allocation bit per block: guards against double frees.
     allocated: Vec<bool>,
+    /// References held per block (`0` while free, `1` for a private
+    /// block, `>= 2` while shared between sequences).
+    refcount: Vec<u32>,
 }
 
 impl KvBudget {
@@ -30,6 +45,7 @@ impl KvBudget {
             // keeps allocation traces easy to read).
             free_list: (0..budget_blocks).rev().collect(),
             allocated: vec![false; budget_blocks as usize],
+            refcount: vec![0; budget_blocks as usize],
         }
     }
 
@@ -48,8 +64,8 @@ impl KvBudget {
         self.budget() - self.free()
     }
 
-    /// Allocates `n` blocks, or `None` (and no change) if fewer are
-    /// free. Freed blocks are reused LIFO.
+    /// Allocates `n` blocks (each at refcount 1), or `None` (and no
+    /// change) if fewer are free. Freed blocks are reused LIFO.
     pub fn try_alloc(&mut self, n: u32) -> Option<Vec<BlockId>> {
         if self.free() < n {
             return None;
@@ -59,6 +75,7 @@ impl KvBudget {
             let index = self.free_list.pop().expect("free count checked");
             debug_assert!(!self.allocated[index as usize], "free list corrupt");
             self.allocated[index as usize] = true;
+            self.refcount[index as usize] = 1;
             out.push(BlockId {
                 replica: self.replica,
                 index,
@@ -67,18 +84,49 @@ impl KvBudget {
         Some(out)
     }
 
-    /// Returns one block to the free list.
+    /// Takes an extra reference on an allocated block (a shared-prefix
+    /// mapping). Returns the new count.
     ///
     /// # Panics
     ///
-    /// Panics on a double free or a foreign block — both are allocator
-    /// bugs the conservation tests must surface, never mask.
-    pub fn free_block(&mut self, block: BlockId) {
+    /// Panics when the block is free or foreign — mapping a block
+    /// nobody holds is a sharing-layer bug.
+    pub fn incref(&mut self, block: BlockId) -> u32 {
+        assert_eq!(block.replica, self.replica, "incref on wrong replica");
+        assert!(
+            self.allocated[block.index as usize],
+            "incref of free {block:?}"
+        );
+        self.refcount[block.index as usize] += 1;
+        self.refcount[block.index as usize]
+    }
+
+    /// References currently held on a block (`0` while free).
+    pub fn refcount(&self, block: BlockId) -> u32 {
+        self.refcount[block.index as usize]
+    }
+
+    /// Drops one reference; at zero the block returns to the free list.
+    /// Returns `true` when the block was physically freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free (releasing a block already free) or a
+    /// foreign block — both are allocator bugs the conservation tests
+    /// must surface, never mask.
+    pub fn free_block(&mut self, block: BlockId) -> bool {
         assert_eq!(block.replica, self.replica, "block freed to wrong replica");
         let slot = &mut self.allocated[block.index as usize];
         assert!(*slot, "double free of {block:?}");
+        let rc = &mut self.refcount[block.index as usize];
+        debug_assert!(*rc > 0, "allocated block with zero refcount");
+        *rc -= 1;
+        if *rc > 0 {
+            return false;
+        }
         *slot = false;
         self.free_list.push(block.index);
+        true
     }
 }
 
@@ -122,6 +170,18 @@ pub struct KvStats {
     /// Victims evicted recompute-priced because host swap space was
     /// exhausted (see `KvSwap::host_capacity_blocks`).
     pub recompute_fallbacks: u64,
+    /// Logical blocks served by mapping an existing shared-prefix block
+    /// from the content table instead of allocating a fresh one — the
+    /// dedup numerator (each map is one block of KV memory *not* spent).
+    pub blocks_saved: u64,
+    /// Peak simultaneous physical blocks shared between two or more
+    /// sequences (refcount >= 2; summed across pools when merged, so the
+    /// merged value is an upper bound on the true simultaneous peak).
+    pub shared_blocks_peak: u64,
+    /// Copy-on-write divergences: private replacement blocks allocated
+    /// when a sequence wrote past its shared prefix into a block other
+    /// sequences still read.
+    pub cow_copies: u64,
 }
 
 impl KvStats {
@@ -155,6 +215,19 @@ impl KvStats {
         }
     }
 
+    /// Fraction of logical block demand served by shared-prefix
+    /// mappings instead of fresh allocations:
+    /// `blocks_saved / (blocks_saved + allocs)`. `0` with sharing off
+    /// (or when no prefix ever hit the content table).
+    pub fn dedup_ratio(&self) -> f64 {
+        let demand = self.blocks_saved + self.allocs;
+        if demand == 0 {
+            0.0
+        } else {
+            self.blocks_saved as f64 / demand as f64
+        }
+    }
+
     /// Accumulates another pool's counters into this one.
     pub fn merge(&mut self, other: &KvStats) {
         self.steps += other.steps;
@@ -171,11 +244,37 @@ impl KvStats {
         self.alloc_token_steps += other.alloc_token_steps;
         self.host_peak_blocks += other.host_peak_blocks;
         self.recompute_fallbacks += other.recompute_fallbacks;
+        self.blocks_saved += other.blocks_saved;
+        self.shared_blocks_peak += other.shared_blocks_peak;
+        self.cow_copies += other.cow_copies;
     }
 }
 
+/// What [`BlockPool::diverge`] did about a write into a shared-prefix
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Divergence {
+    /// The writer held the only reference: the block was unregistered
+    /// from the content table and the sequence keeps writing in place
+    /// (no copy, no allocation).
+    InPlace,
+    /// Other sequences still read the block: a private replacement was
+    /// allocated (copy-on-write) and the writer's reference on the
+    /// shared block released. The caller must point its logical block
+    /// table at the returned block.
+    Copied(BlockId),
+}
+
 /// The pool-wide allocator: one [`KvBudget`] per replica plus counters,
-/// and the host-side (CPU) ledger swapped-out victims park blocks in.
+/// the host-side (CPU) ledger swapped-out victims park blocks in, and
+/// the hash-consing **content table** for shared prefill prefixes.
+///
+/// The content table maps `(example-set id, chunk index)` to the
+/// physical block holding that chunk of the set's prefill KV state. It
+/// holds **no reference of its own**: entries live exactly as long as
+/// some sequence holds the block, and are removed the instant the last
+/// reference drops (so the table can never pin memory). `BTreeMap`
+/// keeps iteration deterministic.
 #[derive(Debug, Clone)]
 pub struct BlockPool {
     block_tokens: u32,
@@ -184,6 +283,15 @@ pub struct BlockPool {
     host_capacity: u32,
     /// Host blocks currently parked by swapped-out sequences.
     host_used: u32,
+    /// `(example-set id, prefill chunk index)` -> the physical block
+    /// hash-consing that chunk's KV content.
+    content: BTreeMap<(u64, u32), BlockId>,
+    /// Reverse index of `content` so a block's table entry can be
+    /// dropped in O(log n) when it is physically freed.
+    registered: BTreeMap<BlockId, (u64, u32)>,
+    /// Physical blocks currently shared (refcount >= 2); feeds
+    /// `shared_blocks_peak`.
+    shared_now: u32,
     stats: KvStats,
 }
 
@@ -206,6 +314,9 @@ impl BlockPool {
                 .collect(),
             host_capacity: 0,
             host_used: 0,
+            content: BTreeMap::new(),
+            registered: BTreeMap::new(),
+            shared_now: 0,
             stats: KvStats {
                 total_blocks: u64::from(replicas) * u64::from(budget_blocks),
                 ..KvStats::default()
@@ -279,16 +390,132 @@ impl BlockPool {
         Some(blocks)
     }
 
-    /// Frees a set of blocks back to their owning replicas.
+    /// Releases one reference per block back to the owning replicas.
+    ///
+    /// Equivalent to [`BlockPool::release`] with the freed count
+    /// discarded; with no sharing in play (every refcount 1) this is a
+    /// plain free of every block.
     ///
     /// # Panics
     ///
     /// Panics on double frees (see [`KvBudget::free_block`]).
     pub fn free(&mut self, blocks: impl IntoIterator<Item = BlockId>) {
+        self.release(blocks);
+    }
+
+    /// Releases one reference per block and returns how many blocks
+    /// were **physically** freed (refcount reached zero). Blocks other
+    /// sequences still reference stay resident; a freed block's content
+    /// table entry (if any) is removed, so the table never outlives the
+    /// memory it names.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double frees (see [`KvBudget::free_block`]).
+    pub fn release(&mut self, blocks: impl IntoIterator<Item = BlockId>) -> u32 {
+        let mut freed = 0u32;
         for b in blocks {
-            self.replicas[b.replica as usize].free_block(b);
-            self.stats.frees += 1;
+            let budget = &mut self.replicas[b.replica as usize];
+            if budget.refcount(b) == 2 {
+                self.shared_now -= 1;
+            }
+            if budget.free_block(b) {
+                if let Some(key) = self.registered.remove(&b) {
+                    self.content.remove(&key);
+                }
+                self.stats.frees += 1;
+                freed += 1;
+            }
         }
+        freed
+    }
+
+    /// References currently held on a block (`0` while free).
+    pub fn refcount(&self, block: BlockId) -> u32 {
+        self.replicas[block.replica as usize].refcount(block)
+    }
+
+    /// Whether a block backs a content-table entry.
+    pub fn is_registered(&self, block: BlockId) -> bool {
+        self.registered.contains_key(&block)
+    }
+
+    /// Physical blocks currently shared between sequences (refcount
+    /// >= 2).
+    pub fn shared_blocks(&self) -> u32 {
+        self.shared_now
+    }
+
+    /// The block hash-consing prefill chunk `chunk` of example set
+    /// `set`, if one is resident.
+    pub fn lookup_prefix(&self, set: u64, chunk: u32) -> Option<BlockId> {
+        self.content.get(&(set, chunk)).copied()
+    }
+
+    /// Registers an allocated block as the hash-consed home of `(set,
+    /// chunk)`. First writer wins: an existing entry for the key, or an
+    /// existing key for the block, leaves the table unchanged (returns
+    /// `false`). The entry holds no reference — it dies with the block.
+    pub fn register_prefix(&mut self, set: u64, chunk: u32, block: BlockId) -> bool {
+        if self.content.contains_key(&(set, chunk)) || self.registered.contains_key(&block) {
+            return false;
+        }
+        debug_assert!(
+            self.replicas[block.replica as usize].refcount(block) > 0,
+            "registering a free block"
+        );
+        self.content.insert((set, chunk), block);
+        self.registered.insert(block, (set, chunk));
+        true
+    }
+
+    /// Maps a sequence onto an existing shared-prefix block: takes a
+    /// reference and counts the block of KV memory saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block is free (a stale content-table read — the
+    /// table drops entries at physical free, so this is unreachable
+    /// through [`BlockPool::lookup_prefix`]).
+    pub fn map_shared(&mut self, block: BlockId) {
+        let rc = self.replicas[block.replica as usize].incref(block);
+        self.stats.blocks_saved += 1;
+        if rc == 2 {
+            self.shared_now += 1;
+            self.stats.shared_blocks_peak = self
+                .stats
+                .shared_blocks_peak
+                .max(u64::from(self.shared_now));
+        }
+    }
+
+    /// Resolves a write into a shared-prefix block (the writer's first
+    /// token past the shared prefix, or a differing prefill chunk).
+    ///
+    /// - Sole holder: the block is unregistered from the content table
+    ///   and kept — writing proceeds in place
+    ///   ([`Divergence::InPlace`]; no copy is charged).
+    /// - Shared: a private replacement is allocated on the same
+    ///   replica, the writer's reference released, and the copy counted
+    ///   ([`Divergence::Copied`]). Other readers keep the original and
+    ///   the table keeps pointing at it.
+    ///
+    /// Returns `None` — with no state change — when a copy is needed
+    /// but the replica has no free block; the caller retries after its
+    /// next pressure round (the victim loop accounts copy-on-write
+    /// demand, so this is reachable only transiently).
+    pub fn diverge(&mut self, block: BlockId) -> Option<Divergence> {
+        let replica = block.replica as usize;
+        if self.replicas[replica].refcount(block) <= 1 {
+            if let Some(key) = self.registered.remove(&block) {
+                self.content.remove(&key);
+            }
+            return Some(Divergence::InPlace);
+        }
+        let fresh = self.try_alloc(replica, 1)?[0];
+        self.stats.cow_copies += 1;
+        self.release(std::iter::once(block));
+        Some(Divergence::Copied(fresh))
     }
 
     /// Records one scheduler step for the occupancy / fragmentation
@@ -480,6 +707,9 @@ mod tests {
             alloc_token_steps: 64,
             host_peak_blocks: 5,
             recompute_fallbacks: 2,
+            blocks_saved: 3,
+            shared_blocks_peak: 2,
+            cow_copies: 1,
         };
         a.merge(&a.clone());
         assert_eq!(a.steps, 4);
@@ -488,7 +718,11 @@ mod tests {
         assert_eq!(a.swap_outs, 2);
         assert_eq!(a.host_peak_blocks, 10);
         assert_eq!(a.recompute_fallbacks, 4);
+        assert_eq!(a.blocks_saved, 6);
+        assert_eq!(a.shared_blocks_peak, 4);
+        assert_eq!(a.cow_copies, 2);
         assert!((a.fragmentation_ratio() - (1.0 - 60.0 / 128.0)).abs() < 1e-12);
+        assert!((a.dedup_ratio() - 6.0 / 16.0).abs() < 1e-12);
     }
 
     #[test]
@@ -534,5 +768,89 @@ mod tests {
         assert_eq!(s.mean_occupancy(), 0.0);
         assert_eq!(s.peak_occupancy(), 0.0);
         assert_eq!(s.fragmentation_ratio(), 0.0);
+        assert_eq!(s.dedup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn shared_mapping_saves_blocks_and_conserves_refs() {
+        let mut pool = BlockPool::new(1, 8, 16);
+        // Owner allocates a 3-block prefix and registers it for set 7.
+        let owner = pool.try_alloc(0, 3).unwrap();
+        for (c, &b) in owner.iter().enumerate() {
+            assert!(pool.register_prefix(7, c as u32, b));
+        }
+        assert!(!pool.register_prefix(7, 0, owner[1]), "first writer wins");
+        // A sharer maps the prefix instead of allocating.
+        let mapped: Vec<BlockId> = (0..3)
+            .map(|c| pool.lookup_prefix(7, c).expect("registered"))
+            .collect();
+        assert_eq!(mapped, owner);
+        for &b in &mapped {
+            pool.map_shared(b);
+            assert_eq!(pool.refcount(b), 2);
+        }
+        assert_eq!(pool.used_blocks(), 3, "mapping allocates nothing");
+        assert_eq!(pool.shared_blocks(), 3);
+        let s = pool.stats();
+        assert_eq!(s.blocks_saved, 3);
+        assert_eq!(s.shared_blocks_peak, 3);
+        assert!(
+            (s.dedup_ratio() - 0.5).abs() < 1e-12,
+            "3 saved of 6 logical"
+        );
+        // The sharer leaves: blocks stay resident for the owner.
+        assert_eq!(pool.release(mapped), 0);
+        assert_eq!(pool.used_blocks(), 3);
+        assert_eq!(pool.shared_blocks(), 0);
+        // The owner leaves: blocks free and table entries die with them.
+        assert_eq!(pool.release(owner), 3);
+        assert_eq!(pool.used_blocks(), 0);
+        assert_eq!(pool.lookup_prefix(7, 0), None, "entry died with block");
+        assert_eq!(pool.stats().frees, 3, "frees count physical frees only");
+    }
+
+    #[test]
+    fn diverge_copies_when_shared_and_privatizes_when_sole() {
+        let mut pool = BlockPool::new(1, 8, 16);
+        let owner = pool.try_alloc(0, 1).unwrap();
+        assert!(pool.register_prefix(3, 0, owner[0]));
+        pool.map_shared(owner[0]);
+        // Shared: the writer gets a private copy; readers keep the
+        // original and the table entry survives.
+        let d = pool.diverge(owner[0]).expect("a block is free");
+        let Divergence::Copied(fresh) = d else {
+            panic!("shared block must copy, got {d:?}");
+        };
+        assert_ne!(fresh, owner[0]);
+        assert_eq!(pool.refcount(owner[0]), 1, "writer's ref released");
+        assert_eq!(pool.lookup_prefix(3, 0), Some(owner[0]));
+        assert_eq!(pool.stats().cow_copies, 1);
+        // Sole holder: divergence just unregisters, in place.
+        assert_eq!(pool.diverge(owner[0]), Some(Divergence::InPlace));
+        assert_eq!(pool.lookup_prefix(3, 0), None);
+        assert_eq!(pool.stats().cow_copies, 1, "no copy charged in place");
+        pool.free([owner[0], fresh]);
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn diverge_without_free_blocks_is_deferred() {
+        let mut pool = BlockPool::new(1, 1, 16);
+        let b = pool.try_alloc(0, 1).unwrap()[0];
+        assert!(pool.register_prefix(9, 0, b));
+        pool.map_shared(b);
+        assert_eq!(pool.diverge(b), None, "no free block for the copy");
+        assert_eq!(pool.refcount(b), 2, "deferral leaves no residue");
+        pool.free([b, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn over_release_of_shared_block_panics() {
+        let mut pool = BlockPool::new(1, 2, 16);
+        let b = pool.try_alloc(0, 1).unwrap()[0];
+        pool.map_shared(b);
+        pool.free([b, b]); // two refs, two releases: fine
+        pool.free([b]); // third release: double free
     }
 }

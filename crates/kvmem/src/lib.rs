@@ -28,6 +28,43 @@
 //!   `KvSwap::host_capacity_blocks`; victims that overflow it are
 //!   evicted recompute-priced instead (vLLM's bounded `swap_space`).
 //!
+//! # Shared-prefix reuse
+//!
+//! On top of the private allocator sits an opt-in sharing layer
+//! (`docs/kv-sharing.md` holds the full contract). Its pieces:
+//!
+//! - **Refcounted physical blocks.** [`KvBudget`] tracks a reference
+//!   count per block — `1` private, `>= 2` shared. `KvBudget::incref`
+//!   adds a reference; `KvBudget::free_block` drops one and returns
+//!   the block to the free list only at zero (and still panics on a
+//!   free past zero). With every count at 1 the budget behaves
+//!   bit-for-bit like the plain allocator, which is what keeps the
+//!   share-off engine byte-identical to the pre-sharing golden.
+//! - **A hash-consed content table.** [`BlockPool`] maps
+//!   `(example-set id, prefill chunk index)` to the [`BlockId`]
+//!   holding that chunk's KV. `BlockPool::register_prefix` installs a
+//!   pristine prefill block (first writer wins),
+//!   `BlockPool::lookup_prefix` finds a still-resident chunk, and
+//!   `BlockPool::map_shared` takes a reference on it (counted in
+//!   [`KvStats::blocks_saved`]). Entries hold **no reference of their
+//!   own**: they die when the block is physically freed, so the table
+//!   never pins memory and sharing happens only between sequences that
+//!   are resident at the same time.
+//! - **Copy-on-write divergence.** The first write past the shared
+//!   prefix goes through `BlockPool::diverge`, which returns a
+//!   [`Divergence`]: `InPlace` for a sole holder (the block is simply
+//!   unregistered), `Copied(fresh)` for a shared block (a private
+//!   replacement is allocated and the writer's reference moves to it,
+//!   counted in [`KvStats::cow_copies`]), or `None` when the replica
+//!   has no free block for the copy — the caller defers and retries
+//!   after the next pressure round.
+//!
+//! The sharing verbs preserve the conservation law the private
+//! allocator already had — `allocs == frees` at drain, refcount equals
+//! the number of holders at every step — which
+//! `crates/kvmem/tests/conservation.rs` checks by property test over
+//! arbitrary interleavings of alloc/share/diverge/release.
+//!
 //! The crate is dependency-free and purely arithmetical: every
 //! operation is deterministic, so the serving layer's byte-identical
 //! replay guarantees extend to memory pressure events.
@@ -53,5 +90,5 @@
 pub mod block;
 pub mod pressure;
 
-pub use block::{BlockId, BlockPool, KvBudget, KvStats};
+pub use block::{BlockId, BlockPool, Divergence, KvBudget, KvStats};
 pub use pressure::{KvSwap, PressurePolicy, SwapModel, Watermarks};

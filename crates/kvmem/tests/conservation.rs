@@ -1,8 +1,10 @@
 //! Property tests: blocks are conserved by the allocator under
-//! arbitrary alloc/free interleavings.
+//! arbitrary alloc/free interleavings — including refcounted
+//! shared-prefix mappings and copy-on-write divergence.
 
-use ic_kvmem::{BlockId, BlockPool};
+use ic_kvmem::{BlockId, BlockPool, Divergence};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -98,5 +100,106 @@ proptest! {
         }
         prop_assert_eq!(pool.host_used_blocks(), 0, "host blocks leaked");
         prop_assert_eq!(pool.stats().host_peak_blocks, peak, "peak mis-tracked");
+    }
+
+    /// Refcount conservation under arbitrary interleavings of the four
+    /// sharing-layer verbs — alloc+register, map (share), diverge
+    /// (CoW / in-place privatize), and release. The model is a bag of
+    /// *handles*, each one reference some sequence holds on a block:
+    /// at every step each block's refcount equals its handle count,
+    /// `used_blocks` equals the number of distinct referenced blocks,
+    /// `shared_blocks` equals the blocks with two or more handles, and
+    /// a full drain returns the pool to empty with physical allocs ==
+    /// physical frees and the saved/CoW counters matching the executed
+    /// verbs exactly.
+    #[test]
+    fn refcount_interleavings_conserve_blocks(
+        replicas in 1u32..3,
+        budget in 1u32..24,
+        ops in proptest::collection::vec(0u32..8, 1..160),
+    ) {
+        let mut pool = BlockPool::new(replicas, budget, 16);
+        // One entry per reference held (a block with n handles has
+        // refcount n).
+        let mut handles: Vec<BlockId> = Vec::new();
+        let mut next_set: u64 = 0;
+        let mut expected_saved = 0u64;
+        let mut expected_cow = 0u64;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    // Alloc one block and hash-cons it under a fresh
+                    // key. A fresh block can never collide in the
+                    // content table: entries die at physical free and
+                    // CoW copies are never registered.
+                    let replica = pool.least_loaded_replica();
+                    if let Some(blocks) = pool.try_alloc(replica, 1) {
+                        let b = blocks[0];
+                        prop_assert!(pool.register_prefix(next_set, 0, b));
+                        next_set += 1;
+                        handles.push(b);
+                    }
+                }
+                2 | 3 => {
+                    // Share: map a still-resident content-table entry.
+                    if next_set > 0 {
+                        let set = (u64::from(op) * 31 + handles.len() as u64) % next_set;
+                        if let Some(b) = pool.lookup_prefix(set, 0) {
+                            pool.map_shared(b);
+                            handles.push(b);
+                            expected_saved += 1;
+                        }
+                    }
+                }
+                4 | 5 => {
+                    // Diverge: one handle writes past the shared
+                    // region. Sole holder privatizes in place; a
+                    // shared block copy-on-writes, moving only the
+                    // writer's handle; an exhausted replica defers.
+                    if !handles.is_empty() {
+                        let i = (op as usize * 7 + handles.len()) % handles.len();
+                        let b = handles[i];
+                        match pool.diverge(b) {
+                            Some(Divergence::InPlace) => {
+                                prop_assert!(!pool.is_registered(b));
+                            }
+                            Some(Divergence::Copied(fresh)) => {
+                                prop_assert!(fresh != b, "copy must be a new block");
+                                handles[i] = fresh;
+                                expected_cow += 1;
+                            }
+                            None => prop_assert_eq!(
+                                pool.free_blocks(b.replica as usize), 0,
+                                "diverge may only defer on an exhausted replica"
+                            ),
+                        }
+                    }
+                }
+                _ => {
+                    // Release one reference.
+                    if let Some(b) = handles.pop() {
+                        pool.release([b]);
+                    }
+                }
+            }
+            let mut counts: BTreeMap<BlockId, u32> = BTreeMap::new();
+            for &b in &handles {
+                *counts.entry(b).or_default() += 1;
+            }
+            for (&b, &c) in &counts {
+                prop_assert_eq!(pool.refcount(b), c, "refcount != handle count");
+            }
+            prop_assert_eq!(pool.used_blocks() as usize, counts.len(), "used != referenced");
+            let shared = counts.values().filter(|&&c| c >= 2).count();
+            prop_assert_eq!(pool.shared_blocks() as usize, shared, "shared_blocks drifted");
+        }
+        for b in handles.drain(..) {
+            pool.release([b]);
+        }
+        prop_assert_eq!(pool.used_blocks(), 0, "leak after full drain");
+        let stats = pool.stats();
+        prop_assert_eq!(stats.allocs, stats.frees, "physical alloc/free imbalance");
+        prop_assert_eq!(stats.blocks_saved, expected_saved, "saved != map count");
+        prop_assert_eq!(stats.cow_copies, expected_cow, "cow != copy count");
     }
 }

@@ -73,6 +73,12 @@ pub struct GenOutcome {
     pub output_tokens: u32,
     /// Number of trailing examples dropped to fit the context window.
     pub examples_dropped: u32,
+    /// Prompt tokens occupied by the injected example set: the IC
+    /// template plus every kept example. Zero when no examples were
+    /// kept. This is the shareable prefix length for KV reuse — the
+    /// region of the prompt that is byte-identical across requests
+    /// handed the same examples in the same order.
+    pub example_tokens: u32,
     /// Zero-load latency of this generation.
     pub latency: LatencyBreakdown,
 }
@@ -200,6 +206,7 @@ impl Generator {
             input_tokens,
             output_tokens,
             examples_dropped,
+            example_tokens: if kept.is_empty() { 0 } else { template + used },
             latency: zero_load_latency(spec, input_tokens, output_tokens),
         }
     }

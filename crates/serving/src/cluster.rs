@@ -39,6 +39,7 @@ enum Event {
 ///     prefill_tokens: 120,
 ///     decode_tokens: 100,
 ///     priority: 0,
+///     share: None,
 /// }];
 /// let results = cluster.run(jobs);
 /// assert_eq!(results.len(), 1);
@@ -154,6 +155,7 @@ pub fn jobs_from_tuples(rows: &[(u64, usize, f64, f64, f64, u32, u32)]) -> Vec<J
             prefill_tokens: ptoks,
             decode_tokens: dtoks,
             priority: 0,
+            share: None,
         })
         .collect()
 }
@@ -222,6 +224,7 @@ mod tests {
                     prefill_tokens: 50,
                     decode_tokens: 100,
                     priority: 0,
+                    share: None,
                 })
                 .collect()
         };
@@ -265,6 +268,7 @@ mod tests {
                 prefill_tokens: 1,
                 decode_tokens: 50,
                 priority: 0,
+                share: None,
             })
             .collect();
         let makespan = |replicas: u32| -> f64 {
@@ -299,6 +303,7 @@ mod tests {
                 prefill_tokens: 1,
                 decode_tokens: 50,
                 priority: 0,
+                share: None,
             })
             .collect();
         let mean_e2e = |beta: f64| -> f64 {

@@ -99,7 +99,7 @@
 use std::collections::VecDeque;
 
 use ic_desim::{SimDuration, SimTime};
-use ic_kvmem::{BlockId, BlockPool, KvStats, KvSwap, PressurePolicy, Watermarks};
+use ic_kvmem::{BlockId, BlockPool, Divergence, KvStats, KvSwap, PressurePolicy, Watermarks};
 
 use crate::job::{JobId, JobSpec};
 
@@ -138,6 +138,12 @@ pub struct PoolConfig {
     /// host-side (CPU) block capacity swapped-out state may occupy;
     /// victims overflowing it are evicted recompute-priced.
     pub kv_swap: KvSwap,
+    /// Shared-prefix KV reuse: when on, sequences whose jobs carry the
+    /// same [`crate::SharedPrefix`] map their prefix blocks onto one
+    /// hash-consed physical copy (copy-on-write at divergence) instead
+    /// of allocating privately. Off by default — the share-off
+    /// scheduler is bit-identical to the pre-sharing pool.
+    pub kv_share: bool,
 }
 
 impl Default for PoolConfig {
@@ -169,6 +175,7 @@ impl PoolConfig {
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
             kv_swap: KvSwap::DEFAULT,
+            kv_share: false,
         }
     }
 
@@ -275,6 +282,14 @@ struct Sequence {
     /// decoded tokens). Survives swap-out — it is what resume must
     /// restore.
     kv_tokens: u64,
+    /// With `kv_share` on: this sequence's last shared-prefix block is
+    /// partial (the prefix ends mid-block), so its first write past the
+    /// prefix must resolve a divergence (copy-on-write when other
+    /// sequences still read the block). Cleared once resolved, on
+    /// swap-out (mappings are re-established at resume), and for
+    /// block-aligned prefixes (divergent tokens open a fresh private
+    /// block — nothing shared is ever written).
+    cow_pending: bool,
 }
 
 impl Sequence {
@@ -294,6 +309,7 @@ impl Sequence {
             kv_blocks: Vec::new(),
             host_blocks: 0,
             kv_tokens: 0,
+            cow_pending: false,
         }
     }
 
@@ -386,11 +402,121 @@ pub struct ModelPool {
     stats: IterStats,
 }
 
-/// Frees a victim's device blocks and settles its swap-out: the blocks
-/// are parked on the host ledger (swap-out priced) when the policy
-/// swaps and host capacity has room; otherwise the KV state is dropped
-/// — free now, recompute-priced at resume ([`settle_resume`]). Host
-/// overflows are counted as recompute fallbacks.
+/// The outcome of a sharing-aware block allocation for one sequence.
+struct SharedAlloc {
+    /// Replica the blocks live on: pinned to the shared prefix's home
+    /// when chunk 0 hit the content table, the caller's placement
+    /// choice otherwise.
+    replica: usize,
+    /// The sequence's logical block table, prefix-mapped blocks first.
+    blocks: Vec<BlockId>,
+    /// Blocks freshly allocated (the private remainder) — what swap-in
+    /// pricing charges; equals `blocks.len()` with sharing off.
+    fresh: u32,
+    /// Whether the last shared block is partial (see
+    /// `Sequence::cow_pending`).
+    cow_pending: bool,
+}
+
+/// Allocates a sequence's (re)materialization demand
+/// ([`Sequence::kv_demand`]). With sharing on and the job carrying a
+/// [`crate::SharedPrefix`], the longest consecutive run of prefix
+/// chunks already hash-consed in the content table is **mapped**
+/// (references taken, nothing allocated) and only the remainder is
+/// allocated; a pristine sequence then registers any chunks the table
+/// was missing, so the first carrier of a set becomes its owner.
+/// Returns `None` — with no side effects — when the private remainder
+/// does not fit.
+fn alloc_with_sharing(
+    kv: &mut BlockPool,
+    share_enabled: bool,
+    seq: &Sequence,
+    fallback_replica: usize,
+) -> Option<SharedAlloc> {
+    let demand = seq.kv_demand(kv);
+    let plain = |kv: &mut BlockPool, replica: usize| {
+        kv.try_alloc(replica, demand).map(|blocks| SharedAlloc {
+            replica,
+            blocks,
+            fresh: demand,
+            cow_pending: false,
+        })
+    };
+    let share = if share_enabled { seq.job.share } else { None };
+    let Some(share) = share.filter(|s| s.tokens > 0) else {
+        return plain(kv, fallback_replica);
+    };
+    let bt = u64::from(kv.block_tokens());
+    let prefix_tokens = u64::from(share.tokens);
+    // Chunks covering the prefix, partial tail included, clamped to the
+    // demand (an over-long prefix degrades to whatever fits).
+    let prefix_chunks = (prefix_tokens.div_ceil(bt) as u32).min(demand);
+    // A sequence that already wrote past the prefix (a diverged victim
+    // re-materializing) owns private tokens in the tail block and may
+    // map full chunks only.
+    let mappable = if seq.kv_tokens > prefix_tokens {
+        ((prefix_tokens / bt) as u32).min(demand)
+    } else {
+        prefix_chunks
+    };
+    // Pure lookups first: take no references until the remainder fits.
+    let mut mapped: Vec<BlockId> = Vec::new();
+    for chunk in 0..mappable {
+        match kv.lookup_prefix(share.set, chunk) {
+            // All of a set's blocks live on one replica (the owner
+            // allocated them together); a cross-replica entry would be
+            // a foreign pool's and is not mappable.
+            Some(b)
+                if mapped
+                    .first()
+                    .is_none_or(|f: &BlockId| f.replica == b.replica) =>
+            {
+                mapped.push(b);
+            }
+            _ => break,
+        }
+    }
+    let replica = mapped
+        .first()
+        .map_or(fallback_replica, |b| b.replica as usize);
+    let fresh = demand - mapped.len() as u32;
+    let private = kv.try_alloc(replica, fresh)?;
+    for &b in &mapped {
+        kv.map_shared(b);
+    }
+    let mapped_count = mapped.len() as u32;
+    let mut blocks = mapped;
+    blocks.extend(private);
+    if seq.kv_tokens <= prefix_tokens {
+        // Pristine sequence: its private prefix blocks will hold
+        // exactly the set's content — hash-cons the chunks the table
+        // was missing (first writer wins).
+        for chunk in mapped_count..prefix_chunks {
+            kv.register_prefix(share.set, chunk, blocks[chunk as usize]);
+        }
+    }
+    let tail = (prefix_tokens / bt) as usize;
+    let cow_pending = prefix_tokens % bt != 0
+        && seq.kv_tokens <= prefix_tokens
+        && tail < blocks.len()
+        && kv.is_registered(blocks[tail]);
+    Some(SharedAlloc {
+        replica,
+        blocks,
+        fresh,
+        cow_pending,
+    })
+}
+
+/// Frees a victim's device blocks and settles its swap-out: the
+/// exclusively-held blocks are parked on the host ledger (swap-out
+/// priced) when the policy swaps and host capacity has room; otherwise
+/// the KV state is dropped — free now, recompute-priced at resume
+/// ([`settle_resume`]). Host overflows are counted as recompute
+/// fallbacks. Shared-prefix blocks other sequences still read are only
+/// released (they stay resident for their readers — the victim re-maps
+/// them from the content table at resume), so a swap-out can never
+/// strand another reader's prefix.
 fn settle_swap_out(
     kv: &mut BlockPool,
     policy: &PressurePolicy,
@@ -398,8 +524,8 @@ fn settle_swap_out(
     seq: &mut Sequence,
 ) {
     let blocks = std::mem::take(&mut seq.kv_blocks);
-    let n = blocks.len() as u32;
-    kv.free(blocks);
+    seq.cow_pending = false;
+    let n = kv.release(blocks);
     if policy.parks_on_host() {
         if kv.try_host_park(n) {
             *pending_penalty_secs += policy.swap_out_penalty(n);
@@ -575,13 +701,15 @@ impl ModelPool {
             seq.started = Some(now);
             if let Some(kv) = &mut self.kv {
                 // The pool is fully idle, so every replica is empty and
-                // the (budget-capped) prefill demand always fits.
+                // the (budget-capped) prefill demand always fits. (No
+                // content-table entry can be resident either — entries
+                // die with their blocks — so sharing never maps here.)
                 let replica = kv.least_loaded_replica();
-                let blocks = kv
-                    .try_alloc(replica, seq.kv_demand(kv))
+                let alloc = alloc_with_sharing(kv, self.config.kv_share, &seq, replica)
                     .expect("idle pool has a free replica");
-                seq.replica = replica;
-                seq.kv_blocks = blocks;
+                seq.replica = alloc.replica;
+                seq.kv_blocks = alloc.blocks;
+                seq.cow_pending = alloc.cow_pending;
             }
             self.admitted += 1;
             self.slots.push(seq);
@@ -648,6 +776,23 @@ impl ModelPool {
         let Some(kv) = &mut self.kv else {
             return 0;
         };
+        // Copy-on-write demand this step adds for a sequence: one block
+        // when its growth first writes past a shared prefix whose tail
+        // block other sequences still read (a sole-holder divergence
+        // privatizes in place and costs nothing). Recomputed inside the
+        // victim loop — evicting a co-reader drops the refcount and the
+        // demand with it.
+        let cow_extra = |kv: &BlockPool, s: &Sequence, tokens_after: u64| -> u32 {
+            if !s.cow_pending {
+                return 0;
+            }
+            let Some(share) = s.job.share else { return 0 };
+            if tokens_after <= u64::from(share.tokens) {
+                return 0;
+            }
+            let tail = (u64::from(share.tokens) / u64::from(kv.block_tokens())) as usize;
+            u32::from(kv.refcount(s.kv_blocks[tail]) > 1)
+        };
         let mut preempted = 0u32;
         for replica in 0..kv.num_replicas() {
             // Swap out victims until the replica's growth demand fits.
@@ -657,8 +802,10 @@ impl ModelPool {
                     .iter()
                     .filter(|s| s.replica == replica)
                     .map(|s| {
-                        kv.blocks_for(tokens_after_growth(s))
+                        let after = tokens_after_growth(s);
+                        kv.blocks_for(after)
                             .saturating_sub(s.kv_blocks.len() as u32)
+                            + cow_extra(kv, s, after)
                     })
                     .sum();
                 if needed <= kv.free_blocks(replica) {
@@ -700,8 +847,30 @@ impl ModelPool {
             // Grant what fits; a shortfall (only possible for the last
             // resident) is absorbed by the block-window cap.
             for s in self.slots.iter_mut().filter(|s| s.replica == replica) {
+                let after = tokens_after_growth(s);
+                // Resolve a pending divergence before the step writes
+                // past the shared prefix: privatize in place when this
+                // sequence is the sole holder, copy-on-write otherwise.
+                // An exhausted free list defers the copy to the next
+                // boundary's pressure round (only reachable
+                // transiently: a refcount > 1 implies a co-resident
+                // reader the victim loop above could still evict).
+                if s.cow_pending
+                    && let Some(share) = s.job.share
+                    && after > u64::from(share.tokens)
+                {
+                    let tail = (u64::from(share.tokens) / u64::from(kv.block_tokens())) as usize;
+                    match kv.diverge(s.kv_blocks[tail]) {
+                        Some(Divergence::InPlace) => s.cow_pending = false,
+                        Some(Divergence::Copied(fresh)) => {
+                            s.kv_blocks[tail] = fresh;
+                            s.cow_pending = false;
+                        }
+                        None => {}
+                    }
+                }
                 let need = kv
-                    .blocks_for(tokens_after_growth(s))
+                    .blocks_for(after)
                     .saturating_sub(s.kv_blocks.len() as u32);
                 let grant = need.min(kv.free_blocks(replica));
                 if grant > 0 {
@@ -839,13 +1008,9 @@ impl ModelPool {
             if !self.policy.can_resume(kv.occupancy()) {
                 break;
             }
-            let need = self
-                .swapped
-                .front()
-                .expect("checked non-empty")
-                .kv_demand(kv);
+            let front = self.swapped.front().expect("checked non-empty");
             let replica = kv.least_loaded_replica();
-            let Some(blocks) = kv.try_alloc(replica, need) else {
+            let Some(alloc) = alloc_with_sharing(kv, self.config.kv_share, front, replica) else {
                 break;
             };
             let mut s = self.swapped.pop_front().expect("checked non-empty");
@@ -854,10 +1019,11 @@ impl ModelPool {
                 &self.policy,
                 &mut self.pending_penalty_secs,
                 &mut s,
-                need,
+                alloc.fresh,
             );
-            s.replica = replica;
-            s.kv_blocks = blocks;
+            s.replica = alloc.replica;
+            s.kv_blocks = alloc.blocks;
+            s.cow_pending = alloc.cow_pending;
             report.resumed += 1;
             self.slots.push(s);
         }
@@ -888,9 +1054,12 @@ impl ModelPool {
                 if self.policy.under_pressure(kv.occupancy()) {
                     break;
                 }
-                let need = front.kv_demand(kv);
+                // Admission projects *deduplicated* demand: mapped
+                // prefix chunks come from the content table, only the
+                // private remainder must fit in free blocks.
                 let replica = kv.least_loaded_replica();
-                let Some(blocks) = kv.try_alloc(replica, need) else {
+                let Some(alloc) = alloc_with_sharing(kv, self.config.kv_share, front, replica)
+                else {
                     break;
                 };
                 let mut s = self.queue.pop_front().expect("front exists");
@@ -902,11 +1071,12 @@ impl ModelPool {
                         &self.policy,
                         &mut self.pending_penalty_secs,
                         &mut s,
-                        need,
+                        alloc.fresh,
                     );
                 }
-                s.replica = replica;
-                s.kv_blocks = blocks;
+                s.replica = alloc.replica;
+                s.kv_blocks = alloc.blocks;
+                s.cow_pending = alloc.cow_pending;
                 if s.started.is_none() {
                     s.started = Some(now);
                     self.admitted += 1;
@@ -939,10 +1109,8 @@ impl ModelPool {
                 self.queue.pop_front()
             };
             if let Some(mut s) = seq {
-                let need = s.kv_demand(kv);
                 let replica = kv.least_loaded_replica();
-                let blocks = kv
-                    .try_alloc(replica, need)
+                let alloc = alloc_with_sharing(kv, self.config.kv_share, &s, replica)
                     .expect("an empty pool fits a capped demand");
                 if from_swap || s.kv_tokens > 0 {
                     settle_resume(
@@ -950,11 +1118,12 @@ impl ModelPool {
                         &self.policy,
                         &mut self.pending_penalty_secs,
                         &mut s,
-                        need,
+                        alloc.fresh,
                     );
                 }
-                s.replica = replica;
-                s.kv_blocks = blocks;
+                s.replica = alloc.replica;
+                s.kv_blocks = alloc.blocks;
+                s.cow_pending = alloc.cow_pending;
                 if s.started.is_none() {
                     s.started = Some(now);
                     self.admitted += 1;
@@ -1086,6 +1255,7 @@ mod tests {
             prefill_tokens: ptoks,
             decode_tokens: dtoks,
             priority: 0,
+            share: None,
         }
     }
 
@@ -1109,6 +1279,7 @@ mod tests {
     fn kv_pool(slots: u32, block_tokens: u32, budget: u32, marks: Watermarks) -> ModelPool {
         ModelPool::new(PoolConfig {
             name: "kv".into(),
+            kv_share: false,
             replicas: 1,
             slots_per_replica: slots,
             congestion_beta: 0.0,
@@ -1531,6 +1702,7 @@ mod tests {
         let run = |out_cost: f64, in_cost: f64| {
             let mut p = ModelPool::new(PoolConfig {
                 name: "kv".into(),
+                kv_share: false,
                 replicas: 1,
                 slots_per_replica: 4,
                 congestion_beta: 0.0,
@@ -1567,6 +1739,7 @@ mod tests {
         let run = |secs_per_token: f64| {
             let mut p = ModelPool::new(PoolConfig {
                 name: "kv".into(),
+                kv_share: false,
                 replicas: 1,
                 slots_per_replica: 4,
                 congestion_beta: 0.0,
@@ -1599,6 +1772,7 @@ mod tests {
     fn host_capped_pool(budget: u32, host_capacity: u32) -> ModelPool {
         ModelPool::new(PoolConfig {
             name: "kv".into(),
+            kv_share: false,
             replicas: 1,
             slots_per_replica: 4,
             congestion_beta: 0.0,
@@ -1727,6 +1901,7 @@ mod tests {
         // draining the queue must release the ledger entry.
         let mut p = ModelPool::new(PoolConfig {
             name: "kv".into(),
+            kv_share: false,
             replicas: 1,
             slots_per_replica: 1,
             congestion_beta: 0.0,
@@ -1775,6 +1950,7 @@ mod tests {
         // and re-admission counts as a swap-in.
         let mut p = ModelPool::new(PoolConfig {
             name: "kv".into(),
+            kv_share: false,
             replicas: 1,
             slots_per_replica: 1,
             congestion_beta: 0.0,
@@ -1970,5 +2146,124 @@ mod tests {
         assert_eq!(dropped, vec![JobId(2), JobId(3)]);
         assert_eq!(p.queue_len(), 0);
         assert_eq!(p.active(), 1, "running sequence keeps its slot");
+    }
+
+    /// `kv_pool` with shared-prefix reuse on.
+    fn share_pool(slots: u32, block_tokens: u32, budget: u32, marks: Watermarks) -> ModelPool {
+        let mut cfg = kv_pool(slots, block_tokens, budget, marks).config().clone();
+        cfg.kv_share = true;
+        ModelPool::new(cfg)
+    }
+
+    use crate::job::SharedPrefix;
+
+    /// A job whose first `share_tokens` prompt tokens are the example
+    /// set `set` (identical across jobs carrying the same `set`).
+    fn shared_job(id: u64, set: u64, share_tokens: u32, ptoks: u32, dtoks: u32) -> JobSpec {
+        JobSpec {
+            share: Some(SharedPrefix {
+                set,
+                tokens: share_tokens,
+            }),
+            ..job_with(id, 0.1, 1.0, ptoks, dtoks)
+        }
+    }
+
+    #[test]
+    fn same_set_concurrent_jobs_dedup_prefix_blocks() {
+        // 8 concurrent jobs inject the same 64-token example set
+        // (4 blocks of 16). The first allocates + registers the prefix;
+        // the other 7 map it: 7 x 4 = 28 blocks saved, and the peak
+        // footprint undercuts the share-off twin by exactly those
+        // blocks.
+        let run = |share: bool| {
+            let mut p = if share {
+                share_pool(8, 16, 256, Watermarks::new(1.0, 1.0))
+            } else {
+                kv_pool(8, 16, 256, Watermarks::new(1.0, 1.0))
+            };
+            for i in 0..8 {
+                p.offer(shared_job(i, 42, 64, 100, 8), SimTime::ZERO);
+            }
+            let (done, _) = drain(&mut p);
+            assert_eq!(done.len(), 8);
+            p.kv_stats()
+        };
+        let shared = run(true);
+        let private = run(false);
+
+        assert_eq!(private.blocks_saved, 0);
+        assert_eq!(
+            shared.blocks_saved,
+            7 * 4,
+            "7 followers map 4 prefix blocks each"
+        );
+        assert!(shared.dedup_ratio() > 0.0);
+        assert_eq!(
+            shared.shared_blocks_peak, 4,
+            "the 4 registered prefix blocks are the shared set"
+        );
+        assert_eq!(
+            private.peak_blocks - shared.peak_blocks,
+            28,
+            "every saved block comes off the peak footprint"
+        );
+        // Aligned prefix (64 % 16 == 0): growth past the set lands in
+        // fresh private blocks, never a shared one — no copies.
+        assert_eq!(shared.cow_copies, 0);
+        assert_eq!(shared.allocs, shared.frees, "conservation at drain");
+    }
+
+    #[test]
+    fn growth_past_unaligned_prefix_copy_on_writes() {
+        // A 40-token set on 16-token blocks: the third prefix block is
+        // shared but only 8 of its tokens belong to the set. Prefill is
+        // chunked (32 tokens/iteration) so job 2 is admitted — and maps
+        // all 3 prefix blocks — while job 1 still sits at 32 tokens,
+        // inside the prefix. Job 1 then grows past token 40 with the
+        // tail block at refcount 2: it must copy-on-write (job 2 still
+        // reads the original). Job 2 diverges later as sole holder and
+        // privatizes in place — exactly one copy overall.
+        let mut cfg = share_pool(4, 16, 64, Watermarks::new(1.0, 1.0))
+            .config()
+            .clone();
+        cfg.prefill_chunk_tokens = 32;
+        let mut p = ModelPool::new(cfg);
+        p.offer(shared_job(1, 7, 40, 80, 4), SimTime::ZERO);
+        p.offer(shared_job(2, 7, 40, 80, 4), SimTime::ZERO);
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 2);
+        let kv = p.kv_stats();
+        assert_eq!(kv.blocks_saved, 3, "follower maps ceil(40/16) = 3 blocks");
+        assert_eq!(kv.cow_copies, 1, "exactly one diverger pays a copy");
+        assert_eq!(kv.allocs, kv.frees, "conservation at drain");
+        assert_eq!(
+            p.kv.as_ref().expect("kv on").shared_blocks(),
+            0,
+            "no shared blocks survive the drain"
+        );
+    }
+
+    #[test]
+    fn swap_out_of_a_shared_reader_keeps_blocks_for_the_other() {
+        // Two jobs share a 4-block set on a budget that forces one out
+        // mid-decode even *with* dedup (9 blocks vs a peak shared
+        // footprint of 10). The victim's swap-out must only release its
+        // *references*: the survivor keeps reading the shared blocks,
+        // and the victim re-maps them at resume. Everything completes
+        // and the ledger balances.
+        let mut p = share_pool(4, 16, 9, Watermarks::new(1.0, 1.0));
+        p.offer(shared_job(1, 9, 64, 64, 40), SimTime::ZERO);
+        p.offer(shared_job(2, 9, 64, 64, 40), SimTime::ZERO);
+        let (done, _) = drain(&mut p);
+        assert_eq!(done.len(), 2, "both shared readers complete");
+        let kv = p.kv_stats();
+        assert!(kv.blocks_saved > 0, "the follower mapped the set");
+        assert!(
+            kv.pressure_preemptions > 0 || kv.swap_outs > 0,
+            "the 9-block budget must not fit the 10-block shared peak"
+        );
+        assert_eq!(kv.allocs, kv.frees, "conservation at drain");
+        assert_eq!(p.kv.as_ref().expect("kv on").shared_blocks(), 0);
     }
 }

@@ -60,6 +60,7 @@ fn main() {
             prefill_tokens: out.outcome.input_tokens,
             decode_tokens: out.outcome.output_tokens,
             priority: 0,
+            share: None,
         });
         let lo = sim.generate(&large_spec, r, &GenSetup::bare(), &mut rng);
         large_jobs.push(JobSpec {
@@ -71,6 +72,7 @@ fn main() {
             prefill_tokens: lo.input_tokens,
             decode_tokens: lo.output_tokens,
             priority: 0,
+            share: None,
         });
     }
 

@@ -125,6 +125,7 @@ fn offloading_reduces_cluster_latency_under_load() {
             prefill_tokens: lo.input_tokens,
             decode_tokens: lo.output_tokens,
             priority: 0,
+            share: None,
         });
     }
     let mut large_only = ClusterSim::new(vec![PoolConfig::for_gpus(

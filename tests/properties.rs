@@ -177,6 +177,7 @@ proptest! {
             prefill_tokens: ptoks,
             decode_tokens: dtoks,
             priority: 0,
+            share: None,
         };
         let expected = ModelPool::new(cfg.clone()).service_secs(&job);
         let mut cluster = ClusterSim::new(vec![cfg]);
@@ -239,6 +240,7 @@ proptest! {
                 in_secs_per_block: 1e-4,
             }
             .into(),
+            kv_share: false,
         };
         let jobs: Vec<JobSpec> = (0..n_jobs as u64)
             .map(|i| JobSpec {
@@ -251,6 +253,7 @@ proptest! {
                 prefill_tokens: ptoks + (i as u32 * 37) % 200,
                 decode_tokens: dtoks + (i as u32 * 13) % 40,
                 priority: 0,
+                share: None,
             })
             .collect();
         let total_decode: u64 = jobs.iter().map(|j| u64::from(j.decode_tokens)).sum();
@@ -263,6 +266,87 @@ proptest! {
         prop_assert_eq!(
             cluster.iter_stats().decode_steps, total_decode,
             "preempt/swap/resume must not lose or repeat tokens"
+        );
+        prop_assert_eq!(cluster.pool(0).active(), 0);
+        prop_assert_eq!(cluster.pool(0).swapped_len(), 0);
+        prop_assert_eq!(cluster.pool(0).queue_len(), 0);
+    }
+
+    /// The same full preempt→swap→resume lifecycle with shared-prefix
+    /// KV reuse on and every job carrying one of a few example sets:
+    /// mapping, copy-on-write divergence, and refcounted swap-outs must
+    /// preserve the exact conservation guarantees of the private
+    /// allocator — every job completes with its exact token budget,
+    /// physical allocs == physical frees, no block or host-ledger
+    /// residue — and no sequence may ever be stranded by a co-reader's
+    /// eviction. Saved blocks only ever reduce the allocation count.
+    #[test]
+    fn shared_kv_blocks_conserved_across_preempt_swap_resume(
+        n_jobs in 2usize..10,
+        slots in 1u32..6,
+        block_tokens in 1u32..24,
+        budget in 2u32..40,
+        quantum in 0u32..6,
+        chunk in 0u32..64,
+        high_tenths in 5u32..11,
+        ptoks in 1u32..300,
+        dtoks in 0u32..60,
+        n_sets in 1u64..4,
+    ) {
+        let cfg = PoolConfig {
+            name: "p".into(),
+            replicas: 1,
+            slots_per_replica: slots,
+            congestion_beta: 0.3,
+            prefill_chunk_tokens: chunk,
+            preempt_decode_quantum: quantum,
+            max_queue: None,
+            kv_block_tokens: block_tokens,
+            kv_budget_blocks: budget,
+            kv_watermarks: ic_serving::Watermarks::new(
+                f64::from(high_tenths) / 10.0,
+                f64::from(high_tenths) / 10.0,
+            ),
+            kv_swap: ic_serving::SwapModel::Swap {
+                out_secs_per_block: 1e-4,
+                in_secs_per_block: 1e-4,
+            }
+            .into(),
+            kv_share: true,
+        };
+        let jobs: Vec<JobSpec> = (0..n_jobs as u64)
+            .map(|i| {
+                let prefill = ptoks + (i as u32 * 37) % 200;
+                let set = i % n_sets;
+                JobSpec {
+                    id: JobId(i),
+                    pool: 0,
+                    arrival: SimTime::from_secs_f64(i as f64 * 0.01),
+                    ttft_secs: 0.05,
+                    decode_secs: 0.4,
+                    prefill_tokens: prefill,
+                    decode_tokens: dtoks + (i as u32 * 13) % 40,
+                    priority: 0,
+                    // One shared prefix per set, identical token count
+                    // across its carriers (as the engine guarantees),
+                    // covering part or occasionally all of the prompt.
+                    share: Some(ic_serving::SharedPrefix {
+                        set,
+                        tokens: (1 + (set as u32 * 53) % 97).min(prefill),
+                    }),
+                }
+            })
+            .collect();
+        let total_decode: u64 = jobs.iter().map(|j| u64::from(j.decode_tokens)).sum();
+        let mut cluster = ClusterSim::new(vec![cfg]);
+        let results = cluster.run(jobs);
+        prop_assert_eq!(results.len(), n_jobs, "every job completes");
+        let kv = cluster.kv_stats();
+        prop_assert_eq!(kv.allocs, kv.frees, "no leaked or double-freed blocks");
+        prop_assert!(kv.peak_blocks <= kv.total_blocks);
+        prop_assert_eq!(
+            cluster.iter_stats().decode_steps, total_decode,
+            "shared preempt/swap/resume must not lose or repeat tokens"
         );
         prop_assert_eq!(cluster.pool(0).active(), 0);
         prop_assert_eq!(cluster.pool(0).swapped_len(), 0);
