@@ -338,6 +338,71 @@ fn bench_replay(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    use ic_cache::{IcCacheConfig, IcCacheSystem};
+    use ic_engine::{EngineConfig, EventDrivenEngine, ServingEngine};
+    use ic_obs::{EventKind, LaneBuf};
+    use ic_workloads::fixed_qps_arrivals;
+
+    let mut g = c.benchmark_group("obs");
+    // The per-event cost the hot loops pay. `lane_disabled` is the
+    // `Option<LaneBuf>` check every would-be record compiles down to
+    // when tracing is off — the zero-cost-when-off claim, pinned as a
+    // measurement (it must stay indistinguishable from the loop
+    // itself); `lane_push` is the enabled ring append.
+    g.bench_function("lane_disabled_x1k", |b| {
+        let mut lane: Option<LaneBuf> = black_box(None);
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                if let Some(buf) = lane.as_mut() {
+                    buf.push(ic_desim::SimTime::from_micros(i), i, EventKind::FirstToken);
+                }
+            }
+            black_box(lane.as_ref().map_or(0, LaneBuf::len))
+        })
+    });
+    g.bench_function("lane_push_x1k", |b| {
+        let mut lane: Option<LaneBuf> = black_box(Some(LaneBuf::new(1, 1 << 12)));
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                if let Some(buf) = lane.as_mut() {
+                    buf.push(ic_desim::SimTime::from_micros(i), i, EventKind::FirstToken);
+                }
+            }
+            black_box(lane.as_ref().map_or(0, LaneBuf::len))
+        })
+    });
+
+    // End to end: the same tiny replay as the `replay` group with the
+    // recorder off vs on, so the whole-engine tracing overhead shows up
+    // in the same criterion table as the claims it guards.
+    let sys_cfg = IcCacheConfig::gemma_pair();
+    let large = sys_cfg.primary;
+    let large_spec = sys_cfg.catalog.get(large).clone();
+    let mut wg = WorkloadGenerator::sized(Dataset::MsMarco, 97, 300);
+    let examples = wg.generate_examples(300, &large_spec, large, &Generator::new());
+    let arrivals = fixed_qps_arrivals(4.0, 20.0, 98);
+    let requests = wg.generate_requests(arrivals.len());
+    let run = |config: EngineConfig| {
+        let mut system = IcCacheSystem::new(IcCacheConfig::gemma_pair());
+        system.seed_examples(examples.clone(), 0.0);
+        let mut engine = EventDrivenEngine::new(system, config);
+        engine.serve_workload(&requests, &arrivals).served
+    };
+    g.bench_function("replay_untraced", |b| {
+        b.iter(|| black_box(run(EngineConfig::default())))
+    });
+    g.bench_function("replay_traced", |b| {
+        b.iter(|| {
+            black_box(run(EngineConfig {
+                trace: true,
+                ..EngineConfig::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_index_search,
@@ -349,6 +414,7 @@ criterion_group!(
     bench_kvmem,
     bench_kv_sharing,
     bench_generation,
-    bench_replay
+    bench_replay,
+    bench_obs
 );
 criterion_main!(benches);

@@ -4,21 +4,36 @@
 //! from the event-driven run). Pass `--quick` for a fast run, or
 //! `--fraction F` for an engine-replay-only run at an arbitrary
 //! fraction of the paper-scale workload (skips the baseline-policy
-//! comparisons and `BENCH_e2e.json`; writes only `BENCH_replay.json`).
+//! comparisons and `BENCH_e2e.json`; writes only `BENCH_replay.json`
+//! and any requested observability artifacts).
 //!
 //! Every run also writes `BENCH_replay.json`: the replay-performance
-//! record (wall-clock seconds, simulator events per second, and the
-//! window/parallel-stepping counters). Its `wall_s`/`events_per_sec`
-//! fields are measured wall time and are **not** part of any
-//! determinism contract — the CI determinism job diffs only
-//! `BENCH_e2e.json`.
+//! record (wall-clock seconds, simulator events per second, the
+//! window/parallel-stepping counters, and the tracing-enabled vs
+//! disabled replay walls side by side — the observability overhead is
+//! measured every run, not asserted). Its `wall_s`/`traced_wall_s`/
+//! `events_per_sec` fields are measured wall time and are **not** part
+//! of any determinism contract — the CI determinism job diffs only
+//! `BENCH_e2e.json` and the observability artifacts.
+//!
+//! Observability (`docs/observability.md`):
+//!
+//! - `--trace <path>` records the request-lifecycle event stream
+//!   (setting `IC_OBS_TRACE=1` for every engine run in the process) and
+//!   writes the Chrome trace-event timeline to `<path>` —
+//!   Perfetto-loadable, byte-deterministic per seed.
+//! - `IC_OBS_SAMPLE=<secs>` arms the periodic telemetry sampler and
+//!   writes `BENCH_telemetry.jsonl`: one JSONL line per sample plus a
+//!   summary footer carrying the replay counters; byte-deterministic
+//!   per seed.
 //!
 //! The iteration-scheduler, KV-memory, router-tier and replay knobs
 //! can be overridden via the environment (`IC_PREFILL_CHUNK`,
 //! `IC_PREEMPT_QUANTUM`, `IC_MAX_QUEUE`, `IC_SELECTOR_BATCH`,
 //! `IC_SELECTOR_WINDOW`, `IC_REPLAY_THREADS`, `IC_KV_BLOCK`,
 //! `IC_KV_BUDGET`, `IC_KV_WATERMARKS`, `IC_KV_HOST_BLOCKS`,
-//! `IC_ROUTER_REPLICAS`, `IC_GOSSIP_PERIOD`, `IC_POOL_OUTAGE` — see
+//! `IC_ROUTER_REPLICAS`, `IC_GOSSIP_PERIOD`, `IC_POOL_OUTAGE`,
+//! `IC_OBS_TRACE`, `IC_OBS_SAMPLE`, `IC_OBS_RING` — see
 //! `ic_bench::experiments::e2e::engine_config`, parsed by
 //! `ic_bench::env`); leave them unset for the byte-deterministic output
 //! the CI determinism job diffs (including its `selector`, `router`
@@ -27,11 +42,13 @@
 //! byte of `BENCH_e2e.json` is identical with and without them (the
 //! batched/windowed probes are pure speedups). `IC_REPLAY_THREADS` is
 //! stricter still: the parallel replay is bit-identical to the
-//! sequential one, `selector` block included. `IC_ROUTER_REPLICAS=1`
-//! (or unset) likewise reproduces the pre-replication bytes except the
-//! added `router` block; higher replica counts route on genuinely
-//! diverged, gossiped state and are deterministic per seed rather than
-//! byte-equal to the single-router run.
+//! sequential one, `selector` block included. The observability knobs
+//! are observation only: `BENCH_e2e.json` is byte-identical with and
+//! without them (CI-enforced). `IC_ROUTER_REPLICAS=1` (or unset)
+//! likewise reproduces the pre-replication bytes except the added
+//! `router` block; higher replica counts route on genuinely diverged,
+//! gossiped state and are deterministic per seed rather than byte-equal
+//! to the single-router run.
 
 use std::time::Instant;
 
@@ -41,9 +58,12 @@ use ic_engine::{EngineReport, ServingEngine};
 use ic_workloads::Dataset;
 
 /// The replay-performance record. Deterministic fields first, measured
-/// wall-clock fields last; only `BENCH_e2e.json` carries determinism
-/// guarantees.
-fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64) -> String {
+/// wall-clock fields last; only `BENCH_e2e.json` and the observability
+/// artifacts carry determinism guarantees. `wall_s` times the
+/// observability-off replay, `traced_wall_s` the identical replay with
+/// the lifecycle recorder on — side by side, so the tracing-overhead
+/// claim is a measurement.
+fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64, traced_wall_s: f64) -> String {
     let events = report.served + report.iter.steps;
     let r = &report.replay;
     format!(
@@ -51,7 +71,8 @@ fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64) -> String {
             "{{\"fraction\":{:.6},\"threads\":{},\"served\":{},\"steps\":{},",
             "\"events\":{},\"preselects\":{},\"preselect_hits\":{},",
             "\"stage1_reuses\":{},\"invalidations\":{},\"parallel_regions\":{},",
-            "\"parallel_steps\":{},\"wall_s\":{:.3},\"events_per_sec\":{:.1}}}"
+            "\"parallel_steps\":{},\"wall_s\":{:.3},\"traced_wall_s\":{:.3},",
+            "\"events_per_sec\":{:.1}}}"
         ),
         fraction,
         r.threads,
@@ -65,6 +86,7 @@ fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64) -> String {
         r.parallel_regions,
         r.parallel_steps,
         wall_s,
+        traced_wall_s,
         events as f64 / wall_s.max(1e-9),
     )
 }
@@ -118,7 +140,7 @@ fn print_engine_summary(report: &EngineReport) {
     );
 }
 
-fn print_replay_summary(report: &EngineReport, wall_s: f64) {
+fn print_replay_summary(report: &EngineReport, wall_s: f64, traced_wall_s: f64) {
     let events = report.served + report.iter.steps;
     let r = &report.replay;
     println!(
@@ -136,34 +158,106 @@ fn print_replay_summary(report: &EngineReport, wall_s: f64) {
         r.parallel_regions,
         r.parallel_steps,
     );
+    println!(
+        "obs overhead: untraced {:.2}s vs traced {:.2}s wall ({:+.1}%)",
+        wall_s,
+        traced_wall_s,
+        (traced_wall_s / wall_s.max(1e-9) - 1.0) * 100.0,
+    );
+}
+
+/// Writes the observability artifacts a traced/sampled report carries:
+/// the Chrome trace-event timeline (when `--trace <path>` asked for
+/// one) and `BENCH_telemetry.jsonl` (when `IC_OBS_SAMPLE` armed the
+/// sampler; its summary footer embeds the replay counters). No-op on a
+/// report without an `obs` block.
+fn write_obs_artifacts(report: &EngineReport, trace_path: Option<&str>, sampled: bool) {
+    let Some(obs) = report.obs.as_ref() else {
+        return;
+    };
+    if let Some(path) = trace_path {
+        std::fs::write(path, obs.chrome_trace_json()).expect("write trace timeline");
+        println!(
+            "wrote {path} ({} events, {} dropped)",
+            obs.events.len(),
+            obs.dropped
+        );
+    }
+    if sampled {
+        let footer = format!("\"replay\":{}", report.replay.to_json());
+        std::fs::write(
+            "BENCH_telemetry.jsonl",
+            obs.telemetry_jsonl(Some(footer.as_str())),
+        )
+        .expect("write BENCH_telemetry.jsonl");
+        println!(
+            "wrote BENCH_telemetry.jsonl ({} samples)",
+            obs.samples.len()
+        );
+    }
+}
+
+/// Times `serve_workload` over the standard MS MARCO replay parts under
+/// an explicit config, returning the report and its wall seconds.
+fn timed_replay(scale: Scale, config: ic_engine::EngineConfig) -> (EngineReport, f64) {
+    let (mut engine, requests, arrivals) =
+        e2e::engine_e2e_parts_with(scale, Dataset::MsMarco, config);
+    let start = Instant::now();
+    let report = engine.serve_workload(&requests, &arrivals);
+    (report, start.elapsed().as_secs_f64())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if trace_path.is_some() {
+        // Single-threaded this early; makes every engine_config() in
+        // the process (suite run included) record the event stream.
+        unsafe { std::env::set_var("IC_OBS_TRACE", "1") };
+    }
     let fraction = args
         .iter()
         .position(|a| a == "--fraction")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<f64>().ok());
 
+    let base = e2e::engine_config();
+    let sampled = base.obs_sample_s > 0.0;
+    // The overhead pair: one observability-off replay and one with the
+    // lifecycle recorder on (sampler as configured), same seed.
+    let obs_off = {
+        let mut c = base.clone();
+        c.trace = false;
+        c.obs_sample_s = 0.0;
+        c
+    };
+    let obs_on = {
+        let mut c = base.clone();
+        c.trace = true;
+        c
+    };
+
     if let Some(fraction) = fraction {
         // Engine-replay-only fast path: one event-driven run at an
-        // arbitrary workload fraction, timed.
+        // arbitrary workload fraction, timed with and without tracing.
         let scale = Scale {
             fraction,
             seed: 20_250_613,
         };
-        let (mut engine, requests, arrivals) = e2e::engine_e2e_parts(scale, Dataset::MsMarco);
-        let start = Instant::now();
-        let engine_report = engine.serve_workload(&requests, &arrivals);
-        let wall_s = start.elapsed().as_secs_f64();
+        let (engine_report, wall_s) = timed_replay(scale, obs_off);
+        let (traced, traced_wall_s) = timed_replay(scale, obs_on);
         std::fs::write(
             "BENCH_replay.json",
-            replay_json(fraction, &engine_report, wall_s),
+            replay_json(fraction, &engine_report, wall_s, traced_wall_s),
         )
         .expect("write BENCH_replay.json");
+        write_obs_artifacts(&traced, trace_path.as_deref(), sampled);
         print_engine_summary(&engine_report);
-        print_replay_summary(&engine_report, wall_s);
+        print_replay_summary(&engine_report, wall_s, traced_wall_s);
         println!("wrote BENCH_replay.json (fraction {fraction})");
         return;
     }
@@ -172,21 +266,23 @@ fn main() {
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let (report, engine_report) = e2e::fig12_e2e_full(scale);
     std::fs::write("BENCH_e2e.json", engine_report.to_json()).expect("write BENCH_e2e.json");
+    // The suite's engine run already carries the observability block
+    // when tracing/sampling is on; the artifacts come from it so the
+    // timed overhead pair below stays measurement-only.
+    write_obs_artifacts(&engine_report, trace_path.as_deref(), sampled);
     // The replay-performance record times the engine replay alone — a
     // dedicated run, so neither the suite's baseline policies and
     // judging nor the workload-generation setup pollute the
     // events-per-second figure.
-    let (mut engine, requests, arrivals) = e2e::engine_e2e_parts(scale, Dataset::MsMarco);
-    let start = Instant::now();
-    let timed = engine.serve_workload(&requests, &arrivals);
-    let wall_s = start.elapsed().as_secs_f64();
+    let (timed, wall_s) = timed_replay(scale, obs_off);
+    let (_, traced_wall_s) = timed_replay(scale, obs_on);
     std::fs::write(
         "BENCH_replay.json",
-        replay_json(scale.fraction, &timed, wall_s),
+        replay_json(scale.fraction, &timed, wall_s, traced_wall_s),
     )
     .expect("write BENCH_replay.json");
     println!("{}", report.to_markdown());
     println!("wrote BENCH_e2e.json and BENCH_replay.json");
     print_engine_summary(&engine_report);
-    print_replay_summary(&timed, wall_s);
+    print_replay_summary(&timed, wall_s, traced_wall_s);
 }

@@ -320,6 +320,19 @@ fn online_run_from_engine(
 ///   `pool:at:duration[;...]` (e.g. `1:300:120`); flushed jobs are
 ///   retried through the router tier and counted in the `router`
 ///   block's `failover_requeues`
+/// - `IC_OBS_TRACE` — request-lifecycle event tracing (`1` = on,
+///   default off; `fig12_e2e --trace <path>` sets it and writes the
+///   Chrome trace-event timeline to `<path>`). Recording is observation
+///   only: `BENCH_e2e.json` stays byte-identical with and without it
+///   (CI-enforced), and the trace artifact itself is byte-deterministic
+///   per seed.
+/// - `IC_OBS_SAMPLE` — telemetry sampler period in simulated seconds
+///   (`0`/unset = off). `fig12_e2e` writes the samples as
+///   `BENCH_telemetry.jsonl` (one JSONL line per sample plus a summary
+///   footer carrying the replay counters); byte-deterministic per seed.
+/// - `IC_OBS_RING` — per-lane event ring capacity in events (default
+///   `1048576`); a full ring drops oldest-first and counts the drops in
+///   the telemetry summary.
 ///
 /// With none of the variables set this is exactly
 /// [`EngineConfig::default`], which keeps `BENCH_e2e.json`
@@ -367,6 +380,15 @@ pub fn engine_config() -> EngineConfig {
     }
     if let Some(outages) = parse_outages("IC_POOL_OUTAGE") {
         config.pool_outages = outages;
+    }
+    if let Some(trace) = parse_env::<u8>("IC_OBS_TRACE") {
+        config.trace = trace != 0;
+    }
+    if let Some(sample) = parse_env::<f64>("IC_OBS_SAMPLE") {
+        config.obs_sample_s = sample;
+    }
+    if let Some(ring) = parse_env::<usize>("IC_OBS_RING") {
+        config.obs_ring = ring;
     }
     config
 }
@@ -450,6 +472,19 @@ pub fn engine_e2e_parts(
     scale: Scale,
     dataset: Dataset,
 ) -> (EventDrivenEngine, Vec<ic_llmsim::Request>, Vec<f64>) {
+    engine_e2e_parts_with(scale, dataset, engine_config())
+}
+
+/// [`engine_e2e_parts`] with an explicit [`EngineConfig`]. Lets
+/// `fig12_e2e` time the same replay twice with only the observability
+/// knobs toggled (the traced-vs-untraced overhead record in
+/// `BENCH_replay.json`) without mutating process-global environment
+/// between runs.
+pub fn engine_e2e_parts_with(
+    scale: Scale,
+    dataset: Dataset,
+    config: EngineConfig,
+) -> (EventDrivenEngine, Vec<ic_llmsim::Request>, Vec<f64>) {
     let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
     let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
     let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
@@ -459,7 +494,7 @@ pub fn engine_e2e_parts(
     if let Some(burst) = crate::env::parse_env::<usize>("IC_SHARE_BURST") {
         burst_workload(&mut requests, &mut arrivals, burst);
     }
-    let engine = EventDrivenEngine::new(setup.system, engine_config());
+    let engine = EventDrivenEngine::new(setup.system, config);
     (engine, requests, arrivals)
 }
 

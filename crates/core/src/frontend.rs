@@ -23,7 +23,7 @@
 //! `RequestRouter` — byte-for-byte, which CI enforces on the e2e report.
 
 use ic_llmsim::{ModelId, Request, RequestId};
-use ic_router::gossip::{DeltaBatch, GossipConfig};
+use ic_router::gossip::{DeltaBatch, GossipConfig, GossipRoundReport};
 use ic_router::{RequestRouter, RouteDecision};
 use ic_stats::{Ema, split_mix64};
 use rand::Rng;
@@ -259,11 +259,13 @@ impl FrontEnd {
     /// relayed last round — one hop along the ring, and blends its load
     /// estimate toward its ring predecessor's snapshot value. All sends
     /// use round-start snapshots, so the outcome is independent of the
-    /// replica iteration order.
-    pub fn gossip_round(&mut self, now_s: f64) {
+    /// replica iteration order. Returns the round's own merge/staleness
+    /// delta (the cumulative counters stay in [`FrontEndStats`]).
+    pub fn gossip_round(&mut self, now_s: f64) -> GossipRoundReport {
+        let mut round = GossipRoundReport::default();
         let n = self.replicas.len();
         if n < 2 {
-            return;
+            return round;
         }
         self.gossip_rounds += 1;
         let discount = self.gossip.staleness_discount;
@@ -285,19 +287,22 @@ impl FrontEnd {
             let dest = (i + 1) % n;
             for batch in outbox {
                 self.replicas[dest].router.gossip_apply(&batch, discount);
-                self.merges += 1;
-                self.staleness_sum_s += (now_s - batch.born_s).max(0.0);
+                round.merges += 1;
+                round.staleness_sum_s += (now_s - batch.born_s).max(0.0);
                 if let Some(relay) = batch.forwarded(discount) {
                     self.replicas[dest].inbox.push(relay);
                 }
             }
         }
+        self.merges += round.merges;
+        self.staleness_sum_s += round.staleness_sum_s;
 
         // Load consensus: blend toward the ring predecessor's snapshot.
         let w = self.gossip.load_blend;
         for (i, replica) in self.replicas.iter_mut().enumerate() {
             replica.router.merge_load(loads[(i + n - 1) % n], w);
         }
+        round
     }
 
     /// Run-scoped tier statistics for the report.

@@ -181,9 +181,10 @@ impl IcCacheSystem {
     }
 
     /// One gossip round of the router tier at simulation time `now`
-    /// (no-op with a single replica). See [`crate::frontend`].
-    pub fn run_gossip(&mut self, now: f64) {
-        self.frontend.gossip_round(now);
+    /// (no-op with a single replica), returning the round's
+    /// merge/staleness delta. See [`crate::frontend`].
+    pub fn run_gossip(&mut self, now: f64) -> ic_router::GossipRoundReport {
+        self.frontend.gossip_round(now)
     }
 
     /// Runs the selection step only (no routing, no generation, no

@@ -4,11 +4,15 @@
 use ic_cache::{IcCacheSystem, Selection, ServeOutcome};
 use ic_desim::{Periodic, SimDuration, SimTime, Simulator};
 use ic_llmsim::{ExampleId, ModelId, Request};
+use ic_obs::{
+    EventKind as ObsKind, LaneBuf, NO_REQUEST, ObsReport, PoolMeta, PoolSample, Recorder,
+    TelemetrySample,
+};
 use ic_serving::{
     ChainStep, IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig,
     SharedPrefix, Watermarks,
 };
-use ic_stats::split_mix64;
+use ic_stats::{PercentileSnapshot, Percentiles, split_mix64};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -138,6 +142,22 @@ pub struct EngineConfig {
     /// Cache served request-response pairs back into the example store
     /// (Fig. 6 `update_cache`) at completion time.
     pub admit_served_pairs: bool,
+    /// Record the full request-lifecycle event stream into the report's
+    /// `obs` block (env `IC_OBS_TRACE` / `fig12_e2e --trace` in the
+    /// bench binaries) for timeline export and critical-path analysis.
+    /// Off (the default) no recorder exists, nothing in the stack
+    /// records, and the serialized report is byte-identical to the
+    /// pre-observability engine.
+    pub trace: bool,
+    /// Period of the telemetry sampler, simulated seconds (env
+    /// `IC_OBS_SAMPLE`); `0` disables sampling. Samples land in the
+    /// report's `obs` block, never in [`EngineReport::to_json`].
+    pub obs_sample_s: f64,
+    /// Ring-buffer capacity per recording lane, in events (env
+    /// `IC_OBS_RING`). A full ring drops its oldest event and counts
+    /// the eviction, so long runs degrade to a suffix trace instead of
+    /// unbounded memory.
+    pub obs_ring: usize,
 }
 
 impl Default for EngineConfig {
@@ -164,6 +184,9 @@ impl Default for EngineConfig {
             load_window: 30,
             latency_ema_alpha: 0.2,
             admit_served_pairs: false,
+            trace: false,
+            obs_sample_s: 0.0,
+            obs_ring: 1 << 20,
         }
     }
 }
@@ -192,6 +215,9 @@ enum Event {
     Maintenance,
     /// Capacity-only cross-shard budget rebalance.
     Rebalance,
+    /// One firing of the periodic telemetry sampler
+    /// (`EngineConfig::obs_sample_s`).
+    ObsSample,
 }
 
 /// A selection precomputed by the bounded-delay look-ahead window
@@ -424,6 +450,7 @@ fn admit_arrival(
     selection_hits: &mut u64,
     examples_used: &mut u64,
     quality_sum: &mut f64,
+    mut obs: Option<&mut Recorder>,
 ) {
     records[i] = Some(RequestRecord {
         index: i,
@@ -440,6 +467,18 @@ fn admit_arrival(
     });
 
     let pool = pool_index(model_pools, out.model);
+    if let Some(rec) = obs.as_mut() {
+        rec.record(
+            at,
+            i as u64,
+            ObsKind::Selected {
+                model: out.model.0 as u32,
+                examples: out.selection.ids.len() as u32,
+                offloaded: out.offloaded,
+            },
+        );
+        rec.record(at, i as u64, ObsKind::RouterDecision { pool: pool as u32 });
+    }
     let job = JobSpec {
         id: JobId(i as u64),
         pool,
@@ -456,12 +495,17 @@ fn admit_arrival(
     // boundary.
     let offer = pools[pool].lock().offer(job, at);
     if offer == Offer::Rejected {
+        if let Some(rec) = obs.as_mut() {
+            rec.record(at, i as u64, ObsKind::RejectedByCap { retry: false });
+        }
         let record = records[i].as_mut().expect("record created above");
         record.rejected = true;
         *completed += 1;
     } else {
         if offer == Offer::Started {
             arm_step(sim, pools, pool, pool_epochs[pool]);
+        } else if let Some(rec) = obs.as_mut() {
+            rec.record(at, i as u64, ObsKind::Enqueued { pool: pool as u32 });
         }
         if out.offloaded {
             *offloaded += 1;
@@ -517,6 +561,18 @@ impl ServingEngine for EventDrivenEngine {
         let model_pools = self.model_pools.clone();
         let system = &mut self.system;
 
+        // Lifecycle tracing (`IC_OBS_TRACE`): hand each pool its
+        // recording lane and keep the engine lane in the recorder. With
+        // tracing off no lane exists anywhere, so the hot path costs
+        // one `Option` check per would-be record.
+        if config.trace {
+            for (p, pool) in pools.iter().enumerate() {
+                pool.lock()
+                    .set_obs(LaneBuf::new(p as u32 + 1, config.obs_ring));
+            }
+        }
+        let mut recorder = config.trace.then(|| Recorder::new(config.obs_ring));
+
         // Shape the router tier for this run. A changed replica count
         // re-clones the (possibly warmed) primary router into every
         // replica; an unchanged tier just resets the run-scoped
@@ -560,6 +616,13 @@ impl ServingEngine for EventDrivenEngine {
         };
         if gossip.arm(&mut sim, Event::GossipRound) && par_on {
             barrier.add(sim.now() + gossip.period().expect("armed implies enabled"));
+        }
+        // Telemetry sampler (`IC_OBS_SAMPLE`): periodic cluster-state
+        // snapshots, independent of event tracing.
+        let sampler = Periodic::every_secs(config.obs_sample_s);
+        let sampler_on = sampler.enabled();
+        if sampler.arm(&mut sim, Event::ObsSample) && par_on {
+            barrier.add(sim.now() + sampler.period().expect("armed implies enabled"));
         }
         for outage in &config.pool_outages {
             if outage.duration_s <= 0.0 || outage.pool >= pools.len() {
@@ -640,6 +703,14 @@ impl ServingEngine for EventDrivenEngine {
         // old global window).
         let mut arrival_windows: Vec<VecDeque<f64>> = vec![VecDeque::new(); replicas];
         let mut completions: Vec<f64> = Vec::with_capacity(n);
+        // Sampler state: running latency recorders behind the periodic
+        // percentile gauges, with the sorted state memoized between
+        // completions (`ic_stats::PercentileSnapshot`) so back-to-back
+        // idle sample ticks reuse one sort.
+        let mut samples: Vec<TelemetrySample> = Vec::new();
+        let mut e2e_pct = Percentiles::new();
+        let mut ttft_pct = Percentiles::new();
+        let mut pct_cache: Option<(usize, PercentileSnapshot, PercentileSnapshot)> = None;
         let mut completed = 0usize;
         let mut offloaded = 0u64;
         let mut solicited = 0u64;
@@ -688,6 +759,15 @@ impl ServingEngine for EventDrivenEngine {
                             }
                         }
 
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(
+                                at,
+                                i as u64,
+                                ObsKind::Arrival {
+                                    replica: owner as u32,
+                                },
+                            );
+                        }
                         let request = &requests[i];
                         let out = match presel[i].take() {
                             // Both epochs unchanged: the precomputed selection
@@ -697,6 +777,16 @@ impl ServingEngine for EventDrivenEngine {
                                     && e.learn_epoch == system.selector().learn_epoch() =>
                             {
                                 replay_stats.preselect_hits += 1;
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Stage1Probe {
+                                            batch: 0,
+                                            reused: true,
+                                        },
+                                    );
+                                }
                                 system.serve_with_selection(request, e.selection)
                             }
                             // The proxy/threshold learned since the probe but
@@ -704,6 +794,16 @@ impl ServingEngine for EventDrivenEngine {
                             // still exact; re-score stage 2 only.
                             Some(e) if e.index_epoch == system.selector().index_epoch() => {
                                 replay_stats.stage1_reuses += 1;
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Stage1Probe {
+                                            batch: 0,
+                                            reused: true,
+                                        },
+                                    );
+                                }
                                 system.serve_with_stage1(request, Some(e.stage1))
                             }
                             // The index moved (admission/eviction): recompute
@@ -713,6 +813,16 @@ impl ServingEngine for EventDrivenEngine {
                                 selector_stats.batches += 1;
                                 selector_stats.requests += 1;
                                 selector_stats.max_batch = selector_stats.max_batch.max(1);
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Stage1Probe {
+                                            batch: 1,
+                                            reused: false,
+                                        },
+                                    );
+                                }
                                 system.serve_with_stage1(request, None)
                             }
                             // No entry yet: probe stage 1 for every arrival in
@@ -757,6 +867,16 @@ impl ServingEngine for EventDrivenEngine {
                                     selector_stats.max_batch.max(batch.len() as u64);
                                 let e = presel[i].take().expect("the probe covers its own arrival");
                                 replay_stats.preselect_hits += 1;
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Stage1Probe {
+                                            batch: batch.len() as u32,
+                                            reused: false,
+                                        },
+                                    );
+                                }
                                 system.serve_with_selection(request, e.selection)
                             }
                         };
@@ -777,6 +897,7 @@ impl ServingEngine for EventDrivenEngine {
                             &mut selection_hits,
                             &mut examples_used,
                             &mut quality_sum,
+                            recorder.as_mut(),
                         );
                     }
                     Event::Arrival(first) => {
@@ -814,6 +935,7 @@ impl ServingEngine for EventDrivenEngine {
                         selector_stats.batches += 1;
                         selector_stats.requests += batch.len() as u64;
                         selector_stats.max_batch = selector_stats.max_batch.max(batch.len() as u64);
+                        let probe_batch = batch.len() as u32;
 
                         for (i, stage1) in batch.into_iter().zip(stage1) {
                             // Windowed arrival-rate estimate feeds the owning
@@ -836,6 +958,23 @@ impl ServingEngine for EventDrivenEngine {
                                 }
                             }
 
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.record(
+                                    at,
+                                    i as u64,
+                                    ObsKind::Arrival {
+                                        replica: owner as u32,
+                                    },
+                                );
+                                rec.record(
+                                    at,
+                                    i as u64,
+                                    ObsKind::Stage1Probe {
+                                        batch: probe_batch,
+                                        reused: false,
+                                    },
+                                );
+                            }
                             let request = &requests[i];
                             let out = system.serve_with_stage1(request, stage1);
                             admit_arrival(
@@ -855,6 +994,7 @@ impl ServingEngine for EventDrivenEngine {
                                 &mut selection_hits,
                                 &mut examples_used,
                                 &mut quality_sum,
+                                recorder.as_mut(),
                             );
                             if config.admit_served_pairs
                                 && !records[i].as_ref().expect("record created above").rejected
@@ -888,6 +1028,10 @@ impl ServingEngine for EventDrivenEngine {
                             record.e2e_s = (fin.completed - fin.job.arrival).as_secs_f64();
                             completions.push(now);
                             completed += 1;
+                            if sampler_on {
+                                e2e_pct.record(record.e2e_s);
+                                ttft_pct.record(record.ttft_s);
+                            }
 
                             // Measured-latency feedback: Little's law turns
                             // the observed end-to-end latency and the work in
@@ -1005,6 +1149,10 @@ impl ServingEngine for EventDrivenEngine {
                                 record.e2e_s = (fin.completed - fin.job.arrival).as_secs_f64();
                                 completions.push(t_s);
                                 completed += 1;
+                                if sampler_on {
+                                    e2e_pct.record(record.e2e_s);
+                                    ttft_pct.record(record.ttft_s);
+                                }
                                 let e2e_s = record.e2e_s;
                                 let owner = system.front_end().replica_of(requests[i].id);
                                 system
@@ -1027,7 +1175,17 @@ impl ServingEngine for EventDrivenEngine {
                         }
                     }
                     Event::GossipRound => {
-                        system.run_gossip(now);
+                        let round = system.run_gossip(now);
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(
+                                at,
+                                NO_REQUEST,
+                                ObsKind::GossipRound {
+                                    merges: round.merges,
+                                    staleness_s: round.staleness_sum_s,
+                                },
+                            );
+                        }
                         if completed < n && gossip.arm(&mut sim, Event::GossipRound) && par_on {
                             barrier.add(at + gossip.period().expect("armed implies enabled"));
                         }
@@ -1046,9 +1204,19 @@ impl ServingEngine for EventDrivenEngine {
                         system.failover_mut().set_model_healthy(model, false);
                         down_depth[pool] += 1;
                         pool_epochs[pool] += 1;
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(at, NO_REQUEST, ObsKind::PoolDown { pool: pool as u32 });
+                        }
                         for job_id in pools[pool].lock().fail_over() {
                             let i = job_id.0 as usize;
                             failover_requeues += 1;
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.record(
+                                    at,
+                                    i as u64,
+                                    ObsKind::FailoverFlush { pool: pool as u32 },
+                                );
+                            }
                             let old = records[i].as_ref().expect("flushed job was served");
                             let original_arrival = SimTime::from_secs_f64(old.arrival_s);
                             // The first serving never completed: withdraw its
@@ -1085,6 +1253,24 @@ impl ServingEngine for EventDrivenEngine {
                                 rejected: false,
                             });
                             let retry_pool = pool_index(&model_pools, out.model);
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.record(
+                                    at,
+                                    i as u64,
+                                    ObsKind::Selected {
+                                        model: out.model.0 as u32,
+                                        examples: out.selection.ids.len() as u32,
+                                        offloaded: out.offloaded,
+                                    },
+                                );
+                                rec.record(
+                                    at,
+                                    i as u64,
+                                    ObsKind::RouterDecision {
+                                        pool: retry_pool as u32,
+                                    },
+                                );
+                            }
                             let job = JobSpec {
                                 id: JobId(i as u64),
                                 pool: retry_pool,
@@ -1101,6 +1287,13 @@ impl ServingEngine for EventDrivenEngine {
                             };
                             let offer = pools[retry_pool].lock().offer(job, at);
                             if offer == Offer::Rejected {
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::RejectedByCap { retry: true },
+                                    );
+                                }
                                 let record = records[i].as_mut().expect("record created above");
                                 record.rejected = true;
                                 completed += 1;
@@ -1108,6 +1301,14 @@ impl ServingEngine for EventDrivenEngine {
                             } else {
                                 if offer == Offer::Started {
                                     arm_step(&mut sim, &pools, retry_pool, pool_epochs[retry_pool]);
+                                } else if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Enqueued {
+                                            pool: retry_pool as u32,
+                                        },
+                                    );
                                 }
                                 // No `update_cache` here: the request's pair
                                 // was already admitted at its arrival (when
@@ -1130,6 +1331,9 @@ impl ServingEngine for EventDrivenEngine {
                     Event::PoolUp(pool) => {
                         // Recover only when the outermost outage window
                         // closes (nested windows each delivered a PoolDown).
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(at, NO_REQUEST, ObsKind::PoolUp { pool: pool as u32 });
+                        }
                         down_depth[pool] = down_depth[pool].saturating_sub(1);
                         if down_depth[pool] == 0 {
                             let model = model_pools[pool].0;
@@ -1155,6 +1359,60 @@ impl ServingEngine for EventDrivenEngine {
                             if par_on {
                                 barrier.add(at + period);
                             }
+                        }
+                    }
+                    Event::ObsSample => {
+                        // Percentile gauges: reuse the memoized sorted
+                        // snapshot unless a completion landed since the
+                        // last tick.
+                        let cache = match pct_cache.take() {
+                            Some(c) if c.0 == e2e_pct.len() => c,
+                            _ => (e2e_pct.len(), e2e_pct.snapshot(), ttft_pct.snapshot()),
+                        };
+                        let (_, e2e_snap, ttft_snap) = &cache;
+                        let pool_samples: Vec<PoolSample> = pools
+                            .iter()
+                            .map(|p| {
+                                let p = p.lock();
+                                PoolSample {
+                                    queue: p.queue_len() as u32,
+                                    active: p.active(),
+                                    swapped: p.swapped_len() as u32,
+                                    kv_used_blocks: p.kv_used_blocks(),
+                                    kv_occupancy: p.kv_occupancy(),
+                                    kv_shared_blocks: p.kv_shared_blocks(),
+                                    dedup_ratio: p.kv_stats().dedup_ratio(),
+                                    mean_step_batch: p.iter_stats().mean_step_batch(),
+                                }
+                            })
+                            .collect();
+                        // Pool queue caps count every drop, retries
+                        // included; the sample splits them back out.
+                        let total_rejects: u64 = pools.iter().map(|p| p.lock().rejected()).sum();
+                        let fe = system.front_end().stats();
+                        samples.push(TelemetrySample {
+                            t_us: at.as_micros(),
+                            completed: completed as u64,
+                            queue_rejects: total_rejects.saturating_sub(retry_rejects),
+                            retry_rejects,
+                            failover_requeues,
+                            p50_e2e_s: e2e_snap.p50().unwrap_or(0.0),
+                            p99_e2e_s: e2e_snap.p99().unwrap_or(0.0),
+                            p50_ttft_s: ttft_snap.p50().unwrap_or(0.0),
+                            p99_ttft_s: ttft_snap.p99().unwrap_or(0.0),
+                            pools: pool_samples,
+                            load_estimates: fe.load_estimates,
+                            decisions: fe.decisions,
+                            gossip_rounds: fe.gossip_rounds,
+                            mean_staleness_s: if fe.merges == 0 {
+                                0.0
+                            } else {
+                                fe.staleness_sum_s / fe.merges as f64
+                            },
+                        });
+                        pct_cache = Some(cache);
+                        if completed < n && sampler.arm(&mut sim, Event::ObsSample) && par_on {
+                            barrier.add(at + sampler.period().expect("armed implies enabled"));
                         }
                     }
                 }
@@ -1185,6 +1443,33 @@ impl ServingEngine for EventDrivenEngine {
             failover_requeues,
             retry_rejects,
         );
+        // Observability block: present whenever tracing or sampling ran,
+        // absent (and the report bit-identical to the pre-observability
+        // engine) otherwise.
+        let obs = (config.trace || sampler_on).then(|| {
+            let (events, dropped) = match recorder {
+                Some(rec) => {
+                    let lanes: Vec<LaneBuf> =
+                        pools.iter().filter_map(|p| p.lock().take_obs()).collect();
+                    rec.finish(lanes)
+                }
+                None => (Vec::new(), 0),
+            };
+            ObsReport {
+                pools: self
+                    .pool_configs
+                    .iter()
+                    .map(|pc| PoolMeta {
+                        name: pc.name.clone(),
+                        replicas: pc.replicas,
+                    })
+                    .collect(),
+                router_replicas: replicas as u32,
+                events,
+                dropped,
+                samples,
+            }
+        });
         let per_request: Vec<RequestRecord> = records
             .into_iter()
             .map(|r| r.expect("every request served"))
@@ -1213,6 +1498,7 @@ impl ServingEngine for EventDrivenEngine {
             selector: selector_stats,
             kv,
             replay: replay_stats,
+            obs,
             per_request,
         }
     }

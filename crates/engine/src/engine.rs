@@ -155,6 +155,7 @@ impl ServingEngine for DirectEngine {
             selector: crate::report::SelectorStats::default(),
             kv: ic_serving::KvStats::default(),
             replay: crate::report::ReplayStats::default(),
+            obs: None,
             per_request,
         }
     }

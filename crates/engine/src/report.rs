@@ -152,7 +152,9 @@ impl SelectorStats {
 ///
 /// Diagnostics only: deliberately **not** serialized by
 /// [`EngineReport::to_json`], so the byte-deterministic report is
-/// identical whichever replay mode produced it.
+/// identical whichever replay mode produced it. The telemetry artifact
+/// persists them instead ([`ReplayStats::to_json`], spliced into the
+/// JSONL summary footer by `fig12_e2e` when sampling is on).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayStats {
     /// Worker threads the run was configured with (`<= 1` = sequential).
@@ -172,6 +174,29 @@ pub struct ReplayStats {
     pub parallel_regions: u64,
     /// Step boundaries executed inside those regions.
     pub parallel_steps: u64,
+}
+
+impl ReplayStats {
+    /// Serializes the counters as one JSON object (fixed key order) for
+    /// the telemetry artifact — the one place replay counters are
+    /// persisted; [`EngineReport::to_json`] still excludes them so the
+    /// report stays identical across replay modes.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"threads\":{},\"preselects\":{},\"preselect_hits\":{},",
+                "\"stage1_reuses\":{},\"invalidations\":{},",
+                "\"parallel_regions\":{},\"parallel_steps\":{}}}"
+            ),
+            self.threads,
+            self.preselects,
+            self.preselect_hits,
+            self.stage1_reuses,
+            self.invalidations,
+            self.parallel_regions,
+            self.parallel_steps,
+        )
+    }
 }
 
 /// Router-tier counters for one engine run (see
@@ -260,8 +285,17 @@ pub struct EngineReport {
     /// pressure preemptions, swap traffic, fragmentation).
     pub kv: KvStats,
     /// Replay-acceleration counters (look-ahead windows, parallel step
-    /// regions). Excluded from [`EngineReport::to_json`] by design.
+    /// regions). Excluded from [`EngineReport::to_json`] by design;
+    /// persisted through the telemetry artifact instead
+    /// ([`ReplayStats::to_json`]).
     pub replay: ReplayStats,
+    /// Observability capture (`EngineConfig::trace` /
+    /// `EngineConfig::obs_sample_s`): the merged lifecycle event stream
+    /// and periodic telemetry samples. `None` with both knobs off, and
+    /// never serialized by [`EngineReport::to_json`] — timeline and
+    /// telemetry artifacts are written separately by the bench
+    /// binaries.
+    pub obs: Option<ic_obs::ObsReport>,
     /// Per-request join of decisions and timing, in arrival order.
     pub per_request: Vec<RequestRecord>,
 }

@@ -1,0 +1,191 @@
+//! Time-series telemetry: periodic cluster snapshots and their
+//! byte-deterministic JSONL serialization.
+//!
+//! The engine arms an `ic_desim::Periodic` sampler; every firing builds
+//! one [`TelemetrySample`] from live pool and router state. Samples
+//! serialize with a fixed key order and fixed-precision floats
+//! (`{:.6}`), so two replays of the same seed produce byte-identical
+//! JSONL artifacts.
+
+use std::fmt::Write as _;
+
+/// Formats a float with the repo-wide fixed artifact precision.
+pub(crate) fn f6(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// Per-pool gauges captured at one sample instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSample {
+    /// Jobs waiting for first admission.
+    pub queue: u32,
+    /// Sequences occupying slots.
+    pub active: u32,
+    /// Sequences swapped out under memory pressure.
+    pub swapped: u32,
+    /// KV blocks allocated across the pool's replicas.
+    pub kv_used_blocks: u64,
+    /// Allocated fraction of the pool's KV budget (0 when unpaged).
+    pub kv_occupancy: f64,
+    /// Blocks currently mapped by more than one sequence.
+    pub kv_shared_blocks: u32,
+    /// Logical-to-physical dedup ratio so far.
+    pub dedup_ratio: f64,
+    /// Mean sequences per iteration since the run started.
+    pub mean_step_batch: f64,
+}
+
+impl PoolSample {
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"queue\":{},\"active\":{},\"swapped\":{},",
+                "\"kv_used_blocks\":{},\"kv_occupancy\":{},\"kv_shared_blocks\":{},",
+                "\"dedup_ratio\":{},\"mean_step_batch\":{}}}"
+            ),
+            self.queue,
+            self.active,
+            self.swapped,
+            self.kv_used_blocks,
+            f6(self.kv_occupancy),
+            self.kv_shared_blocks,
+            f6(self.dedup_ratio),
+            f6(self.mean_step_batch),
+        );
+    }
+}
+
+/// One cluster-wide snapshot emitted by the periodic sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySample {
+    /// Sample instant, microseconds since simulation start.
+    pub t_us: u64,
+    /// Requests that have left the system (served or rejected).
+    pub completed: u64,
+    /// Offers dropped by pool queue caps (fresh arrivals).
+    pub queue_rejects: u64,
+    /// Failover retries dropped by pool queue caps.
+    pub retry_rejects: u64,
+    /// Jobs flushed and re-enqueued by pool failovers.
+    pub failover_requeues: u64,
+    /// Running e2e latency percentiles over completions so far (0 when
+    /// none yet).
+    pub p50_e2e_s: f64,
+    /// See [`TelemetrySample::p50_e2e_s`].
+    pub p99_e2e_s: f64,
+    /// Running TTFT percentiles over completions so far.
+    pub p50_ttft_s: f64,
+    /// See [`TelemetrySample::p50_ttft_s`].
+    pub p99_ttft_s: f64,
+    /// Per-pool gauges, in routing order.
+    pub pools: Vec<PoolSample>,
+    /// Per-router-replica smoothed load estimates.
+    pub load_estimates: Vec<f64>,
+    /// Per-router-replica routing decisions so far.
+    pub decisions: Vec<u64>,
+    /// Gossip rounds completed so far.
+    pub gossip_rounds: u64,
+    /// Mean delta-batch staleness at merge so far, seconds.
+    pub mean_staleness_s: f64,
+}
+
+impl TelemetrySample {
+    /// Serializes the sample as one JSONL line (no trailing newline),
+    /// with fixed key order and fixed-precision floats.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"kind\":\"sample\",\"t_s\":{},\"completed\":{},",
+                "\"queue_rejects\":{},\"retry_rejects\":{},\"failover_requeues\":{},",
+                "\"p50_e2e_s\":{},\"p99_e2e_s\":{},\"p50_ttft_s\":{},\"p99_ttft_s\":{},",
+                "\"pools\":["
+            ),
+            f6(self.t_us as f64 / 1e6),
+            self.completed,
+            self.queue_rejects,
+            self.retry_rejects,
+            self.failover_requeues,
+            f6(self.p50_e2e_s),
+            f6(self.p99_e2e_s),
+            f6(self.p50_ttft_s),
+            f6(self.p99_ttft_s),
+        );
+        for (i, p) in self.pools.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            p.write_json(&mut out);
+        }
+        out.push_str("],\"router\":{\"load_estimates\":[");
+        for (i, l) in self.load_estimates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f6(*l));
+        }
+        out.push_str("],\"decisions\":[");
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{d}");
+        }
+        let _ = write!(
+            out,
+            "],\"gossip_rounds\":{},\"mean_staleness_s\":{}}}}}",
+            self.gossip_rounds,
+            f6(self.mean_staleness_s),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySample {
+        TelemetrySample {
+            t_us: 60_000_000,
+            completed: 42,
+            queue_rejects: 1,
+            retry_rejects: 0,
+            failover_requeues: 3,
+            p50_e2e_s: 1.25,
+            p99_e2e_s: 4.5,
+            p50_ttft_s: 0.25,
+            p99_ttft_s: 0.75,
+            pools: vec![PoolSample {
+                queue: 2,
+                active: 8,
+                swapped: 1,
+                kv_used_blocks: 120,
+                kv_occupancy: 0.46875,
+                kv_shared_blocks: 6,
+                dedup_ratio: 0.125,
+                mean_step_batch: 7.5,
+            }],
+            load_estimates: vec![0.5, 1.0],
+            decisions: vec![20, 22],
+            gossip_rounds: 12,
+            mean_staleness_s: 2.5,
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_wellformed() {
+        let line = sample().to_json();
+        assert_eq!(line, sample().to_json());
+        assert!(line.starts_with("{\"kind\":\"sample\",\"t_s\":60.000000,"));
+        assert!(line.contains("\"pools\":[{\"queue\":2,\"active\":8,\"swapped\":1,"));
+        assert!(line.contains("\"router\":{\"load_estimates\":[0.500000,1.000000],"));
+        assert!(line.contains("\"decisions\":[20,22],\"gossip_rounds\":12,"));
+        let opens = line.matches(['{', '[']).count();
+        let closes = line.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+        assert!(!line.contains('\n'));
+    }
+}

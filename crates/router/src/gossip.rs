@@ -58,6 +58,18 @@ impl Default for GossipConfig {
     }
 }
 
+/// What one gossip round delivered: the per-round delta behind the
+/// tier's cumulative merge/staleness counters, for time-resolved
+/// diagnostics (the observability layer stamps it on the round's
+/// timeline instant).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GossipRoundReport {
+    /// Delta batches applied across the tier this round.
+    pub merges: u64,
+    /// Summed batch age at delivery this round, seconds.
+    pub staleness_sum_s: f64,
+}
+
 /// One arm's sufficient-statistic delta: the pure observation part of the
 /// posterior (no ridge prior), plus the raw pull count for diagnostics.
 #[derive(Debug, Clone)]

@@ -36,7 +36,7 @@ pub use autoscale::{AutoscaleSignal, ScaleAdvice};
 pub use bandit::ContextualBandit;
 pub use beta::BetaBandit;
 pub use features::{ROUTE_FEATURE_DIM, RouteFeatures};
-pub use gossip::{ArmDelta, DeltaBatch, GossipConfig, GossipState, ring_blend};
+pub use gossip::{ArmDelta, DeltaBatch, GossipConfig, GossipRoundReport, GossipState, ring_blend};
 pub use linalg::Matrix;
 pub use load::{LoadBias, LoadTracker};
 pub use router::{RequestRouter, RouteDecision, RouterConfig};

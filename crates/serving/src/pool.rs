@@ -100,6 +100,7 @@ use std::collections::VecDeque;
 
 use ic_desim::{SimDuration, SimTime};
 use ic_kvmem::{BlockId, BlockPool, Divergence, KvStats, KvSwap, PressurePolicy, Watermarks};
+use ic_obs::{EventKind, LaneBuf, NO_REQUEST};
 
 use crate::job::{JobId, JobSpec};
 
@@ -400,6 +401,12 @@ pub struct ModelPool {
     /// Total jobs granted a slot for the first time.
     admitted: u64,
     stats: IterStats,
+    /// Lifecycle-event recording lane (`None` keeps every hook a dead
+    /// branch — tracing off costs one pointer-sized check per site).
+    obs: Option<LaneBuf>,
+    /// When the in-flight iteration began (tracked only while `obs` is
+    /// installed; anchors the step span recorded at the next boundary).
+    step_started: Option<SimTime>,
 }
 
 /// The outcome of a sharing-aware block allocation for one sequence.
@@ -590,7 +597,21 @@ impl ModelPool {
             peak_queue: 0,
             admitted: 0,
             stats: IterStats::default(),
+            obs: None,
+            step_started: None,
         }
+    }
+
+    /// Installs the lifecycle-event recording lane. Every scheduler
+    /// transition from here on is recorded into it (under whatever lock
+    /// guards the pool, so parallel chain execution stays safe).
+    pub fn set_obs(&mut self, lane: LaneBuf) {
+        self.obs = Some(lane);
+    }
+
+    /// Removes and returns the recording lane for the end-of-run merge.
+    pub fn take_obs(&mut self) -> Option<LaneBuf> {
+        self.obs.take()
     }
 
     /// The configuration.
@@ -648,6 +669,18 @@ impl ModelPool {
     /// (`0` when KV modeling is off).
     pub fn kv_host_blocks(&self) -> u32 {
         self.kv.as_ref().map_or(0, BlockPool::host_used_blocks)
+    }
+
+    /// Device blocks currently allocated across the pool's replicas
+    /// (`0` when KV modeling is off).
+    pub fn kv_used_blocks(&self) -> u64 {
+        self.kv.as_ref().map_or(0, |kv| u64::from(kv.used_blocks()))
+    }
+
+    /// Blocks currently mapped by more than one sequence (`0` when KV
+    /// modeling or sharing is off).
+    pub fn kv_shared_blocks(&self) -> u32 {
+        self.kv.as_ref().map_or(0, BlockPool::shared_blocks)
     }
 
     /// Blocks a job's projected prefill demand would claim at admission
@@ -712,6 +745,16 @@ impl ModelPool {
                 seq.cow_pending = alloc.cow_pending;
             }
             self.admitted += 1;
+            if let Some(o) = self.obs.as_mut() {
+                o.push(
+                    now,
+                    seq.job.id.0,
+                    EventKind::SlotStart {
+                        replica: seq.replica as u32,
+                    },
+                );
+                self.step_started = Some(now);
+            }
             self.slots.push(seq);
             return Offer::Started;
         }
@@ -756,7 +799,7 @@ impl ModelPool {
     /// remaining decode first, never the last sequence on a replica)
     /// when it cannot, then performs the growth allocations. Returns
     /// the number of sequences pressure-preempted.
-    fn serve_kv_growth(&mut self) -> u32 {
+    fn serve_kv_growth(&mut self, now: SimTime) -> u32 {
         let chunk_cfg = self.config.prefill_chunk_tokens;
         // KV tokens the iteration materializes for a sequence: its
         // prefill chunk, or one decode token (must mirror what Phase 1
@@ -842,6 +885,15 @@ impl ModelPool {
                 seq.decode_run = 0;
                 seq.preemptions += 1;
                 preempted += 1;
+                if let Some(o) = self.obs.as_mut() {
+                    o.push(
+                        now,
+                        seq.job.id.0,
+                        EventKind::PressureSwapOut {
+                            host_blocks: seq.host_blocks,
+                        },
+                    );
+                }
                 self.swapped.push_back(seq);
             }
             // Grant what fits; a shortfall (only possible for the last
@@ -860,13 +912,18 @@ impl ModelPool {
                     && after > u64::from(share.tokens)
                 {
                     let tail = (u64::from(share.tokens) / u64::from(kv.block_tokens())) as usize;
-                    match kv.diverge(s.kv_blocks[tail]) {
+                    let outcome = kv.diverge(s.kv_blocks[tail]);
+                    match outcome {
                         Some(Divergence::InPlace) => s.cow_pending = false,
                         Some(Divergence::Copied(fresh)) => {
                             s.kv_blocks[tail] = fresh;
                             s.cow_pending = false;
                         }
                         None => {}
+                    }
+                    if let (Some(o), Some(d)) = (self.obs.as_mut(), outcome) {
+                        let copied = matches!(d, Divergence::Copied(_));
+                        o.push(now, s.job.id.0, EventKind::CowDiverged { copied });
                     }
                 }
                 let need = kv
@@ -901,10 +958,22 @@ impl ModelPool {
         // accrued before it; start accruing for the next one.
         self.pending_penalty_secs = 0.0;
 
+        if let Some(o) = self.obs.as_mut() {
+            let started = self.step_started.take().unwrap_or(now);
+            o.push(
+                now,
+                NO_REQUEST,
+                EventKind::StepEnd {
+                    started,
+                    batch: batch as u32,
+                },
+            );
+        }
+
         // Phase 0: memory admission for this step's KV growth. Victims
         // swapped out here do not advance (their slot work was already
         // paid for in the lockstep price — the cost of late preemption).
-        report.pressure_preempted = self.serve_kv_growth();
+        report.pressure_preempted = self.serve_kv_growth(now);
 
         let batch = self.slots.len();
         if batch == 0 {
@@ -933,11 +1002,23 @@ impl ModelPool {
                 s.remaining_prefill -= chunk;
                 s.kv_tokens += u64::from(chunk);
                 self.stats.chunk_steps += 1;
+                if let Some(o) = self.obs.as_mut() {
+                    o.push(now, s.job.id.0, EventKind::PrefillChunk { tokens: chunk });
+                }
                 if s.remaining_prefill == 0 && s.remaining_decode == 0 {
                     // Zero-output job: the prompt's forward pass is the
                     // entire service; first token falls at prefill end.
-                    s.first_token.get_or_insert(now);
+                    self.note_first_token(&mut s, now);
                     self.retire_kv(&mut s);
+                    if let Some(o) = self.obs.as_mut() {
+                        o.push(
+                            now,
+                            s.job.id.0,
+                            EventKind::Finish {
+                                preemptions: s.preemptions,
+                            },
+                        );
+                    }
                     report.finished.push(s.finish(now));
                     continue;
                 }
@@ -947,9 +1028,18 @@ impl ModelPool {
                 s.decode_run += 1;
                 s.kv_tokens += 1;
                 self.stats.decode_steps += 1;
-                s.first_token.get_or_insert(now);
+                self.note_first_token(&mut s, now);
                 if s.remaining_decode == 0 {
                     self.retire_kv(&mut s);
+                    if let Some(o) = self.obs.as_mut() {
+                        o.push(
+                            now,
+                            s.job.id.0,
+                            EventKind::Finish {
+                                preemptions: s.preemptions,
+                            },
+                        );
+                    }
                     report.finished.push(s.finish(now));
                     continue;
                 }
@@ -990,6 +1080,9 @@ impl ModelPool {
                             );
                             kv.note_swap_out();
                         }
+                        if let Some(o) = self.obs.as_mut() {
+                            o.push(now, s.job.id.0, EventKind::QuantumPreempt);
+                        }
                         self.queue.push_back(s);
                     } else {
                         self.slots.push(s);
@@ -1025,6 +1118,15 @@ impl ModelPool {
             s.kv_blocks = alloc.blocks;
             s.cow_pending = alloc.cow_pending;
             report.resumed += 1;
+            if let Some(o) = self.obs.as_mut() {
+                o.push(
+                    now,
+                    s.job.id.0,
+                    EventKind::Resumed {
+                        replica: s.replica as u32,
+                    },
+                );
+            }
             self.slots.push(s);
         }
 
@@ -1082,6 +1184,15 @@ impl ModelPool {
                     self.admitted += 1;
                 }
                 report.admitted += 1;
+                if let Some(o) = self.obs.as_mut() {
+                    o.push(
+                        now,
+                        s.job.id.0,
+                        EventKind::SlotStart {
+                            replica: s.replica as u32,
+                        },
+                    );
+                }
                 self.slots.push(s);
                 continue;
             }
@@ -1091,6 +1202,15 @@ impl ModelPool {
                 self.admitted += 1;
             }
             report.admitted += 1;
+            if let Some(o) = self.obs.as_mut() {
+                o.push(
+                    now,
+                    s.job.id.0,
+                    EventKind::SlotStart {
+                        replica: s.replica as u32,
+                    },
+                );
+            }
             self.slots.push(s);
         }
 
@@ -1133,8 +1253,22 @@ impl ModelPool {
                 } else {
                     report.admitted += 1;
                 }
+                if let Some(o) = self.obs.as_mut() {
+                    let replica = s.replica as u32;
+                    let kind = if from_swap {
+                        EventKind::Resumed { replica }
+                    } else {
+                        EventKind::SlotStart { replica }
+                    };
+                    o.push(now, s.job.id.0, kind);
+                }
                 self.slots.push(s);
             }
+        }
+        if self.obs.is_some() {
+            // Anchor the next step span; the pool idling leaves no span
+            // open until `offer` restarts the clock.
+            self.step_started = (!self.slots.is_empty()).then_some(now);
         }
         report
     }
@@ -1177,6 +1311,17 @@ impl ModelPool {
             at = next;
         }
         out
+    }
+
+    /// Stamps the sequence's first-token time if unset, recording the
+    /// TTFT lifecycle event exactly once.
+    fn note_first_token(&mut self, s: &mut Sequence, now: SimTime) {
+        if s.first_token.is_none() {
+            s.first_token = Some(now);
+            if let Some(o) = self.obs.as_mut() {
+                o.push(now, s.job.id.0, EventKind::FirstToken);
+            }
+        }
     }
 
     /// Frees a retiring sequence's KV blocks back to the pool.
@@ -1229,8 +1374,10 @@ impl ModelPool {
             ids.push(s.job.id);
         }
         ids.extend(self.drain_queue());
-        // Nothing runs, so no pending swap penalty can be charged.
+        // Nothing runs, so no pending swap penalty can be charged, and
+        // no step span is in flight.
         self.pending_penalty_secs = 0.0;
+        self.step_started = None;
         ids
     }
 }

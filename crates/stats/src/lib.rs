@@ -36,7 +36,7 @@ pub use correlation::{pearson, spearman};
 pub use dist::{Beta, Dirichlet, Exponential, Gamma, LogNormal, Normal, Poisson, Zipf};
 pub use ema::{DecayingCounter, Ema};
 pub use histogram::{Cdf, Histogram};
-pub use percentile::Percentiles;
+pub use percentile::{PercentileSnapshot, Percentiles};
 pub use rng::{SeedStream, rng_from_seed, split_mix64};
 pub use welford::RunningStats;
 
