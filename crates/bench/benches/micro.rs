@@ -403,6 +403,63 @@ fn bench_obs(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_resp_cache(c: &mut Criterion) {
+    use ic_respcache::{CachedResponse, RespCacheConfig, ResponseCache};
+
+    // The stage-0 hot path: every arrival pays one `lookup` against the
+    // IVF-indexed store, so its cost bounds the cache's break-even
+    // point. A warm store of 512 trending entries; `lookup_hit` probes
+    // a resident embedding, `lookup_miss` a query past the accept
+    // threshold (the full search runs either way — the miss is the
+    // price every uncached arrival pays).
+    let mut wg = WorkloadGenerator::sized(Dataset::MsMarco, 41, 600);
+    let requests = wg.generate_requests(600);
+    let mut cache = ResponseCache::new(RespCacheConfig {
+        prepop_min: 1,
+        budget_bytes: 64 << 20,
+        ..RespCacheConfig::default()
+    });
+    let resp = CachedResponse {
+        model: 0,
+        offloaded: false,
+        quality: 0.8,
+        examples: 4,
+        response_tokens: 128,
+    };
+    for r in requests.iter().take(512) {
+        cache.observe(&r.embedding, 0.0);
+        cache.admit(&r.embedding, resp.clone(), 0.0);
+    }
+    let mut g = c.benchmark_group("resp_cache");
+    let mut i = 0usize;
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.lookup(&requests[i].embedding, 1.0))
+        })
+    });
+    let mut j = 512usize;
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| {
+            j = 512 + (j - 511) % 88;
+            black_box(cache.lookup(&requests[j].embedding, 1.0))
+        })
+    });
+    g.bench_function("observe_admit", |b| {
+        let mut fresh = ResponseCache::new(RespCacheConfig {
+            prepop_min: 1,
+            ..RespCacheConfig::default()
+        });
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % requests.len();
+            fresh.observe(&requests[k].embedding, 0.0);
+            black_box(fresh.admit(&requests[k].embedding, resp.clone(), 0.0))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_index_search,
@@ -415,6 +472,7 @@ criterion_group!(
     bench_kv_sharing,
     bench_generation,
     bench_replay,
-    bench_obs
+    bench_obs,
+    bench_resp_cache
 );
 criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Artifact writing for the bench binaries.
+//!
+//! `fig12_e2e --trace runs/out.json` used to die with a bare
+//! `io::Error` (`No such file or directory`) when the output path's
+//! parent directory did not exist — after the whole replay had already
+//! run. [`write_artifact`] is the single write path for every
+//! `BENCH_*.json`/timeline artifact the binaries emit: it creates
+//! missing parent directories, and when the write still fails the panic
+//! message names the artifact path so the failure is actionable.
+
+use std::path::Path;
+
+/// Writes `contents` to `path`, creating any missing parent
+/// directories first.
+///
+/// # Panics
+///
+/// Panics with a message carrying the offending path when the
+/// directory cannot be created or the file cannot be written (e.g. the
+/// path's parent exists but is a file, or the filesystem is read-only)
+/// — never a bare `io::Error` with no context.
+pub fn write_artifact(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent()
+        && !parent.as_os_str().is_empty()
+        && let Err(e) = std::fs::create_dir_all(parent)
+    {
+        panic!(
+            "cannot create artifact directory {} (for {}): {e}",
+            parent.display(),
+            path.display()
+        );
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        panic!("cannot write artifact {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ic-artifact-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let root = scratch("nested");
+        let path = root.join("a/b/c/BENCH_e2e.json");
+        write_artifact(&path, "{}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        // Idempotent over an existing tree, and overwrites in place.
+        write_artifact(&path, "{\"served\":1}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"served\":1}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bare_filenames_write_to_the_current_directory_path() {
+        // `BENCH_e2e.json` has no parent component; the helper must not
+        // try to create "" as a directory.
+        let root = scratch("bare");
+        std::fs::create_dir_all(&root).unwrap();
+        let path = root.join("BENCH_telemetry.jsonl");
+        write_artifact(&path, "line\n");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "line\n");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn failure_message_names_the_artifact_path() {
+        // The parent "directory" is a file: create_dir_all must fail,
+        // and the panic must carry the path, not a bare io::Error.
+        let root = scratch("clash");
+        std::fs::create_dir_all(&root).unwrap();
+        let file = root.join("not-a-dir");
+        std::fs::write(&file, "x").unwrap();
+        let target = file.join("out.json");
+        let err = std::panic::catch_unwind(|| write_artifact(&target, "{}"))
+            .expect_err("write into a file-as-directory must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("out.json") && msg.contains("artifact"),
+            "panic must name the path: {msg:?}"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

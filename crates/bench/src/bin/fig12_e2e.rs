@@ -33,6 +33,8 @@
 //! `IC_SELECTOR_WINDOW`, `IC_REPLAY_THREADS`, `IC_KV_BLOCK`,
 //! `IC_KV_BUDGET`, `IC_KV_WATERMARKS`, `IC_KV_HOST_BLOCKS`,
 //! `IC_ROUTER_REPLICAS`, `IC_GOSSIP_PERIOD`, `IC_POOL_OUTAGE`,
+//! `IC_RESP_CACHE`, `IC_RESP_THRESHOLD`, `IC_RESP_BYTES`,
+//! `IC_RESP_TTL`, `IC_RESP_PREPOP`, `IC_RESP_WINDOW`,
 //! `IC_OBS_TRACE`, `IC_OBS_SAMPLE`, `IC_OBS_RING` — see
 //! `ic_bench::experiments::e2e::engine_config`, parsed by
 //! `ic_bench::env`); leave them unset for the byte-deterministic output
@@ -54,6 +56,7 @@ use std::time::Instant;
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
+use ic_bench::write_artifact;
 use ic_engine::{EngineReport, ServingEngine};
 use ic_workloads::Dataset;
 
@@ -176,7 +179,7 @@ fn write_obs_artifacts(report: &EngineReport, trace_path: Option<&str>, sampled:
         return;
     };
     if let Some(path) = trace_path {
-        std::fs::write(path, obs.chrome_trace_json()).expect("write trace timeline");
+        write_artifact(path, obs.chrome_trace_json());
         println!(
             "wrote {path} ({} events, {} dropped)",
             obs.events.len(),
@@ -185,11 +188,10 @@ fn write_obs_artifacts(report: &EngineReport, trace_path: Option<&str>, sampled:
     }
     if sampled {
         let footer = format!("\"replay\":{}", report.replay.to_json());
-        std::fs::write(
+        write_artifact(
             "BENCH_telemetry.jsonl",
             obs.telemetry_jsonl(Some(footer.as_str())),
-        )
-        .expect("write BENCH_telemetry.jsonl");
+        );
         println!(
             "wrote BENCH_telemetry.jsonl ({} samples)",
             obs.samples.len()
@@ -250,11 +252,10 @@ fn main() {
         };
         let (engine_report, wall_s) = timed_replay(scale, obs_off);
         let (traced, traced_wall_s) = timed_replay(scale, obs_on);
-        std::fs::write(
+        write_artifact(
             "BENCH_replay.json",
             replay_json(fraction, &engine_report, wall_s, traced_wall_s),
-        )
-        .expect("write BENCH_replay.json");
+        );
         write_obs_artifacts(&traced, trace_path.as_deref(), sampled);
         print_engine_summary(&engine_report);
         print_replay_summary(&engine_report, wall_s, traced_wall_s);
@@ -265,7 +266,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let (report, engine_report) = e2e::fig12_e2e_full(scale);
-    std::fs::write("BENCH_e2e.json", engine_report.to_json()).expect("write BENCH_e2e.json");
+    write_artifact("BENCH_e2e.json", engine_report.to_json());
     // The suite's engine run already carries the observability block
     // when tracing/sampling is on; the artifacts come from it so the
     // timed overhead pair below stays measurement-only.
@@ -276,11 +277,10 @@ fn main() {
     // events-per-second figure.
     let (timed, wall_s) = timed_replay(scale, obs_off);
     let (_, traced_wall_s) = timed_replay(scale, obs_on);
-    std::fs::write(
+    write_artifact(
         "BENCH_replay.json",
         replay_json(scale.fraction, &timed, wall_s, traced_wall_s),
-    )
-    .expect("write BENCH_replay.json");
+    );
     println!("{}", report.to_markdown());
     println!("wrote BENCH_e2e.json and BENCH_replay.json");
     print_engine_summary(&engine_report);

@@ -17,12 +17,13 @@
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
+use ic_bench::write_artifact;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let (report, engine_report) = e2e::headline_full(scale);
-    std::fs::write("BENCH_e2e.json", engine_report.to_json()).expect("write BENCH_e2e.json");
+    write_artifact("BENCH_e2e.json", engine_report.to_json());
     println!("{}", report.to_markdown());
     println!(
         "wrote BENCH_e2e.json (engine={}, served={}, offload {:.1}%, p50 {:.3}s, p99 {:.3}s)",

@@ -46,13 +46,17 @@ pub fn parse_outages(name: &str) -> Option<Vec<PoolOutage>> {
 }
 
 /// Parses a `"high,low"` watermark pair (e.g. `IC_KV_WATERMARKS=0.9,0.7`);
-/// `None` when unset, malformed, or violating `0 < low <= high <= 1`.
+/// `None` when unset, malformed, or violating `0 < low < high <= 1`.
+/// Inverted *and equal* pairs are malformed: `low == high` is legal at
+/// the kvmem level (a pinned band) but as an env override it is always
+/// a sweep-script typo that silently kills the pressure band, so it
+/// reads as unset like every other malformed knob.
 pub fn parse_watermarks(name: &str) -> Option<Watermarks> {
     let raw = std::env::var(name).ok()?;
     let (high, low) = raw.split_once(',')?;
     let high: f64 = high.trim().parse().ok()?;
     let low: f64 = low.trim().parse().ok()?;
-    (low > 0.0 && low <= high && high <= 1.0).then(|| Watermarks::new(high, low))
+    (low > 0.0 && low < high && high <= 1.0).then(|| Watermarks::new(high, low))
 }
 
 #[cfg(test)]
@@ -125,8 +129,16 @@ mod tests {
     fn rejects_inverted_or_malformed_watermarks() {
         unsafe { std::env::set_var("IC_TEST_WM_INV", "0.5,0.9") };
         assert_eq!(parse_watermarks("IC_TEST_WM_INV"), None);
+        // Regression: an equal pair used to parse, pinning a dead
+        // (zero-width) pressure band; it must read as unset.
+        unsafe { std::env::set_var("IC_TEST_WM_EQ", "0.8,0.8") };
+        assert_eq!(parse_watermarks("IC_TEST_WM_EQ"), None);
         unsafe { std::env::set_var("IC_TEST_WM_ONE", "0.9") };
         assert_eq!(parse_watermarks("IC_TEST_WM_ONE"), None);
+        unsafe { std::env::set_var("IC_TEST_WM_ZERO", "0.9,0") };
+        assert_eq!(parse_watermarks("IC_TEST_WM_ZERO"), None);
+        unsafe { std::env::set_var("IC_TEST_WM_BIG", "1.2,0.5") };
+        assert_eq!(parse_watermarks("IC_TEST_WM_BIG"), None);
         assert_eq!(parse_watermarks("IC_TEST_WM_UNSET"), None);
     }
 }

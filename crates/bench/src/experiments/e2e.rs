@@ -309,6 +309,27 @@ fn online_run_from_engine(
 ///   carrying the same request, hence the same example set (`0`/`1` =
 ///   natural trace, which almost never repeats a set). Combine with
 ///   `IC_KV_SHARE=1` to see non-zero dedup counters.
+/// - `IC_RESP_CACHE` — stage-0 predictive response cache in front of
+///   the selector (`1` = on, default off). Trending queries are
+///   pre-populated from a windowed frequency sketch; an
+///   embedding-similarity hit returns the cached response and skips
+///   selection, routing and the pool path entirely. With the knob off
+///   the engine is untouched and `BENCH_e2e.json` is byte-identical to
+///   the pre-stage-0 engine except the appended all-zero `resp_cache`
+///   stats block (CI-enforced). Combine with `IC_SHARE_BURST` to see a
+///   non-zero hit ratio on the quick trace.
+/// - `IC_RESP_THRESHOLD` — minimum cosine similarity for a stage-0 hit
+///   (default `0.98`; calibration in `docs/response-cache.md`)
+/// - `IC_RESP_BYTES` — response-store byte budget (default `4194304`);
+///   exceeding it evicts least-recently-hit entries first
+/// - `IC_RESP_TTL` — seconds before a cached response goes stale and
+///   is evicted on lookup (default `300`)
+/// - `IC_RESP_PREPOP` — sightings inside the sketch window before a
+///   query counts as trending and its response is admitted (default
+///   `2`; `1` admits everything)
+/// - `IC_RESP_WINDOW` — frequency-sketch window in simulated seconds
+///   (default `60`); the sketch forgets a window's counts wholesale
+///   when it rolls over
 /// - `IC_ROUTER_REPLICAS` — router replicas in the front-end tier.
 ///   Unset/`1` is the single-router topology and reproduces the
 ///   no-replication `BENCH_e2e.json` byte-for-byte except the report's
@@ -371,6 +392,24 @@ pub fn engine_config() -> EngineConfig {
     }
     if let Some(share) = parse_env::<u8>("IC_KV_SHARE") {
         config.kv_share = share != 0;
+    }
+    if let Some(resp) = parse_env::<u8>("IC_RESP_CACHE") {
+        config.resp_cache = resp != 0;
+    }
+    if let Some(threshold) = parse_env::<f64>("IC_RESP_THRESHOLD") {
+        config.resp_threshold = threshold;
+    }
+    if let Some(bytes) = parse_env::<usize>("IC_RESP_BYTES") {
+        config.resp_budget_bytes = bytes;
+    }
+    if let Some(ttl) = parse_env::<f64>("IC_RESP_TTL") {
+        config.resp_ttl_s = ttl;
+    }
+    if let Some(prepop) = parse_env::<u64>("IC_RESP_PREPOP") {
+        config.resp_prepop_min = prepop;
+    }
+    if let Some(window) = parse_env::<f64>("IC_RESP_WINDOW") {
+        config.resp_window_s = window;
     }
     if let Some(replicas) = parse_env::<usize>("IC_ROUTER_REPLICAS") {
         config.router_replicas = replicas.max(1);

@@ -10,11 +10,13 @@
 //! Criterion micro-benchmarks (selector stages, router decisions, knapsack
 //! solvers, IVF search, serving steps) live under `benches/`.
 
+pub mod artifact;
 pub mod env;
 pub mod experiments;
 pub mod harness;
 pub mod report;
 
+pub use artifact::write_artifact;
 pub use env::{parse_env, parse_watermarks};
 pub use harness::{PairSetup, Scale, side_by_side};
 pub use report::{Report, Table};

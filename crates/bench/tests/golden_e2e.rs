@@ -47,15 +47,43 @@ const PRESHARE_GOLDEN_PATH: &str = concat!(
     "/tests/golden/BENCH_e2e.quick.preshare.json"
 );
 
+/// The quick-scale payload as the engine produced it *before* the
+/// stage-0 response cache (no trailing `resp_cache` block). Frozen —
+/// never reblessed — so the cache-off engine's equivalence with the
+/// pre-stage-0 engine stays pinned to the actual historical bytes.
+const PRESTAGE0_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/BENCH_e2e.quick.prestage0.json"
+);
+
+/// Strips the `resp_cache` block (appended last to the report) so
+/// payloads can be compared against pre-stage-0 goldens. Mirrors CI's
+/// `sed 's/,"resp_cache":{[^}]*}}/}/'`. Must be applied *before*
+/// [`strip_dedup_tail`], which asserts its own tail position.
+fn strip_resp_cache_tail(json: &str) -> String {
+    let start = json
+        .find(",\"resp_cache\":{")
+        .expect("resp_cache block present");
+    assert!(
+        json[start..].ends_with("}}"),
+        "the resp_cache block must be the report's last field so a \
+         single splice masks it"
+    );
+    format!("{}}}", &json[..start])
+}
+
 /// Strips the dedup tail (the four sharing counters appended to the end
 /// of the `kv` block) so payloads can be compared against pre-sharing
-/// goldens. Mirrors CI's `sed 's/,"dedup_ratio":[^}]*}}/}}/'`.
+/// goldens. Mirrors CI's `sed 's/,"dedup_ratio":[^}]*}}/}}/'` (applied
+/// after the `resp_cache` strip). Expects the `resp_cache` block to be
+/// gone already — [`strip_resp_cache_tail`] comes first.
 fn strip_dedup_tail(json: &str) -> String {
     let start = json.find(",\"dedup_ratio\":").expect("dedup tail present");
     assert!(
-        json[start..].ends_with("}}"),
+        json[start..].ends_with("}}") && !json[start..].contains("resp_cache"),
         "dedup fields must sit at the end of the kv block (the report's \
-         last fields) so a single splice masks them"
+         last fields once resp_cache is stripped) so a single splice \
+         masks them"
     );
     format!("{}}}}}", &json[..start])
 }
@@ -91,7 +119,9 @@ fn quick_e2e_masked_of_router_block_matches_prerouter_golden() {
     if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
         return; // Blessing the sibling golden; this one never reblesses.
     }
-    let json = strip_dedup_tail(&engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json());
+    let json = strip_dedup_tail(&strip_resp_cache_tail(
+        &engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json(),
+    ));
     let start = json.find("\"router\":{").expect("router block present");
     let end = start + json[start..].find('}').expect("router block closes") + 2;
     let masked = format!("{}{}", &json[..start], &json[end..]);
@@ -116,7 +146,7 @@ fn quick_e2e_masked_of_dedup_tail_matches_preshare_golden() {
         return; // Blessing the sibling golden; this one never reblesses.
     }
     let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
-    let masked = strip_dedup_tail(&json);
+    let masked = strip_dedup_tail(&strip_resp_cache_tail(&json));
     let golden = std::fs::read_to_string(PRESHARE_GOLDEN_PATH)
         .expect("frozen pre-sharing golden exists (never regenerate it)");
     assert_eq!(
@@ -124,6 +154,29 @@ fn quick_e2e_masked_of_dedup_tail_matches_preshare_golden() {
         golden.trim_end(),
         "the share-off engine drifted from the pre-sharing bytes outside \
          the kv block's dedup tail"
+    );
+}
+
+/// The stage-0 acceptance pin: with the response cache off (the
+/// default), the engine's output masked of the appended `resp_cache`
+/// block must match the *pre-stage-0* golden byte for byte. Frozen
+/// history — if this test fails, the cache machinery stopped being
+/// inert with the knob off (arrival handling, selector batching, or
+/// report serialization drifted).
+#[test]
+fn quick_e2e_masked_of_resp_cache_block_matches_prestage0_golden() {
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        return; // Blessing the sibling golden; this one never reblesses.
+    }
+    let json = engine_e2e_run(Scale::quick(), Dataset::MsMarco).to_json();
+    let masked = strip_resp_cache_tail(&json);
+    let golden = std::fs::read_to_string(PRESTAGE0_GOLDEN_PATH)
+        .expect("frozen pre-stage-0 golden exists (never regenerate it)");
+    assert_eq!(
+        masked,
+        golden.trim_end(),
+        "the cache-off engine drifted from the pre-stage-0 bytes outside \
+         the resp_cache block"
     );
 }
 

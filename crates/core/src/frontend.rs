@@ -190,6 +190,23 @@ impl FrontEnd {
         (replica.router.route(request, selection_utilities, rng), r)
     }
 
+    /// [`FrontEnd::route`] for a failover *retry* of an already-counted
+    /// request: the routing decision is computed identically (same
+    /// replica, same bandit state, same RNG stream) but the replica's
+    /// decision counter is *not* bumped — a retried request is one
+    /// logical request and must appear exactly once in the per-replica
+    /// decision stats.
+    pub fn route_retry(
+        &mut self,
+        request: &Request,
+        selection_utilities: &[f64],
+        rng: &mut impl Rng,
+    ) -> (RouteDecision, usize) {
+        let r = self.replica_of(request.id);
+        let replica = &mut self.replicas[r];
+        (replica.router.route(request, selection_utilities, rng), r)
+    }
+
     /// Records an observed reward at the owning replica only.
     pub fn record_reward(
         &mut self,

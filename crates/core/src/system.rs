@@ -327,6 +327,71 @@ impl IcCacheSystem {
         self.serve_routed(request, selection)
     }
 
+    /// [`IcCacheSystem::serve`] for a failover *retry* of a request that
+    /// already went through the tier once. The retry recomputes a fresh
+    /// selection and routing decision (the index and the bandit may have
+    /// moved since the original serving, and the original choice's pool
+    /// is down) and generates — but it records *no* serving statistics
+    /// and absorbs *no* feedback: `served`/`offloaded` stay untouched,
+    /// the router tier's per-replica decision counters are not bumped
+    /// ([`crate::frontend::FrontEnd::route_retry`]), no preference
+    /// solicitation happens, no reward/proxy/cache-gain update runs, and
+    /// example accesses are not re-recorded. One logical request leaves
+    /// exactly one set of selector/router stats behind, however many
+    /// times failover re-enqueues it.
+    pub fn serve_retry(&mut self, request: &Request) -> ServeOutcome {
+        let selection = if self.failover.selector_healthy() {
+            let spec = self.config.catalog.get(self.offload_target());
+            self.selector.select(request, self.manager.cache(), spec)
+        } else {
+            Selection::empty(0.0)
+        };
+        // Routing mirrors `serve_routed` (same health override), minus
+        // the decision counting and feedback solicitation.
+        let (chosen, bias) = if self.failover.router_healthy() {
+            let (d, _replica) =
+                self.frontend
+                    .route_retry(request, &selection.predicted_utility, &mut self.rng);
+            let chosen = if self.failover.model_healthy(d.chosen) {
+                d.chosen
+            } else {
+                d.scores
+                    .iter()
+                    .filter(|&&(m, _)| self.failover.model_healthy(m))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|&(m, _)| m)
+                    .unwrap_or(d.chosen)
+            };
+            (chosen, d.applied_bias)
+        } else {
+            (self.config.primary, 0.0)
+        };
+        let offloadable = chosen != self.config.primary;
+        let example_refs: Vec<&Example> = if offloadable {
+            selection.resolve(self.manager.cache())
+        } else {
+            Vec::new()
+        };
+        let setup = GenSetup {
+            examples: example_refs,
+            ..GenSetup::default()
+        };
+        let spec = self.config.catalog.get(chosen);
+        let outcome = self
+            .config
+            .generator
+            .generate(spec, request, &setup, &mut self.rng);
+        ServeOutcome {
+            request_id: request.id,
+            model: chosen,
+            offloaded: offloadable,
+            selection,
+            outcome,
+            solicited_feedback: false,
+            applied_bias: bias,
+        }
+    }
+
     /// The selection step alone, over caller-supplied stage-1
     /// candidates, without serving — read-only. Pairs with
     /// [`IcCacheSystem::serve_with_selection`].

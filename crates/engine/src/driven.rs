@@ -8,6 +8,7 @@ use ic_obs::{
     EventKind as ObsKind, LaneBuf, NO_REQUEST, ObsReport, PoolMeta, PoolSample, Recorder,
     TelemetrySample,
 };
+use ic_respcache::{CachedResponse, RespCacheConfig, ResponseCache};
 use ic_serving::{
     ChainStep, IterStats, JobId, JobSpec, KvStats, KvSwap, ModelPool, Offer, PoolConfig,
     SharedPrefix, Watermarks,
@@ -158,6 +159,33 @@ pub struct EngineConfig {
     /// the eviction, so long runs degrade to a suffix trace instead of
     /// unbounded memory.
     pub obs_ring: usize,
+    /// Stage-0 predictive response cache (env `IC_RESP_CACHE` in the
+    /// bench binaries). When on, every fresh arrival first probes an
+    /// embedding-similarity cache of whole served responses; a hit
+    /// within `resp_threshold` returns the cached response after a
+    /// fixed cache-serve latency and skips selection, routing, and the
+    /// entire pool prefill/decode path. Off (the default) no cache
+    /// exists and the serialized report is byte-identical to the
+    /// pre-stage0 engine modulo the report's all-zero `resp_cache`
+    /// block.
+    pub resp_cache: bool,
+    /// Minimum cosine similarity for a stage-0 lookup to hit (env
+    /// `IC_RESP_THRESHOLD`). The 0.98 default accepts near-duplicates
+    /// only; see `docs/response-cache.md` for the calibration argument.
+    pub resp_threshold: f64,
+    /// Byte budget of the stage-0 store (env `IC_RESP_BYTES`); LRU
+    /// entries are evicted past it.
+    pub resp_budget_bytes: usize,
+    /// Stage-0 entry time-to-live, seconds (env `IC_RESP_TTL`); older
+    /// entries are stale and evicted lazily on lookup.
+    pub resp_ttl_s: f64,
+    /// Duplicate sightings within the trending window required before a
+    /// missed query is admitted into the stage-0 store (env
+    /// `IC_RESP_PREPOP`).
+    pub resp_prepop_min: u64,
+    /// Width of the stage-0 trending-query frequency window, seconds
+    /// (env `IC_RESP_WINDOW`).
+    pub resp_window_s: f64,
 }
 
 impl Default for EngineConfig {
@@ -187,6 +215,12 @@ impl Default for EngineConfig {
             trace: false,
             obs_sample_s: 0.0,
             obs_ring: 1 << 20,
+            resp_cache: false,
+            resp_threshold: 0.98,
+            resp_budget_bytes: 4 << 20,
+            resp_ttl_s: 300.0,
+            resp_prepop_min: 2,
+            resp_window_s: 60.0,
         }
     }
 }
@@ -218,7 +252,20 @@ enum Event {
     /// One firing of the periodic telemetry sampler
     /// (`EngineConfig::obs_sample_s`).
     ObsSample,
+    /// Request `i`, answered by the stage-0 response cache at its
+    /// arrival tick, completes after the fixed cache-serve latency
+    /// ([`STAGE0_HIT_LATENCY_S`]). Scheduling a real event (instead of
+    /// filling the record inline with a future timestamp) keeps the
+    /// completion bookkeeping — completions list, sampler percentiles,
+    /// Little's-law feedback, the terminal `Finish` lifecycle event —
+    /// in global time order.
+    Stage0Complete(usize),
 }
+
+/// Fixed latency of serving a request from the stage-0 response cache:
+/// the embedding probe plus response streaming, orders of magnitude
+/// below any prefill/decode path but not free.
+const STAGE0_HIT_LATENCY_S: f64 = 0.002;
 
 /// A selection precomputed by the bounded-delay look-ahead window
 /// (`EngineConfig::selector_window_s`), plus the selector epochs it was
@@ -521,6 +568,70 @@ fn admit_arrival(
     }
 }
 
+/// Serves request `i` from the stage-0 response cache: record the
+/// provenance of the cached response, emit the `Stage0Hit` lifecycle
+/// marker, and schedule the completion event one cache-serve latency
+/// out. No selector, router, or pool state is touched — the hit's only
+/// contribution to the run tallies is its quality (it delivered the
+/// cached response's answer). Timings are filled by `Stage0Complete`.
+#[allow(clippy::too_many_arguments)] // run-scoped tallies, not a real API
+fn serve_stage0_hit(
+    i: usize,
+    resp: &CachedResponse,
+    owner: usize,
+    at: SimTime,
+    now: f64,
+    par_on: bool,
+    sim: &mut Simulator<Event>,
+    barrier: &mut BarrierSet,
+    records: &mut [Option<RequestRecord>],
+    quality_sum: &mut f64,
+    obs: Option<&mut Recorder>,
+) {
+    records[i] = Some(RequestRecord {
+        index: i,
+        model: resp.model,
+        // *This* serving ran nothing: no offload, no examples, no
+        // solicitation — the cached response's provenance lives in the
+        // cache entry, not in the hit's record.
+        offloaded: false,
+        quality: resp.quality,
+        solicited: false,
+        examples: 0,
+        arrival_s: now,
+        queue_s: 0.0,
+        ttft_s: 0.0,
+        e2e_s: 0.0,
+        rejected: false,
+    });
+    *quality_sum += resp.quality;
+    if let Some(rec) = obs {
+        rec.record(
+            at,
+            i as u64,
+            ObsKind::Stage0Hit {
+                replica: owner as u32,
+            },
+        );
+    }
+    let done = at + SimDuration::from_secs_f64(STAGE0_HIT_LATENCY_S);
+    sim.schedule(done, Event::Stage0Complete(i));
+    if par_on {
+        barrier.add(done);
+    }
+}
+
+/// The response a served outcome leaves behind for the stage-0 cache.
+fn cacheable_response(out: &ServeOutcome) -> CachedResponse {
+    CachedResponse {
+        model: out.model.0,
+        offloaded: out.offloaded,
+        quality: out.outcome.quality,
+        examples: out.selection.ids.len(),
+        response_tokens: out.outcome.output_tokens,
+    }
+}
+
 /// Reschedules `pool`'s step event iff it still has a running batch.
 /// Invariant: each busy pool has exactly one *live* `StepComplete`
 /// in flight — armed here and by an `Offer::Started` admission; a
@@ -687,6 +798,19 @@ impl ServingEngine for EventDrivenEngine {
         let mut win_cursor = 0usize;
         let mut presel: Vec<Option<PreSel>> = (0..n).map(|_| None).collect();
 
+        // Stage-0 response cache (`IC_RESP_CACHE`): probed per fresh
+        // arrival before any selector work. `None` (the default) keeps
+        // every path below byte-identical to the pre-stage0 engine.
+        let mut resp_cache = config.resp_cache.then(|| {
+            ResponseCache::new(RespCacheConfig {
+                threshold: config.resp_threshold,
+                budget_bytes: config.resp_budget_bytes,
+                ttl_s: config.resp_ttl_s,
+                prepop_min: config.resp_prepop_min,
+                window_s: config.resp_window_s,
+            })
+        });
+
         let mut selector_stats = SelectorStats {
             batch_limit: config.selector_batch as u64,
             ..SelectorStats::default()
@@ -767,6 +891,35 @@ impl ServingEngine for EventDrivenEngine {
                                     replica: owner as u32,
                                 },
                             );
+                        }
+                        // Stage-0 probe: a response-cache hit skips the
+                        // whole selection path. A precomputed look-ahead
+                        // entry is dropped (wasted probe work, nothing
+                        // more); an unconsumed window-cursor slot still
+                        // advances past this arrival.
+                        if let Some(cache) = resp_cache.as_mut() {
+                            cache.observe(&requests[i].embedding, now);
+                            if let Some(resp) = cache.lookup(&requests[i].embedding, now) {
+                                if presel[i].take().is_none()
+                                    && order.get(win_cursor).copied() == Some(i)
+                                {
+                                    win_cursor += 1;
+                                }
+                                serve_stage0_hit(
+                                    i,
+                                    &resp,
+                                    owner,
+                                    at,
+                                    now,
+                                    par_on,
+                                    &mut sim,
+                                    &mut barrier,
+                                    &mut records,
+                                    &mut quality_sum,
+                                    recorder.as_mut(),
+                                );
+                                continue;
+                            }
                         }
                         let request = &requests[i];
                         let out = match presel[i].take() {
@@ -899,6 +1052,11 @@ impl ServingEngine for EventDrivenEngine {
                             &mut quality_sum,
                             recorder.as_mut(),
                         );
+                        if let Some(cache) = resp_cache.as_mut()
+                            && !records[i].as_ref().expect("record created above").rejected
+                        {
+                            cache.admit(&requests[i].embedding, cacheable_response(&out), now);
+                        }
                     }
                     Event::Arrival(first) => {
                         // Coalesce the run of arrivals sharing this event
@@ -918,6 +1076,134 @@ impl ServingEngine for EventDrivenEngine {
                                 Some(_) => unreachable!("predicate admits only arrivals"),
                                 None => break,
                             }
+                        }
+                        if let Some(cache) = resp_cache.as_mut() {
+                            // --- stage-0 over a coalesced batch ---
+                            // Observe every member in the trending sketch
+                            // *before* serving the first: a same-tick
+                            // stampede of N identical arrivals is already at
+                            // count N when its first member misses, so that
+                            // member's served response is admitted and the
+                            // other N−1 members hit it — one insertion per
+                            // stampede.
+                            for &i in &batch {
+                                cache.observe(&requests[i].embedding, now);
+                            }
+                            // The hoisted stage-1 probe is computed lazily at
+                            // the first miss (an all-hit batch does no
+                            // selector work at all) and covers the whole
+                            // batch: the probe is read-only and nothing
+                            // mutates the index within the tick, so each
+                            // entry is exactly what an inline probe at the
+                            // member's own serve would return.
+                            let mut hoisted: Option<Vec<Vec<(ExampleId, f64)>>> = None;
+                            let mut misses = 0u64;
+                            for (k, &i) in batch.iter().enumerate() {
+                                let owner = system.front_end().replica_of(requests[i].id);
+                                let load_win = &mut arrival_windows[owner];
+                                load_win.push_back(now);
+                                while load_win.len() > config.load_window {
+                                    load_win.pop_front();
+                                }
+                                if load_win.len() >= 2 {
+                                    let dt = now - load_win.front().expect("non-empty window");
+                                    if dt > 0.0 {
+                                        system.front_end_mut().observe_arrival_load(
+                                            owner,
+                                            (load_win.len() - 1) as f64 / dt,
+                                        );
+                                    }
+                                }
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Arrival {
+                                            replica: owner as u32,
+                                        },
+                                    );
+                                }
+                                if let Some(resp) = cache.lookup(&requests[i].embedding, now) {
+                                    serve_stage0_hit(
+                                        i,
+                                        &resp,
+                                        owner,
+                                        at,
+                                        now,
+                                        par_on,
+                                        &mut sim,
+                                        &mut barrier,
+                                        &mut records,
+                                        &mut quality_sum,
+                                        recorder.as_mut(),
+                                    );
+                                    continue;
+                                }
+                                misses += 1;
+                                let stage1 = if batch.len() > 1 {
+                                    let probes = hoisted.get_or_insert_with(|| {
+                                        let refs: Vec<&Request> =
+                                            batch.iter().map(|&j| &requests[j]).collect();
+                                        system.stage1_batch(&refs)
+                                    });
+                                    Some(probes[k].clone())
+                                } else {
+                                    None
+                                };
+                                if let Some(rec) = recorder.as_mut() {
+                                    rec.record(
+                                        at,
+                                        i as u64,
+                                        ObsKind::Stage1Probe {
+                                            batch: batch.len() as u32,
+                                            reused: false,
+                                        },
+                                    );
+                                }
+                                let request = &requests[i];
+                                let out = system.serve_with_stage1(request, stage1);
+                                admit_arrival(
+                                    i,
+                                    &out,
+                                    config.kv_share,
+                                    at,
+                                    now,
+                                    &mut sim,
+                                    &pools,
+                                    &model_pools,
+                                    &pool_epochs,
+                                    &mut records,
+                                    &mut completed,
+                                    &mut offloaded,
+                                    &mut solicited,
+                                    &mut selection_hits,
+                                    &mut examples_used,
+                                    &mut quality_sum,
+                                    recorder.as_mut(),
+                                );
+                                let rejected =
+                                    records[i].as_ref().expect("record created above").rejected;
+                                if config.admit_served_pairs && !rejected {
+                                    let _ =
+                                        system.update_cache(request, &out.outcome, out.model, now);
+                                }
+                                if !rejected {
+                                    cache.admit(
+                                        &requests[i].embedding,
+                                        cacheable_response(&out),
+                                        now,
+                                    );
+                                }
+                            }
+                            // Selector stats count what stage 1 actually
+                            // served; cache-answered members never reached
+                            // it.
+                            if misses > 0 {
+                                selector_stats.batches += 1;
+                                selector_stats.requests += misses;
+                                selector_stats.max_batch = selector_stats.max_batch.max(misses);
+                            }
+                            continue;
                         }
                         // One multi-query stage-1 probe for the whole batch.
                         // Nothing in this path mutates the example index
@@ -1001,6 +1287,34 @@ impl ServingEngine for EventDrivenEngine {
                             {
                                 let _ = system.update_cache(request, &out.outcome, out.model, now);
                             }
+                        }
+                    }
+                    Event::Stage0Complete(i) => {
+                        // The cache-served request completes: the same
+                        // bookkeeping a pool finisher gets, with no pool
+                        // state to touch. Queue wait is zero (the cache
+                        // answered at the arrival tick) and first token ==
+                        // completion (the whole response streams at once).
+                        let record = records[i].as_mut().expect("hit recorded at arrival");
+                        record.queue_s = 0.0;
+                        record.ttft_s = STAGE0_HIT_LATENCY_S;
+                        record.e2e_s = STAGE0_HIT_LATENCY_S;
+                        completions.push(now);
+                        completed += 1;
+                        if sampler_on {
+                            e2e_pct.record(record.e2e_s);
+                            ttft_pct.record(record.ttft_s);
+                        }
+                        // Little's-law feedback at the owning replica: the
+                        // stage-0 tier held exactly this request while
+                        // serving it (mirrors the baseline single-request
+                        // path).
+                        let owner = system.front_end().replica_of(requests[i].id);
+                        system
+                            .front_end_mut()
+                            .observe_completion(owner, STAGE0_HIT_LATENCY_S, 1);
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(at, i as u64, ObsKind::Finish { preemptions: 0 });
                         }
                     }
                     Event::StepComplete(pool, epoch) if !par_on => {
@@ -1236,9 +1550,15 @@ impl ServingEngine for EventDrivenEngine {
 
                             // Retry: a fresh selection + routing decision at
                             // the owning replica (the down model is excluded
-                            // by the failover state) and a fresh generation.
+                            // by the failover state) and a fresh generation —
+                            // through the stats-neutral retry path, so the
+                            // already-counted request is not double-probed
+                            // into the selector/router stats and no bandit
+                            // feedback is absorbed twice. Retries also bypass
+                            // stage 0: a cached answer cannot be re-offered
+                            // for a request the tier already answered once.
                             let request = &requests[i];
-                            let out = system.serve(request);
+                            let out = system.serve_retry(request);
                             records[i] = Some(RequestRecord {
                                 index: i,
                                 model: out.model.0,
@@ -1497,6 +1817,7 @@ impl ServingEngine for EventDrivenEngine {
             router,
             selector: selector_stats,
             kv,
+            resp_cache: resp_cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
             replay: replay_stats,
             obs,
             per_request,

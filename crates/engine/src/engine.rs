@@ -154,6 +154,7 @@ impl ServingEngine for DirectEngine {
             router: crate::report::RouterStats::default(),
             selector: crate::report::SelectorStats::default(),
             kv: ic_serving::KvStats::default(),
+            resp_cache: ic_respcache::RespCacheStats::default(),
             replay: crate::report::ReplayStats::default(),
             obs: None,
             per_request,

@@ -284,6 +284,10 @@ pub struct EngineReport {
     /// Paged KV-memory counters merged across pools (block occupancy,
     /// pressure preemptions, swap traffic, fragmentation).
     pub kv: KvStats,
+    /// Stage-0 response-cache counters (lookups, hits, predictive
+    /// pre-populations, stale evictions, stored bytes). All zero when
+    /// the tier is off (`EngineConfig::resp_cache`).
+    pub resp_cache: ic_respcache::RespCacheStats,
     /// Replay-acceleration counters (look-ahead windows, parallel step
     /// regions). Excluded from [`EngineReport::to_json`] by design;
     /// persisted through the telemetry artifact instead
@@ -362,7 +366,9 @@ impl EngineReport {
                 "\"fragmentation\":{},\"allocs\":{},\"frees\":{},",
                 "\"host_peak_blocks\":{},\"recompute_fallbacks\":{},",
                 "\"dedup_ratio\":{},\"shared_blocks_peak\":{},",
-                "\"cow_copies\":{},\"blocks_saved\":{}}}}}"
+                "\"cow_copies\":{},\"blocks_saved\":{}}},",
+                "\"resp_cache\":{{\"lookups\":{},\"hits\":{},\"hit_ratio\":{},",
+                "\"prepopulations\":{},\"stale_evictions\":{},\"bytes\":{}}}}}"
             ),
             self.engine,
             self.served,
@@ -428,6 +434,12 @@ impl EngineReport {
             self.kv.shared_blocks_peak,
             self.kv.cow_copies,
             self.kv.blocks_saved,
+            self.resp_cache.lookups,
+            self.resp_cache.hits,
+            f6(self.resp_cache.hit_ratio()),
+            self.resp_cache.prepopulations,
+            self.resp_cache.stale_evictions,
+            self.resp_cache.bytes,
         )
     }
 }
@@ -532,11 +544,26 @@ mod tests {
         assert!(a.contains("\"host_peak_blocks\":12,\"recompute_fallbacks\":2"));
         // The dedup fields sit at the END of the kv block so the CI
         // masking pattern `,"dedup_ratio":...}` can strip them when
-        // comparing against pre-sharing goldens.
-        assert!(a.ends_with(
+        // comparing against pre-sharing goldens (after the resp_cache
+        // tail has been stripped first).
+        assert!(a.contains(
             "\"dedup_ratio\":0.250000,\"shared_blocks_peak\":5,\
-             \"cow_copies\":4,\"blocks_saved\":10}}"
+             \"cow_copies\":4,\"blocks_saved\":10}"
         ));
+        // The resp_cache block ends the report, flat, so the CI masking
+        // pattern `,"resp_cache":{...}}` can strip it when comparing
+        // against pre-stage0 goldens.
+        assert!(a.ends_with(
+            ",\"resp_cache\":{\"lookups\":0,\"hits\":0,\"hit_ratio\":0.000000,\
+             \"prepopulations\":0,\"stale_evictions\":0,\"bytes\":0}}"
+        ));
+        let start = a.find("\"resp_cache\":{").unwrap();
+        let inner = &a[start + "\"resp_cache\":{".len()..];
+        let close = inner.find('}').unwrap();
+        assert!(
+            !inner[..close].contains('{'),
+            "resp_cache block must be flat"
+        );
         // Balanced braces (cheap well-formedness check without a parser).
         assert_eq!(a.matches('{').count(), a.matches('}').count());
     }

@@ -209,6 +209,38 @@ fn pool_failover_preempts_and_requeues_through_the_tier() {
 }
 
 #[test]
+fn failover_retries_record_router_decisions_exactly_once() {
+    // Regression: a failover retry used to re-enter the tier as a fresh
+    // arrival, rolling a second routing decision (and a second round of
+    // selector/bandit bookkeeping) for the same logical request. The
+    // retry path must leave per-replica decision counts untouched, so
+    // even with requeues in flight the tier records exactly one
+    // decision per request.
+    let config = EngineConfig {
+        router_replicas: 2,
+        gossip_period_s: 2.0,
+        pool_outages: vec![PoolOutage {
+            pool: 0,
+            at_s: 10.0,
+            duration_s: 20.0,
+        }],
+        ..EngineConfig::default()
+    };
+    let report = run(config, 30.0, 40.0, 211);
+    assert!(
+        report.router.failover_requeues > 0,
+        "the outage must actually flush work: {:?}",
+        report.router
+    );
+    assert_eq!(
+        report.router.decisions.iter().sum::<u64>(),
+        report.served,
+        "retries must not double-count routing decisions: {:?}",
+        report.router.decisions
+    );
+}
+
+#[test]
 fn rejected_retries_count_once_in_queue_rejects_and_again_in_retry_rejects() {
     // A tight queue cap under saturation plus an outage: some flushed
     // jobs find the healthy pool's queue full and are dropped. Each

@@ -119,6 +119,16 @@ pub fn chrome_trace_json(report: &ObsReport) -> String {
                     &format!("\"request\":{}", ev.request),
                 );
             }
+            EventKind::Stage0Hit { replica } => {
+                instant(
+                    &mut out,
+                    "stage0_hit",
+                    0,
+                    replica,
+                    at_us,
+                    &format!("\"request\":{}", ev.request),
+                );
+            }
             EventKind::GossipRound {
                 merges,
                 staleness_s,

@@ -132,8 +132,11 @@ impl Builder {
     fn fold(&mut self, at: SimTime, kind: &EventKind) {
         match kind {
             // Selection and routing happen while the request waits; the
-            // time stays in the queue bucket.
+            // time stays in the queue bucket. A stage-0 cache hit never
+            // occupies a slot, so its whole (fixed) serve latency is
+            // queue-phase time too.
             EventKind::Arrival { .. }
+            | EventKind::Stage0Hit { .. }
             | EventKind::Stage1Probe { .. }
             | EventKind::Selected { .. }
             | EventKind::RouterDecision { .. }
@@ -290,6 +293,21 @@ mod tests {
         assert_eq!(p.decode_us, 20);
         assert_eq!(p.swap_us, 0);
         assert_eq!(p.span_us(), 160);
+    }
+
+    #[test]
+    fn stage0_hit_charges_queue_only() {
+        let events = vec![
+            ev(100, 0, 7, EventKind::Arrival { replica: 0 }),
+            ev(100, 0, 7, EventKind::Stage0Hit { replica: 0 }),
+            ev(2100, 0, 7, EventKind::Finish { preemptions: 0 }),
+        ];
+        let paths = critical_paths(&events);
+        let p = &paths[&7];
+        assert!(p.well_formed());
+        assert_eq!(p.queue_us, 2000);
+        assert_eq!(p.prefill_us + p.decode_us + p.swap_us + p.retry_us, 0);
+        assert_eq!(p.span_us(), 2000);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum EventKind {
         /// Router replica the request hashes to.
         replica: u32,
     },
+    /// The stage-0 response cache answered this request: a stored
+    /// response within the similarity threshold was found, so selection,
+    /// routing, and the pool path are skipped entirely. Non-terminal —
+    /// the request still finishes (with `Finish`) after the fixed
+    /// cache-serve latency.
+    Stage0Hit {
+        /// Router replica the request hashes to.
+        replica: u32,
+    },
     /// The stage-1 selector probe that served this request. `batch` is
     /// the number of arrivals the live probe covered (`0` when the
     /// request consumed a selection precomputed by the look-ahead
@@ -177,6 +186,7 @@ mod tests {
         assert!(EventKind::Finish { preemptions: 0 }.is_terminal());
         assert!(EventKind::RejectedByCap { retry: true }.is_terminal());
         assert!(!EventKind::Arrival { replica: 0 }.is_terminal());
+        assert!(!EventKind::Stage0Hit { replica: 0 }.is_terminal());
         assert!(!EventKind::FirstToken.is_terminal());
     }
 }
