@@ -39,6 +39,36 @@ fn bench_index_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sequential vs 4-thread deterministic index build at 2k and 20k rows:
+/// one `insert_bulk` call covers the whole setup pipeline the replay
+/// harness times as `index_build_wall_s` — slab bulk insert (embed
+/// rows + norms), the k-means fit, and IVF posting-list assignment.
+/// The threaded build is bit-identical to the sequential one (the
+/// `parallel_determinism` proptests and the CI determinism job pin
+/// this), so the only thing this group measures is wall time.
+fn bench_index_build(c: &mut Criterion) {
+    let mut rng = rng_from_seed(12);
+    let rows: Vec<(u64, Embedding)> = (0..20_000u64)
+        .map(|i| (i, Embedding::gaussian(64, 1.0, &mut rng).normalized()))
+        .collect();
+    let mut g = c.benchmark_group("index_build");
+    for n in [2_000usize, 20_000] {
+        for threads in [1usize, 4] {
+            g.bench_function(&format!("bulk_{}k_t{threads}", n / 1_000), |b| {
+                b.iter(|| {
+                    let mut ivf = IvfIndex::new(IvfConfig {
+                        setup_threads: threads,
+                        ..IvfConfig::default()
+                    });
+                    ivf.insert_bulk(rows[..n].to_vec());
+                    black_box(ivf.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 /// Scalar vs batched multi-query IVF probe at Q ∈ {1, 8, 64}: one
 /// `search_batch` call must beat Q sequential `search` calls once the
 /// batch amortizes the centroid scan and posting-list traversal (Q >= 8
@@ -463,6 +493,7 @@ fn bench_resp_cache(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_index_search,
+    bench_index_build,
     bench_selector_batch,
     bench_selector,
     bench_router,

@@ -56,6 +56,7 @@ use std::time::Instant;
 
 use ic_bench::Scale;
 use ic_bench::experiments::e2e;
+use ic_bench::harness::SetupTiming;
 use ic_bench::write_artifact;
 use ic_engine::{EngineReport, ServingEngine};
 use ic_workloads::Dataset;
@@ -66,7 +67,13 @@ use ic_workloads::Dataset;
 /// observability-off replay, `traced_wall_s` the identical replay with
 /// the lifecycle recorder on — side by side, so the tracing-overhead
 /// claim is a measurement.
-fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64, traced_wall_s: f64) -> String {
+fn replay_json(
+    fraction: f64,
+    report: &EngineReport,
+    wall_s: f64,
+    traced_wall_s: f64,
+    setup: SetupTiming,
+) -> String {
     let events = report.served + report.iter.steps;
     let r = &report.replay;
     format!(
@@ -74,8 +81,9 @@ fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64, traced_wall_s:
             "{{\"fraction\":{:.6},\"threads\":{},\"served\":{},\"steps\":{},",
             "\"events\":{},\"preselects\":{},\"preselect_hits\":{},",
             "\"stage1_reuses\":{},\"invalidations\":{},\"parallel_regions\":{},",
-            "\"parallel_steps\":{},\"wall_s\":{:.3},\"traced_wall_s\":{:.3},",
-            "\"events_per_sec\":{:.1}}}"
+            "\"parallel_steps\":{},\"setup_threads\":{},\"setup_wall_s\":{:.3},",
+            "\"embed_wall_s\":{:.3},\"index_build_wall_s\":{:.3},",
+            "\"wall_s\":{:.3},\"traced_wall_s\":{:.3},\"events_per_sec\":{:.1}}}"
         ),
         fraction,
         r.threads,
@@ -88,6 +96,10 @@ fn replay_json(fraction: f64, report: &EngineReport, wall_s: f64, traced_wall_s:
         r.invalidations,
         r.parallel_regions,
         r.parallel_steps,
+        setup.setup_threads,
+        setup.setup_wall_s,
+        setup.embed_wall_s,
+        setup.index_build_wall_s,
         wall_s,
         traced_wall_s,
         events as f64 / wall_s.max(1e-9),
@@ -143,7 +155,20 @@ fn print_engine_summary(report: &EngineReport) {
     );
 }
 
-fn print_replay_summary(report: &EngineReport, wall_s: f64, traced_wall_s: f64) {
+fn print_replay_summary(
+    report: &EngineReport,
+    wall_s: f64,
+    traced_wall_s: f64,
+    setup: SetupTiming,
+) {
+    println!(
+        "setup: {:.2}s wall at {} thread(s) (embed {:.2}s, index build {:.2}s) vs replay {:.2}s",
+        setup.setup_wall_s,
+        setup.setup_threads,
+        setup.embed_wall_s,
+        setup.index_build_wall_s,
+        wall_s,
+    );
     let events = report.served + report.iter.steps;
     let r = &report.replay;
     println!(
@@ -200,13 +225,14 @@ fn write_obs_artifacts(report: &EngineReport, trace_path: Option<&str>, sampled:
 }
 
 /// Times `serve_workload` over the standard MS MARCO replay parts under
-/// an explicit config, returning the report and its wall seconds.
-fn timed_replay(scale: Scale, config: ic_engine::EngineConfig) -> (EngineReport, f64) {
-    let (mut engine, requests, arrivals) =
-        e2e::engine_e2e_parts_with(scale, Dataset::MsMarco, config);
+/// an explicit config, returning the report, its wall seconds, and the
+/// measured wall split of the setup that preceded it.
+fn timed_replay(scale: Scale, config: ic_engine::EngineConfig) -> (EngineReport, f64, SetupTiming) {
+    let (mut engine, requests, arrivals, setup) =
+        e2e::engine_e2e_parts_timed(scale, Dataset::MsMarco, config);
     let start = Instant::now();
     let report = engine.serve_workload(&requests, &arrivals);
-    (report, start.elapsed().as_secs_f64())
+    (report, start.elapsed().as_secs_f64(), setup)
 }
 
 fn main() {
@@ -221,11 +247,25 @@ fn main() {
         // the process (suite run included) record the event stream.
         unsafe { std::env::set_var("IC_OBS_TRACE", "1") };
     }
-    let fraction = args
-        .iter()
-        .position(|a| a == "--fraction")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<f64>().ok());
+    // `--fraction` is validated up front: a malformed, non-finite or
+    // non-positive value must fail loudly instead of silently falling
+    // through to the full paper-scale run.
+    let fraction = match args.iter().position(|a| a == "--fraction") {
+        Some(i) => {
+            let Some(raw) = args.get(i + 1) else {
+                eprintln!("error: --fraction requires a value (e.g. --fraction 0.2)");
+                std::process::exit(2);
+            };
+            match raw.parse::<f64>() {
+                Ok(f) if f.is_finite() && f > 0.0 => Some(f),
+                _ => {
+                    eprintln!("error: --fraction must be a finite positive number, got {raw:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
 
     let base = e2e::engine_config();
     let sampled = base.obs_sample_s > 0.0;
@@ -250,15 +290,15 @@ fn main() {
             fraction,
             seed: 20_250_613,
         };
-        let (engine_report, wall_s) = timed_replay(scale, obs_off);
-        let (traced, traced_wall_s) = timed_replay(scale, obs_on);
+        let (engine_report, wall_s, setup) = timed_replay(scale, obs_off);
+        let (traced, traced_wall_s, _) = timed_replay(scale, obs_on);
         write_artifact(
             "BENCH_replay.json",
-            replay_json(fraction, &engine_report, wall_s, traced_wall_s),
+            replay_json(fraction, &engine_report, wall_s, traced_wall_s, setup),
         );
         write_obs_artifacts(&traced, trace_path.as_deref(), sampled);
         print_engine_summary(&engine_report);
-        print_replay_summary(&engine_report, wall_s, traced_wall_s);
+        print_replay_summary(&engine_report, wall_s, traced_wall_s, setup);
         println!("wrote BENCH_replay.json (fraction {fraction})");
         return;
     }
@@ -275,14 +315,14 @@ fn main() {
     // dedicated run, so neither the suite's baseline policies and
     // judging nor the workload-generation setup pollute the
     // events-per-second figure.
-    let (timed, wall_s) = timed_replay(scale, obs_off);
-    let (_, traced_wall_s) = timed_replay(scale, obs_on);
+    let (timed, wall_s, setup) = timed_replay(scale, obs_off);
+    let (_, traced_wall_s, _) = timed_replay(scale, obs_on);
     write_artifact(
         "BENCH_replay.json",
-        replay_json(scale.fraction, &timed, wall_s, traced_wall_s),
+        replay_json(scale.fraction, &timed, wall_s, traced_wall_s, setup),
     );
     println!("{}", report.to_markdown());
     println!("wrote BENCH_e2e.json and BENCH_replay.json");
     print_engine_summary(&engine_report);
-    print_replay_summary(&timed, wall_s, traced_wall_s);
+    print_replay_summary(&timed, wall_s, traced_wall_s, setup);
 }

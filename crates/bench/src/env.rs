@@ -59,6 +59,16 @@ pub fn parse_watermarks(name: &str) -> Option<Watermarks> {
     (low > 0.0 && low < high && high <= 1.0).then(|| Watermarks::new(high, low))
 }
 
+/// Parses `IC_SETUP_THREADS` — worker threads for the deterministic
+/// setup pipeline (example-bank embedding into the slab, k-means, IVF
+/// posting-list builds). Unset, `0`, `1`, or malformed all mean
+/// sequential. The setup is bit-identical at any value (the parallel
+/// paths only fan out pure per-row work), so this knob trades wall
+/// clock, never bytes — `BENCH_e2e.json` is unchanged (CI-enforced).
+pub fn setup_threads() -> usize {
+    parse_env::<usize>("IC_SETUP_THREADS").unwrap_or(1).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use ic_workloads::{Dataset, fixed_qps_arrivals, thirty_minute_trace};
 use rand::RngExt;
 
 use crate::harness::{
-    PairSetup, Scale, mixed_cluster, normalized_throughput, recent_rps, side_by_side,
+    PairSetup, Scale, SetupTiming, mixed_cluster, normalized_throughput, recent_rps, side_by_side,
     single_cluster, to_jobs,
 };
 use crate::report::{Report, Table, f3, pct};
@@ -290,6 +290,13 @@ fn online_run_from_engine(
 ///   between router interactions run on workers and merge in exact
 ///   `(time, seq)` order: `BENCH_e2e.json` is bit-identical to the
 ///   sequential replay, every stats block included (CI-enforced).
+/// - `IC_REPLAY_SPIN` — adaptive spin-then-park cap on the region
+///   hand-off channels, in spin iterations (`0` = park immediately;
+///   default `4096`). Wall-clock only; irrelevant at one thread.
+/// - `IC_SETUP_THREADS` — worker threads for the deterministic setup
+///   pipeline (example-bank embedding, k-means, IVF build; `0`/`1` =
+///   sequential). Bit-identical at any value — a pure setup-wall-clock
+///   knob (CI-enforced unmasked).
 /// - `IC_KV_BLOCK` — tokens per KV block (`0` disables the memory model)
 /// - `IC_KV_BUDGET` — KV blocks per replica (`0` disables)
 /// - `IC_KV_WATERMARKS` — `high,low` occupancy gates (e.g. `0.9,0.7`)
@@ -378,6 +385,9 @@ pub fn engine_config() -> EngineConfig {
     if let Some(threads) = parse_env::<usize>("IC_REPLAY_THREADS") {
         config.replay_threads = threads.max(1);
     }
+    if let Some(spin) = parse_env::<u32>("IC_REPLAY_SPIN") {
+        config.replay_spin = spin;
+    }
     if let Some(block) = parse_env::<u32>("IC_KV_BLOCK") {
         config.kv_block_tokens = block;
     }
@@ -457,6 +467,32 @@ pub fn engine_e2e_run_with(scale: Scale, dataset: Dataset, config: EngineConfig)
     engine.serve_workload(&requests, &arrivals)
 }
 
+/// [`engine_e2e_run`] with an explicit setup-thread count instead of
+/// the `IC_SETUP_THREADS` environment variable. Used by the golden
+/// tests to pin that the parallel setup pipeline is byte-inert without
+/// racing on process-global environment state. Everything else matches
+/// [`engine_e2e_run`] under an untouched environment.
+pub fn engine_e2e_run_with_setup_threads(
+    scale: Scale,
+    dataset: Dataset,
+    setup_threads: usize,
+) -> EngineReport {
+    let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
+    let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
+    let mut config = ic_cache::IcCacheConfig::gemma_pair();
+    config.selector.ivf.setup_threads = setup_threads;
+    let mut setup = PairSetup::with_config(
+        config,
+        dataset,
+        scale.count(200_000, 2_000),
+        scale.seed ^ 21,
+    );
+    setup.warm_up(scale.count(5_000, 300));
+    let requests = setup.generator.generate_requests(arrivals.len());
+    let mut engine = EventDrivenEngine::new(setup.system, EngineConfig::default());
+    engine.serve_workload(&requests, &arrivals)
+}
+
 /// Reshapes a request stream into a shared-prefix-heavy workload:
 /// every run of `burst` consecutive arrivals collapses onto the run's
 /// first arrival instant, all carrying the run's first *request* — so
@@ -524,9 +560,36 @@ pub fn engine_e2e_parts_with(
     dataset: Dataset,
     config: EngineConfig,
 ) -> (EventDrivenEngine, Vec<ic_llmsim::Request>, Vec<f64>) {
+    let (engine, requests, arrivals, _) = engine_e2e_parts_timed(scale, dataset, config);
+    (engine, requests, arrivals)
+}
+
+/// [`engine_e2e_parts_with`] plus the measured wall-clock split of the
+/// setup it just performed ([`SetupTiming`]) — what `fig12_e2e` records
+/// in `BENCH_replay.json` beside the replay wall. The setup honors
+/// `IC_SETUP_THREADS`; the returned engine and workload are
+/// byte-identical at any thread count.
+pub fn engine_e2e_parts_timed(
+    scale: Scale,
+    dataset: Dataset,
+    config: EngineConfig,
+) -> (
+    EventDrivenEngine,
+    Vec<ic_llmsim::Request>,
+    Vec<f64>,
+    SetupTiming,
+) {
+    let t0 = std::time::Instant::now();
     let rps_scale = (scale.fraction * 50.0).clamp(0.4, 1.0);
     let arrivals = thirty_minute_trace(rps_scale, scale.seed ^ 25);
-    let mut setup = PairSetup::gemma(dataset, scale.count(200_000, 2_000), scale.seed ^ 21);
+    let mut sys_config = ic_cache::IcCacheConfig::gemma_pair();
+    sys_config.selector.ivf.setup_threads = crate::env::setup_threads();
+    let (mut setup, mut timing) = PairSetup::with_config_timed(
+        sys_config,
+        dataset,
+        scale.count(200_000, 2_000),
+        scale.seed ^ 21,
+    );
     setup.warm_up(scale.count(5_000, 300));
     let mut requests = setup.generator.generate_requests(arrivals.len());
     let mut arrivals = arrivals;
@@ -534,7 +597,8 @@ pub fn engine_e2e_parts_with(
         burst_workload(&mut requests, &mut arrivals, burst);
     }
     let engine = EventDrivenEngine::new(setup.system, config);
-    (engine, requests, arrivals)
+    timing.setup_wall_s = t0.elapsed().as_secs_f64();
+    (engine, requests, arrivals, timing)
 }
 
 #[derive(Clone, Copy)]

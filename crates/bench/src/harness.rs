@@ -68,9 +68,12 @@ pub struct PairSetup {
 
 impl PairSetup {
     /// Builds a Gemma-pair setup on `dataset` with `n_examples` seeded
-    /// examples.
+    /// examples. Honors `IC_SETUP_THREADS` for the deterministic setup
+    /// pipeline (bit-identical at any value; see `env::setup_threads`).
     pub fn gemma(dataset: Dataset, n_examples: usize, seed: u64) -> Self {
-        Self::with_config(IcCacheConfig::gemma_pair(), dataset, n_examples, seed)
+        let mut config = IcCacheConfig::gemma_pair();
+        config.selector.ivf.setup_threads = crate::env::setup_threads();
+        Self::with_config(config, dataset, n_examples, seed)
     }
 
     /// Builds a setup from any two-model config.
@@ -80,16 +83,33 @@ impl PairSetup {
         n_examples: usize,
         seed: u64,
     ) -> Self {
+        Self::with_config_timed(config, dataset, n_examples, seed).0
+    }
+
+    /// [`PairSetup::with_config`] plus the wall-clock split of its
+    /// deterministic setup pipeline (for `BENCH_replay.json`; measured
+    /// time, never part of a determinism contract).
+    pub fn with_config_timed(
+        config: IcCacheConfig,
+        dataset: Dataset,
+        n_examples: usize,
+        seed: u64,
+    ) -> (Self, SetupTiming) {
         let small = config.offload_models()[0];
         let large = config.primary;
         let small_spec = config.catalog.get(small).clone();
         let large_spec = config.catalog.get(large).clone();
+        let setup_threads = config.selector.ivf.setup_threads.max(1);
         let sim = Generator::new();
         let mut generator = WorkloadGenerator::sized(dataset, seed, n_examples);
+        let t0 = std::time::Instant::now();
         let examples = generator.generate_examples(n_examples, &large_spec, large, &sim);
+        let embed_wall_s = t0.elapsed().as_secs_f64();
         let mut system = IcCacheSystem::new(config);
+        let t1 = std::time::Instant::now();
         system.seed_examples(examples, 0.0);
-        Self {
+        let index_build_wall_s = t1.elapsed().as_secs_f64();
+        let setup = Self {
             system,
             generator,
             small,
@@ -99,7 +119,14 @@ impl PairSetup {
             sim,
             rng: rng_from_seed(seed ^ EVAL_SEED_SALT),
             judge: Autorater::standard(),
-        }
+        };
+        let timing = SetupTiming {
+            setup_wall_s: 0.0,
+            embed_wall_s,
+            index_build_wall_s,
+            setup_threads,
+        };
+        (setup, timing)
     }
 
     /// Warm-up: serve `n` requests so the proxy, bandit and threshold
@@ -110,6 +137,26 @@ impl PairSetup {
             let _ = self.system.serve(&r);
         }
     }
+}
+
+/// Wall-clock split of the deterministic replay setup (measured time,
+/// recorded in `BENCH_replay.json` beside `wall_s`; **not** part of any
+/// determinism contract — `BENCH_e2e.json` is byte-identical at any
+/// `IC_SETUP_THREADS`). `embed_wall_s` covers generating and embedding
+/// the example bank, `index_build_wall_s` covers seeding it into the
+/// selector (slab bulk insert, k-means fits, IVF posting lists), and
+/// `setup_wall_s` the whole pre-replay setup including warm-up and
+/// request generation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetupTiming {
+    /// Whole setup wall (embed + index + warm-up + request gen).
+    pub setup_wall_s: f64,
+    /// Example-bank generation + embedding wall.
+    pub embed_wall_s: f64,
+    /// Selector index build wall (`seed_examples`).
+    pub index_build_wall_s: f64,
+    /// Worker threads the setup pipeline ran with.
+    pub setup_threads: usize,
 }
 
 /// Salt for evaluation RNGs (kept separate from workload seeds).

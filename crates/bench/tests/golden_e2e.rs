@@ -19,7 +19,9 @@
 //! and would — correctly — fail the comparison).
 
 use ic_bench::Scale;
-use ic_bench::experiments::e2e::{engine_e2e_run, engine_e2e_run_with, engine_e2e_shared_run};
+use ic_bench::experiments::e2e::{
+    engine_e2e_run, engine_e2e_run_with, engine_e2e_run_with_setup_threads, engine_e2e_shared_run,
+};
 use ic_engine::EngineConfig;
 use ic_workloads::Dataset;
 
@@ -177,6 +179,28 @@ fn quick_e2e_masked_of_resp_cache_block_matches_prestage0_golden() {
         golden.trim_end(),
         "the cache-off engine drifted from the pre-stage-0 bytes outside \
          the resp_cache block"
+    );
+}
+
+/// The parallel-setup acceptance pin: the whole deterministic setup
+/// pipeline (slab embedding, k-means, IVF posting-list builds) run at
+/// `IC_SETUP_THREADS = 4` must produce an *unmasked* report
+/// byte-identical to the committed single-thread golden. No masking —
+/// threads are a pure wall-clock knob, never a bytes knob.
+#[test]
+fn quick_e2e_setup_threads_are_byte_inert() {
+    if std::env::var("IC_BLESS").is_ok_and(|v| v.trim() == "1") {
+        return; // Blessing the sibling golden; this one never reblesses.
+    }
+    let json = engine_e2e_run_with_setup_threads(Scale::quick(), Dataset::MsMarco, 4).to_json();
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file exists; regenerate with IC_BLESS=1 cargo test -p ic-bench --test golden_e2e",
+    );
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "the 4-thread setup pipeline drifted from the single-thread \
+         golden — a parallel path stopped being bit-exact"
     );
 }
 

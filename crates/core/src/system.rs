@@ -237,12 +237,19 @@ impl IcCacheSystem {
     /// Seeds the example cache from a pre-generated bank (Appendix A.4's
     /// example-pool initialization) and indexes admitted entries.
     pub fn seed_examples(&mut self, examples: Vec<Example>, now: f64) {
+        // Admission never consults the index and indexing never consults
+        // the manager, so admitting the whole bank first and indexing it
+        // in one bulk build is state-identical to the per-example
+        // admit/index interleaving — and lets the index fan the embed and
+        // assignment work out over its `setup_threads`.
+        let mut admitted = Vec::with_capacity(examples.len());
         for e in examples {
             let embedding = e.embedding.clone();
             if let Some(id) = self.manager.admit(e, now) {
-                self.selector.index_example(id, embedding);
+                admitted.push((id, embedding));
             }
         }
+        self.selector.index_examples(admitted);
     }
 
     /// Algorithm 1 `ServeRequests`: select examples, route, generate,

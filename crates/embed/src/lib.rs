@@ -13,6 +13,8 @@
 //! - [`vector`] — the [`Embedding`] type and dense-vector arithmetic.
 //! - [`slab`] — [`EmbeddingSlab`]: contiguous (SoA) row storage with
 //!   cached norms, the hot-path layout behind the vector index.
+//! - [`par`] — deterministic contiguous work partitioning for the
+//!   bit-identical parallel setup paths (`IC_SETUP_THREADS`).
 //! - [`topic`] — [`TopicSpace`]: shared-anchor + topic-direction latent
 //!   construction with tunable cross-topic and within-topic similarity.
 //! - [`embedder`] — the observable embedding extractor (imperfect view).
@@ -20,6 +22,7 @@
 //!   sensitive-span injection for the admission-control path.
 
 pub mod embedder;
+pub mod par;
 pub mod slab;
 pub mod text;
 pub mod topic;
@@ -29,4 +32,4 @@ pub use embedder::Embedder;
 pub use slab::EmbeddingSlab;
 pub use text::{SyntheticText, TextSynthesizer, contains_sensitive, scrub_sensitive};
 pub use topic::{TopicSpace, TopicSpaceConfig};
-pub use vector::{Embedding, cosine_with_norms, dot_slices, norm_slice};
+pub use vector::{Embedding, cosine_with_norms, dot_slices, norm_slice, sq_dist_slices};

@@ -1,0 +1,69 @@
+//! Deterministic work partitioning for the setup-parallel paths.
+//!
+//! The parallel setup pipeline (`IC_SETUP_THREADS`) farms *pure*
+//! per-row work — norms, distances, cluster assignments — out to worker
+//! threads over disjoint contiguous row ranges. Every value a worker
+//! produces is a pure function of its own rows, and every reduction
+//! that is *not* pure (float accumulation, argmin ties, RNG draws)
+//! stays sequential in row order on the calling thread. The partition
+//! itself is a pure function of `(n, threads)`, so the same inputs
+//! split the same way on every run: parallel results are bit-identical
+//! to the sequential ones, never "close".
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `threads` contiguous near-equal ranges,
+/// in order. Returns fewer ranges when `n < threads` (never an empty
+/// range), and no ranges for `n == 0`. The split is a pure function of
+/// `(n, threads)` — deterministic across runs and platforms.
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let t = threads.clamp(1, n);
+    let base = n / t;
+    let rem = n % t;
+    let mut ranges = Vec::with_capacity(t);
+    let mut start = 0usize;
+    for i in 0..t {
+        let len = base + usize::from(i < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_tile_the_range_in_order() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 4, 7, 16, 2000] {
+                let ranges = chunk_ranges(n, t);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at n={n} t={t}");
+                    assert!(!r.is_empty(), "empty chunk at n={n} t={t}");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "chunks must cover 0..{n} (t={t})");
+                assert!(ranges.len() <= t.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_degrades_to_per_row_chunks() {
+        let ranges = chunk_ranges(3, 8);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+}

@@ -141,17 +141,31 @@ impl Embedding {
     }
 
     /// Squared Euclidean distance.
+    ///
+    /// Delegates to [`sq_dist_slices`] so the owned and slab-resident
+    /// representations share one reduction, bit for bit.
     pub fn sq_dist(&self, other: &Embedding) -> f64 {
         assert_eq!(self.dim(), other.dim(), "embedding dimension mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| {
-                let d = f64::from(a) - f64::from(b);
-                d * d
-            })
-            .sum()
+        sq_dist_slices(&self.data, &other.data)
     }
+}
+
+/// Squared Euclidean distance of two equal-length component slices —
+/// bit-identical to [`Embedding::sq_dist`] on the same components
+/// (same iteration order, same `f64` widening, same accumulator).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sq_dist_slices(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "embedding dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum()
 }
 
 /// Dot product of two equal-length `f32` component slices, accumulated

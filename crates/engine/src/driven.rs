@@ -15,6 +15,7 @@ use ic_serving::{
 };
 use ic_stats::{PercentileSnapshot, Percentiles, split_mix64};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::mpsc;
@@ -93,6 +94,18 @@ pub struct EngineConfig {
     /// is bit-identical to the sequential replay. `0`/`1` (default)
     /// keeps the sequential path.
     pub replay_threads: usize,
+    /// Upper bound of the adaptive spin-then-park wait on the region
+    /// hand-off channels, in `try_recv` spin iterations (env
+    /// `IC_REPLAY_SPIN` in the bench binaries). Region workers and the
+    /// coordinator spin this long on an empty channel before parking in
+    /// a blocking receive; a message that lands while spinning doubles
+    /// the next wait's spin budget (up to this cap), a park halves it —
+    /// dense step regions stay on the low-latency spin path, idle
+    /// phases decay toward an immediate park. `0` always parks
+    /// immediately (the pre-batching behaviour). Wall-clock only: task
+    /// results are routed by slot, so the replay bytes are identical at
+    /// any value. Irrelevant while `replay_threads <= 1`.
+    pub replay_spin: u32,
     /// Tokens per KV block (paged KV memory; `0` with a zero budget
     /// disables the memory model).
     pub kv_block_tokens: u32,
@@ -199,6 +212,7 @@ impl Default for EngineConfig {
             selector_batch: 0,
             selector_window_s: 0.0,
             replay_threads: 1,
+            replay_spin: 4096,
             kv_block_tokens: 16,
             kv_budget_blocks: 1024,
             kv_watermarks: Watermarks::DEFAULT,
@@ -320,13 +334,67 @@ struct RegionTask {
     barrier: Option<SimTime>,
 }
 
+/// Adaptive spin-then-park wait on one region hand-off channel. A step
+/// region's tasks land within microseconds of the coordinator reaching
+/// the dispatch site, and its results come back as fast as the chains
+/// run — parking in the OS between every exchange pays a futex/condvar
+/// round-trip per region. The waiter spins on `try_recv` for up to a
+/// budget of iterations before falling back to a blocking `recv`; a
+/// message that arrives while spinning doubles the next budget (to the
+/// configured cap), a park halves it. Dense regions therefore stay on
+/// the spin path; an idle replay phase decays toward parking right
+/// away. Purely a wall-clock lever — nothing about which messages
+/// arrive, or in what order they are processed, depends on it.
+struct SpinWait {
+    cap: u32,
+    cur: Cell<u32>,
+}
+
+impl SpinWait {
+    /// Smallest non-zero spin budget (a handful of cache-hot polls).
+    const FLOOR: u32 = 16;
+
+    fn new(cap: u32) -> Self {
+        Self {
+            cap,
+            cur: Cell::new(Self::FLOOR.min(cap)),
+        }
+    }
+
+    /// Receives one message: spin up to the current budget, then park.
+    fn recv<T>(&self, rx: &mpsc::Receiver<T>) -> Result<T, mpsc::RecvError> {
+        let budget = self.cur.get();
+        for _ in 0..budget {
+            match rx.try_recv() {
+                Ok(v) => {
+                    self.cur
+                        .set(budget.saturating_mul(2).clamp(Self::FLOOR, self.cap));
+                    return Ok(v);
+                }
+                Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+                Err(mpsc::TryRecvError::Disconnected) => return Err(mpsc::RecvError),
+            }
+        }
+        self.cur.set((budget / 2).max(Self::FLOOR.min(self.cap)));
+        rx.recv()
+    }
+}
+
 /// Channel endpoints of the persistent region workers spawned for one
 /// `serve_workload` run (`EngineConfig::replay_threads`). Workers hold
-/// `&[Mutex<ModelPool>]` and run [`ModelPool::advance_chain`] per task;
-/// they exit when the task senders drop at scope end.
+/// `&[Mutex<ModelPool>]` and run [`ModelPool::advance_chain`] per task.
+/// Each region is handed off as **one batch per worker** — a single
+/// channel message carrying every chain assigned to that worker, and a
+/// single reply carrying all of its chains back — so a k-pool region
+/// costs two messages per participating worker instead of 2k, and both
+/// ends wait with the adaptive [`SpinWait`]. Workers exit when the
+/// task senders drop at scope end.
 struct RegionWorkers {
-    task_txs: Vec<mpsc::Sender<RegionTask>>,
-    results_rx: mpsc::Receiver<(usize, Vec<ChainStep>)>,
+    task_txs: Vec<mpsc::Sender<Vec<RegionTask>>>,
+    results_rx: mpsc::Receiver<Vec<(usize, Vec<ChainStep>)>>,
+    /// Coordinator-side waiter for result batches (the event loop is
+    /// single-threaded, hence the `Cell` inside).
+    results_spin: SpinWait,
 }
 
 impl RegionWorkers {
@@ -334,16 +402,25 @@ impl RegionWorkers {
         scope: &'scope std::thread::Scope<'scope, '_>,
         pools: &'pools [Mutex<ModelPool>],
         workers: usize,
+        spin: u32,
     ) -> Self {
         let (results_tx, results_rx) = mpsc::channel();
         let mut task_txs = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (task_tx, task_rx) = mpsc::channel::<RegionTask>();
+            let (task_tx, task_rx) = mpsc::channel::<Vec<RegionTask>>();
             let results_tx = results_tx.clone();
             scope.spawn(move || {
-                for task in task_rx {
-                    let chain = pools[task.pool].lock().advance_chain(task.at, task.barrier);
-                    if results_tx.send((task.slot, chain)).is_err() {
+                let wait = SpinWait::new(spin);
+                while let Ok(batch) = wait.recv(&task_rx) {
+                    let results = batch
+                        .into_iter()
+                        .map(|task| {
+                            let chain =
+                                pools[task.pool].lock().advance_chain(task.at, task.barrier);
+                            (task.slot, chain)
+                        })
+                        .collect();
+                    if results_tx.send(results).is_err() {
                         break;
                     }
                 }
@@ -353,7 +430,15 @@ impl RegionWorkers {
         Self {
             task_txs,
             results_rx,
+            results_spin: SpinWait::new(spin),
         }
+    }
+
+    /// Receives one worker's result batch (spin-then-park).
+    fn recv_results(&self) -> Vec<(usize, Vec<ChainStep>)> {
+        self.results_spin
+            .recv(&self.results_rx)
+            .expect("region worker alive")
     }
 }
 
@@ -1403,26 +1488,39 @@ impl ServingEngine for EventDrivenEngine {
                             (0..k).map(|_| None).collect();
                         match workers {
                             Some(w) if k > 1 => {
+                                // One hand-off per worker: the region's
+                                // chains are grouped into per-worker
+                                // batches and each batch crosses the
+                                // channel as a single message (ditto
+                                // the reply), instead of one send and
+                                // one recv per chain.
                                 let nw = w.task_txs.len();
+                                let mut batches: Vec<Vec<RegionTask>> =
+                                    (0..nw).map(|_| Vec::new()).collect();
                                 for (slot, &(t_h, _, p_h, _)) in heads.iter().enumerate().skip(1) {
-                                    w.task_txs[(slot - 1) % nw]
-                                        .send(RegionTask {
-                                            slot,
-                                            pool: p_h,
-                                            at: t_h,
-                                            barrier: region_barrier,
-                                        })
-                                        .expect("region worker alive");
+                                    batches[(slot - 1) % nw].push(RegionTask {
+                                        slot,
+                                        pool: p_h,
+                                        at: t_h,
+                                        barrier: region_barrier,
+                                    });
+                                }
+                                let mut outstanding = 0usize;
+                                for (wi, batch) in batches.into_iter().enumerate() {
+                                    if !batch.is_empty() {
+                                        w.task_txs[wi].send(batch).expect("region worker alive");
+                                        outstanding += 1;
+                                    }
                                 }
                                 chains[0] = Some(
                                     pools[heads[0].2]
                                         .lock()
                                         .advance_chain(heads[0].0, region_barrier),
                                 );
-                                for _ in 1..k {
-                                    let (slot, chain) =
-                                        w.results_rx.recv().expect("region worker returns");
-                                    chains[slot] = Some(chain);
+                                for _ in 0..outstanding {
+                                    for (slot, chain) in w.recv_results() {
+                                        chains[slot] = Some(chain);
+                                    }
                                 }
                             }
                             _ => {
@@ -1744,7 +1842,7 @@ impl ServingEngine for EventDrivenEngine {
         // the pools for the duration of the run.
         if par_on {
             std::thread::scope(|scope| {
-                let workers = RegionWorkers::spawn(scope, &pools, threads - 1);
+                let workers = RegionWorkers::spawn(scope, &pools, threads - 1, config.replay_spin);
                 event_loop(Some(&workers));
             });
         } else {

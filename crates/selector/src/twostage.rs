@@ -152,6 +152,17 @@ impl ExampleSelector {
         self.index.insert(id.0, embedding);
     }
 
+    /// Indexes a whole batch of examples through the IVF bulk build —
+    /// identical final state (index bytes and epoch) to calling
+    /// [`Self::index_example`] per item, with the pure per-item embed
+    /// and assignment work parallelized over the index's
+    /// `setup_threads` (the `IC_SETUP_THREADS` path).
+    pub fn index_examples(&mut self, items: Vec<(ExampleId, Embedding)>) {
+        self.index_epoch += items.len() as u64;
+        self.index
+            .insert_bulk(items.into_iter().map(|(id, e)| (id.0, e)).collect());
+    }
+
     /// Drops an example from the index (called on eviction).
     pub fn unindex_example(&mut self, id: ExampleId) -> bool {
         let removed = self.index.remove(id.0);

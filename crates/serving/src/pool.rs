@@ -319,16 +319,6 @@ impl Sequence {
     fn kv_demand(&self, kv: &BlockPool) -> u32 {
         kv.blocks_for(u64::from(self.prefill_total).max(self.kv_tokens))
     }
-
-    fn finish(self, now: SimTime) -> FinishedSeq {
-        FinishedSeq {
-            started: self.started.unwrap_or(now),
-            first_token: self.first_token.unwrap_or(now),
-            completed: now,
-            preemptions: self.preemptions,
-            job: self.job,
-        }
-    }
 }
 
 /// A sequence that emitted its last token in the iteration just executed.
@@ -378,12 +368,275 @@ pub struct ChainStep {
     pub next_dt: Option<f64>,
 }
 
+/// One pooled arena holding every running sequence's KV block table as
+/// a contiguous range (tentpole b of the replay-perf PR). Sequences no
+/// longer carry a private `Vec<BlockId>` while running: admission
+/// appends the table at the arena tail, per-step growth extends a
+/// range in place when it is the tail (relocating it there otherwise),
+/// and eviction/retirement copies the range back out — in its original
+/// order, so the `BlockPool` free-list sees exactly the release order
+/// the AoS layout produced. Dead ranges left by removals and
+/// relocations are garbage; [`BlockArena::maybe_compact`] reclaims
+/// them once they outweigh the live blocks (a pure layout move — block
+/// values and per-range order are untouched, so determinism holds).
+#[derive(Debug, Default)]
+struct BlockArena {
+    blocks: Vec<BlockId>,
+    /// Blocks inside live ranges (`blocks.len() - live` is garbage).
+    live: usize,
+}
+
+impl BlockArena {
+    /// Appends a block table at the tail; returns its `(start, len)`.
+    fn push_range(&mut self, blocks: &[BlockId]) -> (usize, usize) {
+        let start = self.blocks.len();
+        self.blocks.extend_from_slice(blocks);
+        self.live += blocks.len();
+        (start, blocks.len())
+    }
+
+    /// Copies a range back out (original order), leaving a dead hole.
+    fn take(&mut self, start: usize, len: usize) -> Vec<BlockId> {
+        self.live -= len;
+        self.blocks[start..start + len].to_vec()
+    }
+
+    /// Extends a range by `extra` blocks, in place when the range is
+    /// the arena tail, after relocating it there otherwise. Returns
+    /// the (possibly new) start.
+    fn append(&mut self, start: usize, len: usize, extra: &[BlockId]) -> usize {
+        let start = if start + len == self.blocks.len() {
+            start
+        } else {
+            // Not the tail: move the range there (the old copy becomes
+            // garbage) so the extension stays contiguous.
+            let new_start = self.blocks.len();
+            self.blocks.extend_from_within(start..start + len);
+            new_start
+        };
+        self.blocks.extend_from_slice(extra);
+        self.live += extra.len();
+        start
+    }
+}
+
+/// Cold per-slot state: touched at admission, eviction and retirement,
+/// never inside the per-iteration loops.
+#[derive(Debug)]
+struct SlotCold {
+    job: JobSpec,
+    started: Option<SimTime>,
+    first_token: Option<SimTime>,
+    preemptions: u32,
+    host_blocks: u32,
+}
+
+/// Struct-of-arrays state of the running batch. The three per-step hot
+/// loops — iteration pricing ([`ModelPool::step_secs`]), KV-growth
+/// admission (`serve_kv_growth`) and the token step itself
+/// ([`ModelPool::advance_step`] Phase 1) — stride over a handful of
+/// dense `u32`/`f64` arrays instead of 100+-byte [`Sequence`] structs,
+/// and every block table lives as a range in one [`BlockArena`]. The
+/// queue and swap deques keep the AoS [`Sequence`] shape: they are
+/// cold (touched once per transition), and the conversion happens
+/// exactly at admission/eviction where the scheduler already does
+/// O(sequence) work. Arrays are parallel by slot index, in admission
+/// order — the same order the AoS `Vec<Sequence>` kept, so every scan,
+/// victim pick and report stays byte-identical.
+#[derive(Debug, Default)]
+struct RunSlots {
+    // Hot, mutated every iteration.
+    remaining_prefill: Vec<u32>,
+    remaining_decode: Vec<u32>,
+    decode_run: Vec<u32>,
+    kv_tokens: Vec<u64>,
+    replica: Vec<usize>,
+    cow_pending: Vec<bool>,
+    // Hot, immutable pricing inputs (hoisted out of `JobSpec`).
+    prefill_total: Vec<u32>,
+    ttft_secs: Vec<f64>,
+    decode_secs: Vec<f64>,
+    decode_tokens: Vec<u32>,
+    // Block-table range per slot, into `arena`.
+    kv_start: Vec<usize>,
+    kv_len: Vec<usize>,
+    arena: BlockArena,
+    cold: Vec<SlotCold>,
+}
+
+impl RunSlots {
+    fn len(&self) -> usize {
+        self.cold.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cold.is_empty()
+    }
+
+    /// Admits a sequence: scatters its fields into the arrays and its
+    /// block table into the arena.
+    fn push(&mut self, seq: Sequence) {
+        let (start, len) = self.arena.push_range(&seq.kv_blocks);
+        self.remaining_prefill.push(seq.remaining_prefill);
+        self.remaining_decode.push(seq.remaining_decode);
+        self.decode_run.push(seq.decode_run);
+        self.kv_tokens.push(seq.kv_tokens);
+        self.replica.push(seq.replica);
+        self.cow_pending.push(seq.cow_pending);
+        self.prefill_total.push(seq.prefill_total);
+        self.ttft_secs.push(seq.job.ttft_secs);
+        self.decode_secs.push(seq.job.decode_secs);
+        self.decode_tokens.push(seq.job.decode_tokens);
+        self.kv_start.push(start);
+        self.kv_len.push(len);
+        self.cold.push(SlotCold {
+            job: seq.job,
+            started: seq.started,
+            first_token: seq.first_token,
+            preemptions: seq.preemptions,
+            host_blocks: seq.host_blocks,
+        });
+    }
+
+    /// Reassembles entry `i` into the AoS [`Sequence`] shape (for the
+    /// queue or swap deque), leaving a dead entry behind — the caller
+    /// compacts, removes or truncates it away.
+    fn extract(&mut self, i: usize) -> Sequence {
+        let kv_blocks = self.arena.take(self.kv_start[i], self.kv_len[i]);
+        self.kv_len[i] = 0;
+        let cold = &mut self.cold[i];
+        Sequence {
+            job: cold.job.clone(),
+            started: cold.started,
+            first_token: cold.first_token,
+            prefill_total: self.prefill_total[i],
+            remaining_prefill: self.remaining_prefill[i],
+            remaining_decode: self.remaining_decode[i],
+            decode_run: self.decode_run[i],
+            preemptions: cold.preemptions,
+            replica: self.replica[i],
+            kv_blocks,
+            host_blocks: cold.host_blocks,
+            kv_tokens: self.kv_tokens[i],
+            cow_pending: self.cow_pending[i],
+        }
+    }
+
+    /// Ordered removal (shifts later slots down), exactly like the AoS
+    /// `Vec::remove` the pressure-victim path used.
+    fn remove(&mut self, i: usize) -> Sequence {
+        let seq = self.extract(i);
+        self.remaining_prefill.remove(i);
+        self.remaining_decode.remove(i);
+        self.decode_run.remove(i);
+        self.kv_tokens.remove(i);
+        self.replica.remove(i);
+        self.cow_pending.remove(i);
+        self.prefill_total.remove(i);
+        self.ttft_secs.remove(i);
+        self.decode_secs.remove(i);
+        self.decode_tokens.remove(i);
+        self.kv_start.remove(i);
+        self.kv_len.remove(i);
+        self.cold.remove(i);
+        self.maybe_compact();
+        seq
+    }
+
+    /// Swaps two entries (the in-place survivor compaction of
+    /// `advance_step`'s retire/preempt sweeps).
+    fn swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.remaining_prefill.swap(a, b);
+        self.remaining_decode.swap(a, b);
+        self.decode_run.swap(a, b);
+        self.kv_tokens.swap(a, b);
+        self.replica.swap(a, b);
+        self.cow_pending.swap(a, b);
+        self.prefill_total.swap(a, b);
+        self.ttft_secs.swap(a, b);
+        self.decode_secs.swap(a, b);
+        self.decode_tokens.swap(a, b);
+        self.kv_start.swap(a, b);
+        self.kv_len.swap(a, b);
+        self.cold.swap(a, b);
+    }
+
+    /// Drops entries past `n` (all dead: their block ranges were taken
+    /// when they finished or were evicted).
+    fn truncate(&mut self, n: usize) {
+        debug_assert!(self.kv_len[n..].iter().all(|&l| l == 0));
+        self.remaining_prefill.truncate(n);
+        self.remaining_decode.truncate(n);
+        self.decode_run.truncate(n);
+        self.kv_tokens.truncate(n);
+        self.replica.truncate(n);
+        self.cow_pending.truncate(n);
+        self.prefill_total.truncate(n);
+        self.ttft_secs.truncate(n);
+        self.decode_secs.truncate(n);
+        self.decode_tokens.truncate(n);
+        self.kv_start.truncate(n);
+        self.kv_len.truncate(n);
+        self.cold.truncate(n);
+        self.maybe_compact();
+    }
+
+    /// Extends slot `i`'s block table (per-step KV growth grant).
+    fn append_blocks(&mut self, i: usize, extra: &[BlockId]) {
+        self.kv_start[i] = self.arena.append(self.kv_start[i], self.kv_len[i], extra);
+        self.kv_len[i] += extra.len();
+    }
+
+    /// The block at offset `off` of slot `i`'s table.
+    fn block_at(&self, i: usize, off: usize) -> BlockId {
+        debug_assert!(off < self.kv_len[i]);
+        self.arena.blocks[self.kv_start[i] + off]
+    }
+
+    /// Overwrites the block at offset `off` of slot `i`'s table (the
+    /// copy-on-write divergence swap).
+    fn set_block_at(&mut self, i: usize, off: usize, b: BlockId) {
+        debug_assert!(off < self.kv_len[i]);
+        self.arena.blocks[self.kv_start[i] + off] = b;
+    }
+
+    /// Reassembles every running sequence, in slot order, emptying the
+    /// batch (failover).
+    fn drain(&mut self) -> Vec<Sequence> {
+        let out = (0..self.len()).map(|i| self.extract(i)).collect();
+        self.truncate(0);
+        out
+    }
+
+    /// Rebuilds the arena without its garbage once dead ranges
+    /// outweigh live blocks. Pure layout: every live range keeps its
+    /// block values and order, so nothing observable changes.
+    fn maybe_compact(&mut self) {
+        let garbage = self.arena.blocks.len() - self.arena.live;
+        if garbage <= self.arena.live || garbage < 1024 {
+            return;
+        }
+        let mut packed = Vec::with_capacity(self.arena.live);
+        for i in 0..self.len() {
+            let start = self.kv_start[i];
+            let len = self.kv_len[i];
+            self.kv_start[i] = packed.len();
+            packed.extend_from_slice(&self.arena.blocks[start..start + len]);
+        }
+        self.arena.blocks = packed;
+    }
+}
+
 /// Runtime state of one pool.
 #[derive(Debug)]
 pub struct ModelPool {
     config: PoolConfig,
-    /// Running sequences, in admission order (`len() <= total_slots`).
-    slots: Vec<Sequence>,
+    /// Running sequences, in admission order (`len() <= total_slots`),
+    /// in struct-of-arrays layout.
+    run: RunSlots,
     /// Waiting sequences: fresh arrivals and preempted sequences.
     queue: VecDeque<Sequence>,
     /// Sequences swapped out under memory pressure, in swap order; they
@@ -588,7 +841,7 @@ impl ModelPool {
         };
         Self {
             config,
-            slots: Vec::new(),
+            run: RunSlots::default(),
             queue: VecDeque::new(),
             swapped: VecDeque::new(),
             kv,
@@ -621,7 +874,7 @@ impl ModelPool {
 
     /// In-flight sequence count.
     pub fn active(&self) -> u32 {
-        self.slots.len() as u32
+        self.run.len() as u32
     }
 
     /// Queued (not yet admitted, or preempted) jobs.
@@ -729,7 +982,7 @@ impl ModelPool {
     /// [`ModelPool::step_secs`]; otherwise it queues until a step
     /// boundary (or is rejected by the queue cap).
     pub fn offer(&mut self, job: JobSpec, now: SimTime) -> Offer {
-        if self.slots.is_empty() && self.queue.is_empty() && self.swapped.is_empty() {
+        if self.run.is_empty() && self.queue.is_empty() && self.swapped.is_empty() {
             let mut seq = Sequence::new(job);
             seq.started = Some(now);
             if let Some(kv) = &mut self.kv {
@@ -755,7 +1008,7 @@ impl ModelPool {
                 );
                 self.step_started = Some(now);
             }
-            self.slots.push(seq);
+            self.run.push(seq);
             return Offer::Started;
         }
         if let Some(cap) = self.config.max_queue
@@ -775,19 +1028,20 @@ impl ModelPool {
     /// current occupancy), plus any swap/recompute penalty accrued at
     /// the previous boundary. `None` while the pool is idle.
     pub fn step_secs(&self) -> Option<f64> {
-        if self.slots.is_empty() {
+        if self.run.is_empty() {
             return None;
         }
         let stretch = 1.0 + self.config.congestion_beta * self.occupancy();
         let mut dur = 0.0f64;
-        for s in &self.slots {
-            let cost = if s.remaining_prefill > 0 {
-                let chunk = self.chunk_of(s.remaining_prefill);
-                s.job.ttft_secs * f64::from(chunk) / f64::from(s.prefill_total)
+        for i in 0..self.run.len() {
+            let remaining = self.run.remaining_prefill[i];
+            let cost = if remaining > 0 {
+                let chunk = self.chunk_of(remaining);
+                self.run.ttft_secs[i] * f64::from(chunk) / f64::from(self.run.prefill_total[i])
             } else {
                 // Invariant: a slot past prefill has decode left (zero-
                 // decode jobs retire at prefill end), so tokens > 0.
-                s.job.decode_secs / f64::from(s.job.decode_tokens) * stretch
+                self.run.decode_secs[i] / f64::from(self.run.decode_tokens[i]) * stretch
             };
             dur = dur.max(cost);
         }
@@ -804,13 +1058,13 @@ impl ModelPool {
         // KV tokens the iteration materializes for a sequence: its
         // prefill chunk, or one decode token (must mirror what Phase 1
         // actually charges).
-        let tokens_after_growth = |s: &Sequence| -> u64 {
-            s.kv_tokens
-                + u64::from(if s.remaining_prefill > 0 {
+        let tokens_after_growth = |remaining_prefill: u32, kv_tokens: u64| -> u64 {
+            kv_tokens
+                + u64::from(if remaining_prefill > 0 {
                     if chunk_cfg == 0 {
-                        s.remaining_prefill
+                        remaining_prefill
                     } else {
-                        s.remaining_prefill.min(chunk_cfg)
+                        remaining_prefill.min(chunk_cfg)
                     }
                 } else {
                     1
@@ -825,36 +1079,40 @@ impl ModelPool {
         // privatizes in place and costs nothing). Recomputed inside the
         // victim loop — evicting a co-reader drops the refcount and the
         // demand with it.
-        let cow_extra = |kv: &BlockPool, s: &Sequence, tokens_after: u64| -> u32 {
-            if !s.cow_pending {
+        let cow_extra = |kv: &BlockPool, run: &RunSlots, i: usize, tokens_after: u64| -> u32 {
+            if !run.cow_pending[i] {
                 return 0;
             }
-            let Some(share) = s.job.share else { return 0 };
+            let Some(share) = run.cold[i].job.share else {
+                return 0;
+            };
             if tokens_after <= u64::from(share.tokens) {
                 return 0;
             }
             let tail = (u64::from(share.tokens) / u64::from(kv.block_tokens())) as usize;
-            u32::from(kv.refcount(s.kv_blocks[tail]) > 1)
+            u32::from(kv.refcount(run.block_at(i, tail)) > 1)
         };
         let mut preempted = 0u32;
         for replica in 0..kv.num_replicas() {
             // Swap out victims until the replica's growth demand fits.
             loop {
-                let needed: u32 = self
-                    .slots
-                    .iter()
-                    .filter(|s| s.replica == replica)
-                    .map(|s| {
-                        let after = tokens_after_growth(s);
-                        kv.blocks_for(after)
-                            .saturating_sub(s.kv_blocks.len() as u32)
-                            + cow_extra(kv, s, after)
-                    })
-                    .sum();
+                let mut needed = 0u32;
+                let mut residents = 0usize;
+                for i in 0..self.run.len() {
+                    if self.run.replica[i] != replica {
+                        continue;
+                    }
+                    residents += 1;
+                    let after =
+                        tokens_after_growth(self.run.remaining_prefill[i], self.run.kv_tokens[i]);
+                    needed += kv
+                        .blocks_for(after)
+                        .saturating_sub(self.run.kv_len[i] as u32)
+                        + cow_extra(kv, &self.run, i, after);
+                }
                 if needed <= kv.free_blocks(replica) {
                     break;
                 }
-                let residents = self.slots.iter().filter(|s| s.replica == replica).count();
                 if residents <= 1 {
                     // The last sequence must make progress: it windows
                     // its tail into its allocated blocks instead.
@@ -865,21 +1123,18 @@ impl ModelPool {
                 // (deterministic). Priority outranks the decode
                 // heuristic: a background job always yields before a
                 // latency-critical one regardless of remaining work.
-                let victim = self
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.replica == replica)
-                    .max_by(|(ia, a), (ib, b)| {
-                        b.job
+                let victim = (0..self.run.len())
+                    .filter(|&i| self.run.replica[i] == replica)
+                    .max_by(|&ia, &ib| {
+                        self.run.cold[ib]
+                            .job
                             .priority
-                            .cmp(&a.job.priority)
-                            .then(a.remaining_decode.cmp(&b.remaining_decode))
-                            .then(ib.cmp(ia))
+                            .cmp(&self.run.cold[ia].job.priority)
+                            .then(self.run.remaining_decode[ia].cmp(&self.run.remaining_decode[ib]))
+                            .then(ib.cmp(&ia))
                     })
-                    .map(|(i, _)| i)
                     .expect("residents > 1");
-                let mut seq = self.slots.remove(victim);
+                let mut seq = self.run.remove(victim);
                 settle_swap_out(kv, &self.policy, &mut self.pending_penalty_secs, &mut seq);
                 kv.note_pressure_swap_out();
                 seq.decode_run = 0;
@@ -898,8 +1153,12 @@ impl ModelPool {
             }
             // Grant what fits; a shortfall (only possible for the last
             // resident) is absorbed by the block-window cap.
-            for s in self.slots.iter_mut().filter(|s| s.replica == replica) {
-                let after = tokens_after_growth(s);
+            for i in 0..self.run.len() {
+                if self.run.replica[i] != replica {
+                    continue;
+                }
+                let after =
+                    tokens_after_growth(self.run.remaining_prefill[i], self.run.kv_tokens[i]);
                 // Resolve a pending divergence before the step writes
                 // past the shared prefix: privatize in place when this
                 // sequence is the sole holder, copy-on-write otherwise.
@@ -907,32 +1166,36 @@ impl ModelPool {
                 // boundary's pressure round (only reachable
                 // transiently: a refcount > 1 implies a co-resident
                 // reader the victim loop above could still evict).
-                if s.cow_pending
-                    && let Some(share) = s.job.share
+                if self.run.cow_pending[i]
+                    && let Some(share) = self.run.cold[i].job.share
                     && after > u64::from(share.tokens)
                 {
                     let tail = (u64::from(share.tokens) / u64::from(kv.block_tokens())) as usize;
-                    let outcome = kv.diverge(s.kv_blocks[tail]);
+                    let outcome = kv.diverge(self.run.block_at(i, tail));
                     match outcome {
-                        Some(Divergence::InPlace) => s.cow_pending = false,
+                        Some(Divergence::InPlace) => self.run.cow_pending[i] = false,
                         Some(Divergence::Copied(fresh)) => {
-                            s.kv_blocks[tail] = fresh;
-                            s.cow_pending = false;
+                            self.run.set_block_at(i, tail, fresh);
+                            self.run.cow_pending[i] = false;
                         }
                         None => {}
                     }
                     if let (Some(o), Some(d)) = (self.obs.as_mut(), outcome) {
                         let copied = matches!(d, Divergence::Copied(_));
-                        o.push(now, s.job.id.0, EventKind::CowDiverged { copied });
+                        o.push(
+                            now,
+                            self.run.cold[i].job.id.0,
+                            EventKind::CowDiverged { copied },
+                        );
                     }
                 }
                 let need = kv
                     .blocks_for(after)
-                    .saturating_sub(s.kv_blocks.len() as u32);
+                    .saturating_sub(self.run.kv_len[i] as u32);
                 let grant = need.min(kv.free_blocks(replica));
                 if grant > 0 {
                     let blocks = kv.try_alloc(replica, grant).expect("grant <= free");
-                    s.kv_blocks.extend(blocks);
+                    self.run.append_blocks(i, &blocks);
                 }
             }
         }
@@ -949,7 +1212,7 @@ impl ModelPool {
     /// the block budget and its watermarks. The caller reschedules the
     /// next `StepComplete` iff [`ModelPool::active`] stays positive.
     pub fn advance_step(&mut self, now: SimTime) -> StepReport {
-        let batch = self.slots.len();
+        let batch = self.run.len();
         let mut report = StepReport::default();
         if batch == 0 {
             return report;
@@ -975,7 +1238,7 @@ impl ModelPool {
         // paid for in the lockstep price — the cost of late preemption).
         report.pressure_preempted = self.serve_kv_growth(now);
 
-        let batch = self.slots.len();
+        let batch = self.run.len();
         if batch == 0 {
             // Unreachable in practice (the last resident is never a
             // victim), but keep the report shape sane.
@@ -990,62 +1253,101 @@ impl ModelPool {
         // peak/mean aggregates. Post-Phase-0 allocation state is
         // exactly the memory held while the step executed.
         if let Some(kv) = &mut self.kv {
-            let used_tokens: u64 = self.slots.iter().map(|s| s.kv_tokens).sum();
+            let used_tokens: u64 = self.run.kv_tokens.iter().sum();
             kv.note_step(used_tokens);
         }
 
-        // Phase 1: every batch member advances one unit of work.
-        let prev = std::mem::take(&mut self.slots);
-        for mut s in prev {
-            if s.remaining_prefill > 0 {
-                let chunk = self.chunk_of(s.remaining_prefill);
-                s.remaining_prefill -= chunk;
-                s.kv_tokens += u64::from(chunk);
+        // Phase 1: every batch member advances one unit of work. The
+        // sweep runs in place over the arrays: finished sequences are
+        // retired where they stand, survivors compact down to the
+        // front (swaps against already-dead entries), preserving slot
+        // order exactly like the old take-and-repush loop.
+        let chunk_cfg = self.config.prefill_chunk_tokens;
+        let n = self.run.len();
+        let mut w = 0;
+        for i in 0..n {
+            let mut finished = false;
+            if self.run.remaining_prefill[i] > 0 {
+                let remaining = self.run.remaining_prefill[i];
+                let chunk = if chunk_cfg == 0 {
+                    remaining
+                } else {
+                    remaining.min(chunk_cfg)
+                };
+                self.run.remaining_prefill[i] -= chunk;
+                self.run.kv_tokens[i] += u64::from(chunk);
                 self.stats.chunk_steps += 1;
                 if let Some(o) = self.obs.as_mut() {
-                    o.push(now, s.job.id.0, EventKind::PrefillChunk { tokens: chunk });
+                    o.push(
+                        now,
+                        self.run.cold[i].job.id.0,
+                        EventKind::PrefillChunk { tokens: chunk },
+                    );
                 }
-                if s.remaining_prefill == 0 && s.remaining_decode == 0 {
+                if self.run.remaining_prefill[i] == 0 && self.run.remaining_decode[i] == 0 {
                     // Zero-output job: the prompt's forward pass is the
                     // entire service; first token falls at prefill end.
-                    self.note_first_token(&mut s, now);
-                    self.retire_kv(&mut s);
-                    if let Some(o) = self.obs.as_mut() {
-                        o.push(
-                            now,
-                            s.job.id.0,
-                            EventKind::Finish {
-                                preemptions: s.preemptions,
-                            },
-                        );
-                    }
-                    report.finished.push(s.finish(now));
-                    continue;
+                    finished = true;
                 }
             } else {
-                debug_assert!(s.remaining_decode > 0, "drained sequence kept a slot");
-                s.remaining_decode -= 1;
-                s.decode_run += 1;
-                s.kv_tokens += 1;
+                debug_assert!(
+                    self.run.remaining_decode[i] > 0,
+                    "drained sequence kept a slot"
+                );
+                self.run.remaining_decode[i] -= 1;
+                self.run.decode_run[i] += 1;
+                self.run.kv_tokens[i] += 1;
                 self.stats.decode_steps += 1;
-                self.note_first_token(&mut s, now);
-                if s.remaining_decode == 0 {
-                    self.retire_kv(&mut s);
+                if self.run.cold[i].first_token.is_none() {
+                    self.run.cold[i].first_token = Some(now);
                     if let Some(o) = self.obs.as_mut() {
-                        o.push(
-                            now,
-                            s.job.id.0,
-                            EventKind::Finish {
-                                preemptions: s.preemptions,
-                            },
-                        );
+                        o.push(now, self.run.cold[i].job.id.0, EventKind::FirstToken);
                     }
-                    report.finished.push(s.finish(now));
-                    continue;
                 }
+                finished = self.run.remaining_decode[i] == 0;
             }
-            self.slots.push(s);
+            if finished {
+                if self.run.remaining_decode[i] == 0 && self.run.remaining_prefill[i] == 0 {
+                    // Zero-output jobs stamp their first token at
+                    // prefill end (decode jobs stamped it above).
+                    if self.run.cold[i].first_token.is_none() {
+                        self.run.cold[i].first_token = Some(now);
+                        if let Some(o) = self.obs.as_mut() {
+                            o.push(now, self.run.cold[i].job.id.0, EventKind::FirstToken);
+                        }
+                    }
+                }
+                let blocks = self
+                    .run
+                    .arena
+                    .take(self.run.kv_start[i], self.run.kv_len[i]);
+                self.run.kv_len[i] = 0;
+                if let Some(kv) = &mut self.kv {
+                    kv.free(blocks);
+                }
+                if let Some(o) = self.obs.as_mut() {
+                    o.push(
+                        now,
+                        self.run.cold[i].job.id.0,
+                        EventKind::Finish {
+                            preemptions: self.run.cold[i].preemptions,
+                        },
+                    );
+                }
+                let cold = &self.run.cold[i];
+                report.finished.push(FinishedSeq {
+                    job: cold.job.clone(),
+                    started: cold.started.unwrap_or(now),
+                    first_token: cold.first_token.unwrap_or(now),
+                    completed: now,
+                    preemptions: cold.preemptions,
+                });
+            } else {
+                self.run.swap(i, w);
+                w += 1;
+            }
         }
+        self.run.truncate(w);
 
         // Phase 2: per-token preemption. Only when demand exceeds the
         // slots this boundary freed does an over-quantum decoder yield;
@@ -1056,16 +1358,18 @@ impl ModelPool {
         // swap-out price now and the swap-in price at re-admission.
         let quantum = self.config.preempt_decode_quantum;
         if quantum > 0 && !self.queue.is_empty() {
-            let free = self.config.total_slots() as usize - self.slots.len();
+            let free = self.config.total_slots() as usize - self.run.len();
             let mut need = self.queue.len().saturating_sub(free);
             if need > 0 {
-                let still = std::mem::take(&mut self.slots);
-                for mut s in still {
+                let n = self.run.len();
+                let mut w = 0;
+                for i in 0..n {
                     if need > 0
-                        && s.remaining_prefill == 0
-                        && s.remaining_decode > 0
-                        && s.decode_run >= quantum
+                        && self.run.remaining_prefill[i] == 0
+                        && self.run.remaining_decode[i] > 0
+                        && self.run.decode_run[i] >= quantum
                     {
+                        let mut s = self.run.extract(i);
                         s.decode_run = 0;
                         s.preemptions += 1;
                         self.stats.preemptions += 1;
@@ -1085,16 +1389,18 @@ impl ModelPool {
                         }
                         self.queue.push_back(s);
                     } else {
-                        self.slots.push(s);
+                        self.run.swap(i, w);
+                        w += 1;
                     }
                 }
+                self.run.truncate(w);
                 self.peak_queue = self.peak_queue.max(self.queue.len());
             }
         }
 
         // Phase 3a: resume swapped-out sequences ahead of any fresh
         // admission, once memory has drained below the low watermark.
-        while (self.slots.len() as u32) < self.config.total_slots() && !self.swapped.is_empty() {
+        while (self.run.len() as u32) < self.config.total_slots() && !self.swapped.is_empty() {
             let Some(kv) = &mut self.kv else {
                 unreachable!("swapped sequences only exist with KV modeling on");
             };
@@ -1127,7 +1433,7 @@ impl ModelPool {
                     },
                 );
             }
-            self.slots.push(s);
+            self.run.push(s);
         }
 
         // Phase 3b: boundary admission into freed slots, FIFO. Under KV
@@ -1136,7 +1442,7 @@ impl ModelPool {
         // gated on the high watermark and on the blocks actually
         // fitting; an evicted sequence re-entering is a swap-in and
         // pays the resume price.
-        while (self.slots.len() as u32) < self.config.total_slots() {
+        while (self.run.len() as u32) < self.config.total_slots() {
             let Some(front) = self.queue.front() else {
                 break;
             };
@@ -1193,7 +1499,7 @@ impl ModelPool {
                         },
                     );
                 }
-                self.slots.push(s);
+                self.run.push(s);
                 continue;
             }
             let mut s = self.queue.pop_front().expect("front exists");
@@ -1211,7 +1517,7 @@ impl ModelPool {
                     },
                 );
             }
-            self.slots.push(s);
+            self.run.push(s);
         }
 
         // Phase 3c: progress guarantee. If every gate above refused and
@@ -1219,7 +1525,7 @@ impl ModelPool {
         // admission so a step event stays armed: the swapped front
         // first, then the queue front. No live sequence holds a block
         // here, so a budget-capped demand always fits.
-        if self.slots.is_empty()
+        if self.run.is_empty()
             && let Some(kv) = &mut self.kv
         {
             let from_swap = !self.swapped.is_empty();
@@ -1262,13 +1568,13 @@ impl ModelPool {
                     };
                     o.push(now, s.job.id.0, kind);
                 }
-                self.slots.push(s);
+                self.run.push(s);
             }
         }
         if self.obs.is_some() {
             // Anchor the next step span; the pool idling leaves no span
             // open until `offer` restarts the clock.
-            self.step_started = (!self.slots.is_empty()).then_some(now);
+            self.step_started = (!self.run.is_empty()).then_some(now);
         }
         report
     }
@@ -1313,17 +1619,6 @@ impl ModelPool {
         out
     }
 
-    /// Stamps the sequence's first-token time if unset, recording the
-    /// TTFT lifecycle event exactly once.
-    fn note_first_token(&mut self, s: &mut Sequence, now: SimTime) {
-        if s.first_token.is_none() {
-            s.first_token = Some(now);
-            if let Some(o) = self.obs.as_mut() {
-                o.push(now, s.job.id.0, EventKind::FirstToken);
-            }
-        }
-    }
-
     /// Frees a retiring sequence's KV blocks back to the pool.
     fn retire_kv(&mut self, s: &mut Sequence) {
         if let Some(kv) = &mut self.kv {
@@ -1360,7 +1655,7 @@ impl ModelPool {
     /// finds an empty batch and simply does not re-arm.
     pub fn fail_over(&mut self) -> Vec<JobId> {
         let mut ids: Vec<JobId> = Vec::new();
-        for mut s in std::mem::take(&mut self.slots) {
+        for mut s in self.run.drain() {
             self.retire_kv(&mut s);
             ids.push(s.job.id);
         }

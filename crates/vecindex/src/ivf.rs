@@ -17,7 +17,7 @@ use ic_embed::{Embedding, EmbeddingSlab, cosine_with_norms};
 use parking_lot::Mutex;
 
 use crate::kernel::scan_blocked;
-use crate::kmeans::{KMeansModel, kmeans};
+use crate::kmeans::{KMeansModel, kmeans_fit_rows};
 use crate::{ItemId, SearchHit, VectorIndex, finalize_hits, sqrt_cluster_count};
 
 /// Tuning knobs for [`IvfIndex`].
@@ -33,6 +33,13 @@ pub struct IvfConfig {
     pub train_iters: usize,
     /// Seed for K-means.
     pub seed: u64,
+    /// Worker threads for the deterministic build paths (retraining and
+    /// bulk insertion). The pure per-point work — norms, distances,
+    /// cluster assignments — fans out over disjoint contiguous chunks;
+    /// every order-sensitive reduction stays sequential, so the built
+    /// index is bit-identical to `setup_threads = 1` at any value
+    /// (`IC_SETUP_THREADS` in the bench binaries). `0`/`1` = sequential.
+    pub setup_threads: usize,
 }
 
 impl Default for IvfConfig {
@@ -43,6 +50,7 @@ impl Default for IvfConfig {
             retrain_growth: 2.0,
             train_iters: 15,
             seed: 0x1CC0FFEE,
+            setup_threads: 1,
         }
     }
 }
@@ -132,46 +140,120 @@ impl IvfIndex {
             self.trained_at_len = 0;
             return;
         }
-        // Deterministic training order: sort by id. K-means wants owned
-        // vectors, so the (rare) retrain path materializes rows out of
-        // the slab — same components, so the fit is unchanged.
+        // Deterministic training order: sort by id. K-means runs on the
+        // slab rows in place (same components as the owned vectors it
+        // used to materialize, so the fit is unchanged), parallel over
+        // `setup_threads` and bit-identical to the sequential fit.
         let mut ids: Vec<ItemId> = self.slots.keys().copied().collect();
         ids.sort_unstable();
-        let data: Vec<Embedding> = ids
-            .iter()
-            .map(|id| self.slab.to_embedding(self.slots[id]))
-            .collect();
+        let rows: Vec<&[f32]> = ids.iter().map(|id| self.slab.row(self.slots[id])).collect();
         let k = sqrt_cluster_count(n);
-        let model = kmeans(&data, k, self.config.train_iters, self.config.seed)
+        let threads = self.config.setup_threads.max(1);
+        let fit = kmeans_fit_rows(&rows, k, self.config.train_iters, self.config.seed, threads)
             .expect("non-empty data trains");
-        let mut lists = vec![Vec::new(); model.k()];
+        // The fit's final assignment is exactly `model.assign` per row,
+        // so the posting lists come for free instead of re-scanning the
+        // centroid table once more per point.
+        let mut lists = vec![Vec::new(); fit.model.k()];
         let mut cluster_of = HashMap::with_capacity(n);
-        for (id, emb) in ids.iter().zip(&data) {
-            let c = model.assign(emb);
+        for (id, &c) in ids.iter().zip(&fit.assignment) {
             lists[c].push(*id);
             cluster_of.insert(*id, c);
         }
-        self.model = Some(model);
+        self.model = Some(fit.model);
         self.lists = lists;
         self.cluster_of = cluster_of;
         self.trained_at_len = n;
     }
 
-    fn maybe_retrain(&mut self) {
-        let n = self.slots.len();
+    /// Whether [`Self::maybe_retrain`] would retrain at pool size `n`
+    /// under the current model/training state — factored out so the
+    /// bulk-insert path can locate the exact sequential retrain points
+    /// without performing the inserts one by one.
+    fn would_retrain_at(&self, n: usize) -> bool {
         if n < self.config.brute_force_below {
-            return;
+            return false;
         }
-        let stale = match self.model {
+        match self.model {
             None => true,
             Some(_) => {
                 let base = self.trained_at_len.max(1) as f64;
                 let ratio = n as f64 / base;
                 ratio >= self.config.retrain_growth || ratio <= 1.0 / self.config.retrain_growth
             }
-        };
-        if stale {
+        }
+    }
+
+    fn maybe_retrain(&mut self) {
+        if self.would_retrain_at(self.slots.len()) {
             self.retrain();
+        }
+    }
+
+    /// Bulk [`VectorIndex::insert`]: inserts every item, in order, with
+    /// the pure per-item work — posting-list assignment and slab-row
+    /// norms — fanned out over `setup_threads`. The final index state is
+    /// *identical* to inserting the items one by one (same posting-list
+    /// order, same slab slots, same retrain points): the items are cut
+    /// into segments at exactly the pool sizes where the sequential
+    /// loop's lazy `maybe_retrain` would fire (a pure function of the
+    /// counts, via `Self::would_retrain_at`), each segment is
+    /// batch-assigned under the model that sequential inserts would have
+    /// seen and merged into the lists in item order, and the retrain
+    /// runs at the segment boundary just as it would have mid-loop.
+    ///
+    /// Items whose id is already present (or repeated within the batch)
+    /// would interleave removals with the growth model, so such batches
+    /// take the exact per-item path instead.
+    pub fn insert_bulk(&mut self, items: Vec<(ItemId, Embedding)>) {
+        let mut fresh = std::collections::HashSet::with_capacity(items.len());
+        let pure_growth = items
+            .iter()
+            .all(|(id, _)| !self.slots.contains_key(id) && fresh.insert(*id));
+        if !pure_growth {
+            for (id, embedding) in items {
+                self.insert(id, embedding);
+            }
+            return;
+        }
+        let threads = self.config.setup_threads.max(1);
+        let mut start = 0usize;
+        while start < items.len() {
+            // The segment runs up to (and including) the first item whose
+            // insertion triggers the lazy retrain.
+            let n0 = self.slots.len();
+            let mut end = items.len();
+            let mut retrain_after = false;
+            for j in start..items.len() {
+                if self.would_retrain_at(n0 + (j - start) + 1) {
+                    end = j + 1;
+                    retrain_after = true;
+                    break;
+                }
+            }
+            let segment = &items[start..end];
+            let rows: Vec<&[f32]> = segment.iter().map(|(_, e)| e.as_slice()).collect();
+            // Sharded assignment (pure per item under the frozen model),
+            // merged into the posting lists in item order — exactly the
+            // per-item loop's push order.
+            let assigned = self
+                .model
+                .as_ref()
+                .map(|model| model.assign_batch_rows(&rows, threads));
+            if let Some(assigned) = assigned {
+                for ((id, _), c) in segment.iter().zip(assigned) {
+                    self.lists[c].push(*id);
+                    self.cluster_of.insert(*id, c);
+                }
+            }
+            let slots = self.slab.insert_bulk(&rows, threads);
+            for ((id, _), slot) in segment.iter().zip(slots) {
+                self.slots.insert(*id, slot);
+            }
+            if retrain_after {
+                self.retrain();
+            }
+            start = end;
         }
     }
 
@@ -469,6 +551,92 @@ mod tests {
         assert_eq!(ivf.search_batch(&qrefs, 0), vec![Vec::new(); qrefs.len()]);
         let empty = IvfIndex::new(IvfConfig::default());
         assert_eq!(empty.search_batch(&qrefs, 5), vec![Vec::new(); qrefs.len()]);
+    }
+
+    /// Deep state equality between two indexes (model centroids, posting
+    /// lists, slab rows/norms, retrain bookkeeping) — byte-level where it
+    /// matters (`f32`/`f64` bit patterns).
+    fn assert_index_state_identical(a: &IvfIndex, b: &IvfIndex, label: &str) {
+        assert_eq!(a.slots, b.slots, "{label}: slot maps differ");
+        assert_eq!(a.lists, b.lists, "{label}: posting lists differ");
+        assert_eq!(a.cluster_of, b.cluster_of, "{label}: cluster map differs");
+        assert_eq!(a.trained_at_len, b.trained_at_len, "{label}");
+        match (&a.model, &b.model) {
+            (None, None) => {}
+            (Some(ma), Some(mb)) => {
+                assert_eq!(ma.k(), mb.k(), "{label}: cluster counts differ");
+                for (ca, cb) in ma.centroids().iter().zip(mb.centroids()) {
+                    assert_eq!(ca.as_slice(), cb.as_slice(), "{label}: centroids differ");
+                }
+            }
+            _ => panic!("{label}: one index trained, the other not"),
+        }
+        for (&id, &slot) in &a.slots {
+            assert_eq!(a.slab.row(slot), b.slab.row(slot), "{label}: row {id}");
+            assert_eq!(
+                a.slab.norm(slot).to_bits(),
+                b.slab.norm(slot).to_bits(),
+                "{label}: norm {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_bulk_is_bit_identical_to_sequential_inserts() {
+        // 500 items cross the lazy-retrain cascade at n = 64, 128, 256 —
+        // the bulk path must fire the same retrains at the same points.
+        let space = TopicSpace::generate(
+            21,
+            TopicSpaceConfig {
+                num_topics: 32,
+                ..TopicSpaceConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(40);
+        let items: Vec<(ItemId, Embedding)> = (0..500)
+            .map(|i| (i as ItemId, space.sample_member(i % 32, &mut rng)))
+            .collect();
+        let mut seq = IvfIndex::new(IvfConfig::default());
+        for (id, e) in &items {
+            seq.insert(*id, e.clone());
+        }
+        for threads in [1usize, 2, 4, 1000] {
+            let mut bulk = IvfIndex::new(IvfConfig {
+                setup_threads: threads,
+                ..IvfConfig::default()
+            });
+            bulk.insert_bulk(items.clone());
+            assert_index_state_identical(&seq, &bulk, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn insert_bulk_with_duplicate_ids_falls_back_to_per_item_semantics() {
+        let space = TopicSpace::generate(
+            21,
+            TopicSpaceConfig {
+                num_topics: 8,
+                ..TopicSpaceConfig::default()
+            },
+        );
+        let mut rng = rng_from_seed(41);
+        // Id 3 appears twice: the second occurrence must overwrite the
+        // first, exactly as sequential inserts would.
+        let mut items: Vec<(ItemId, Embedding)> = (0..100)
+            .map(|i| (i as ItemId, space.sample_member(i % 8, &mut rng)))
+            .collect();
+        items.push((3, space.sample_member(5, &mut rng)));
+        let mut seq = IvfIndex::new(IvfConfig::default());
+        for (id, e) in &items {
+            seq.insert(*id, e.clone());
+        }
+        let mut bulk = IvfIndex::new(IvfConfig {
+            setup_threads: 4,
+            ..IvfConfig::default()
+        });
+        bulk.insert_bulk(items);
+        assert_index_state_identical(&seq, &bulk, "duplicate ids");
+        assert_eq!(bulk.len(), 100);
     }
 
     #[test]

@@ -3,8 +3,39 @@
 //! Used by [`crate::IvfIndex`] to cluster cached examples offline (§4.1 of
 //! the paper: "we can cluster cached examples offline into K groups using
 //! K-Means").
+//!
+//! # The lane kernel, and why it is byte-for-byte the scalar loop
+//!
+//! The Lloyd assignment step — nearest centroid per point — dominates the
+//! fit. The hot path packs the centroid table into `LaneBlocks`: groups
+//! of `LANES` centroids transposed to component-major `f64`, so one pass
+//! over a point's components advances `LANES` independent distance
+//! accumulators (ILP/SIMD instead of one serial `f64` add chain). This is
+//! a *schedule* change, not a numeric one:
+//!
+//! - each centroid's accumulator receives exactly the terms
+//!   `(c_j - v_j)^2` in component order, widened to `f64` before the
+//!   subtract — the same op sequence as [`Embedding::sq_dist`], so every
+//!   per-pair distance is bit-identical to the scalar kernel's;
+//! - the argmin scans centroids in index order (group-major, lane-minor
+//!   = centroid index order) with the same strict `<` update, so ties
+//!   break to the same first index.
+//!
+//! # Parallelism (`threads`), and why it is bit-identical too
+//!
+//! The `*_threaded` entry points split *pure per-point* work — nearest
+//! centroid, `d2` min-updates in the k-means++ init — over disjoint
+//! contiguous point chunks ([`ic_embed::par::chunk_ranges`]). Each
+//! point's result is a pure function of that point and the (frozen)
+//! centroid table, so the parallel pass writes the very bytes the
+//! sequential pass would. Everything order-sensitive stays sequential on
+//! the calling thread: RNG draws, the `f32` centroid-update
+//! accumulation, the inertia sum (accumulated in point-index order from
+//! the per-point distances), and the best-of-seeds min scan (seed
+//! order). `kmeans_best_of_threaded` additionally runs whole fits —
+//! independent by construction — one seed per worker.
 
-use ic_embed::Embedding;
+use ic_embed::{Embedding, par::chunk_ranges, sq_dist_slices};
 use ic_stats::rng::rng_from_seed;
 use rand::{Rng, RngExt};
 
@@ -33,6 +64,21 @@ impl KMeansModel {
     /// produced by [`kmeans`]).
     pub fn assign(&self, v: &Embedding) -> usize {
         nearest_centroid(&self.centroids, v).0
+    }
+
+    /// [`Self::assign`] for a whole batch of component rows, through the
+    /// lane kernel over `threads` disjoint contiguous row chunks.
+    /// `out[i]` is exactly `self.assign(&rows[i])` — same distances, same
+    /// strict-`<` first-index tie-break — at any thread count.
+    pub fn assign_batch_rows(&self, rows: &[&[f32]], threads: usize) -> Vec<usize> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        assert!(!self.centroids.is_empty(), "model has no centroids");
+        let lanes = LaneBlocks::build(&self.centroids, rows[0].len());
+        let mut assignment = vec![usize::MAX; rows.len()];
+        assign_pass(&lanes, rows, &mut assignment, &mut [], threads);
+        assignment
     }
 
     /// Indices of the `n` nearest centroids, closest first.
@@ -100,54 +146,269 @@ fn nearest_centroid(centroids: &[Embedding], v: &Embedding) -> (usize, f64) {
     best
 }
 
+/// Distance accumulators advanced per component pass — sized for eight
+/// independent `f64` chains (one AVX-512 register, four SSE2 registers;
+/// either way enough ILP to hide the add latency that serializes the
+/// scalar kernel).
+const LANES: usize = 8;
+
+/// The centroid table transposed for the assignment hot loop: groups of
+/// [`LANES`] centroids stored component-major as `f64`
+/// (`blocks[g * dim * LANES + j * LANES + lane]` = component `j` of
+/// centroid `g * LANES + lane`). Padding lanes in the last group hold
+/// `f64::INFINITY` and are excluded from the argmin. The module docs
+/// argue bit-equivalence with the scalar loop.
+struct LaneBlocks {
+    k: usize,
+    dim: usize,
+    blocks: Vec<f64>,
+}
+
+impl LaneBlocks {
+    fn build(centroids: &[Embedding], dim: usize) -> Self {
+        let k = centroids.len();
+        let groups = k.div_ceil(LANES);
+        let mut blocks = vec![f64::INFINITY; groups * dim * LANES];
+        for (ci, c) in centroids.iter().enumerate() {
+            let (g, lane) = (ci / LANES, ci % LANES);
+            let base = g * dim * LANES;
+            for (j, &x) in c.as_slice().iter().enumerate() {
+                blocks[base + j * LANES + lane] = f64::from(x);
+            }
+        }
+        Self { k, dim, blocks }
+    }
+
+    /// `(argmin, min)` of the squared distances from `v64` (the point's
+    /// components pre-widened to `f64` — lossless) to every centroid.
+    /// Bit-identical to [`nearest_centroid`] on the same point.
+    fn nearest(&self, v64: &[f64]) -> (usize, f64) {
+        debug_assert_eq!(v64.len(), self.dim);
+        let mut best = (0usize, f64::INFINITY);
+        for g in 0..self.k.div_ceil(LANES) {
+            let base = g * self.dim * LANES;
+            let block = &self.blocks[base..base + self.dim * LANES];
+            let mut acc = [0.0f64; LANES];
+            for (j, &x) in v64.iter().enumerate() {
+                let row: &[f64] = &block[j * LANES..(j + 1) * LANES];
+                for (a, &c) in acc.iter_mut().zip(row) {
+                    let d = c - x;
+                    *a += d * d;
+                }
+            }
+            let live = (self.k - g * LANES).min(LANES);
+            for (lane, &s) in acc.iter().take(live).enumerate() {
+                if s < best.1 {
+                    best = (g * LANES + lane, s);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// One assignment pass: nearest centroid per row through the lane
+/// kernel, parallel over `threads` disjoint contiguous row chunks.
+/// Writes each row's cluster into `assignment` (and, when `dists` is
+/// non-empty, its distance into `dists`); returns whether any
+/// assignment changed. Each row's result is a pure function of the row
+/// and the frozen `lanes` table, so the output is identical at every
+/// thread count; the `changed` flag is an order-insensitive OR.
+fn assign_pass(
+    lanes: &LaneBlocks,
+    rows: &[&[f32]],
+    assignment: &mut [usize],
+    dists: &mut [f64],
+    threads: usize,
+) -> bool {
+    fn run_chunk(
+        lanes: &LaneBlocks,
+        rows: &[&[f32]],
+        assignment: &mut [usize],
+        dists: &mut [f64],
+    ) -> bool {
+        let mut v64 = vec![0.0f64; lanes.dim];
+        let mut changed = false;
+        for (i, row) in rows.iter().enumerate() {
+            for (d, &x) in v64.iter_mut().zip(*row) {
+                *d = f64::from(x);
+            }
+            let (a, d) = lanes.nearest(&v64);
+            if a != assignment[i] {
+                assignment[i] = a;
+                changed = true;
+            }
+            if let Some(slot) = dists.get_mut(i) {
+                *slot = d;
+            }
+        }
+        changed
+    }
+
+    let ranges = chunk_ranges(rows.len(), threads);
+    if ranges.len() <= 1 {
+        return run_chunk(lanes, rows, assignment, dists);
+    }
+    std::thread::scope(|s| {
+        let mut a_rest = assignment;
+        let mut d_rest = dists;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in &ranges {
+            let (a_chunk, a_tail) = a_rest.split_at_mut(range.len());
+            a_rest = a_tail;
+            let (d_chunk, d_tail) = d_rest.split_at_mut(range.len().min(d_rest.len()));
+            d_rest = d_tail;
+            let rows = &rows[range.start..range.end];
+            handles.push(s.spawn(move || run_chunk(lanes, rows, a_chunk, d_chunk)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("assignment worker panicked"))
+            .fold(false, |acc, c| acc | c)
+    })
+}
+
+/// Recomputes `d2[i] = min(d2[i], dist(rows[i], centroid))` (or just the
+/// distance when `init`) over `threads` disjoint contiguous row chunks —
+/// the k-means++ distance-table maintenance. Pure per row, so
+/// bit-identical at any thread count.
+fn d2_pass(rows: &[&[f32]], centroid: &[f32], d2: &mut [f64], init: bool, threads: usize) {
+    fn run_chunk(rows: &[&[f32]], centroid: &[f32], d2: &mut [f64], init: bool) {
+        for (slot, row) in d2.iter_mut().zip(rows) {
+            let d = sq_dist_slices(row, centroid);
+            *slot = if init { d } else { slot.min(d) };
+        }
+    }
+
+    let ranges = chunk_ranges(rows.len(), threads);
+    if ranges.len() <= 1 {
+        run_chunk(rows, centroid, d2, init);
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest = d2;
+        for range in &ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let rows = &rows[range.start..range.end];
+            s.spawn(move || run_chunk(rows, centroid, chunk, init));
+        }
+    });
+}
+
+/// A K-means fit together with the by-products the IVF build wants:
+/// the final per-point cluster assignment (computed under the *final*
+/// centroids — exactly `model.assign` per point) and the fit's inertia
+/// (exactly `model.inertia(data)`), both falling out of the last
+/// assignment pass instead of costing an extra full scan each.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// The fitted model.
+    pub model: KMeansModel,
+    /// `assignment[i]` == `model.assign(&data[i])`, bit for bit.
+    pub assignment: Vec<usize>,
+    /// `model.inertia(data)`, bit for bit (point-index-order sum).
+    pub inertia: f64,
+}
+
 /// Fits K-means to `data` with k-means++ initialization.
 ///
 /// `k` is clamped to `data.len()`; an empty dataset yields an empty model
 /// is not allowed — returns `None` instead. Runs at most `max_iters` Lloyd
 /// iterations, stopping early when assignments stabilize.
 pub fn kmeans(data: &[Embedding], k: usize, max_iters: usize, seed: u64) -> Option<KMeansModel> {
-    if data.is_empty() || k == 0 {
+    kmeans_threaded(data, k, max_iters, seed, 1)
+}
+
+/// [`kmeans`] with the pure per-point passes split over `threads`
+/// worker threads. The fitted model is bit-identical to `threads = 1`
+/// (see the module docs); `threads <= 1` runs inline.
+pub fn kmeans_threaded(
+    data: &[Embedding],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    threads: usize,
+) -> Option<KMeansModel> {
+    let rows: Vec<&[f32]> = data.iter().map(|e| e.as_slice()).collect();
+    kmeans_fit_rows(&rows, k, max_iters, seed, threads).map(|fit| fit.model)
+}
+
+/// The full fit over component rows (the slab-resident form — no
+/// per-point `Embedding` materialization). This is the engine behind
+/// every `kmeans*` entry point and the IVF retrain path.
+pub fn kmeans_fit_rows(
+    rows: &[&[f32]],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    threads: usize,
+) -> Option<KMeansFit> {
+    if rows.is_empty() || k == 0 {
         return None;
     }
-    let k = k.min(data.len());
+    let dim = rows[0].len();
+    let k = k.min(rows.len());
     let mut rng = rng_from_seed(seed);
-    let mut centroids = init_plus_plus(data, k, &mut rng);
-    let mut assignment = vec![usize::MAX; data.len()];
+    let mut centroids = init_plus_plus(rows, k, &mut rng, threads);
+    let mut assignment = vec![usize::MAX; rows.len()];
+    let mut dists = vec![0.0f64; rows.len()];
+    // Update-step accumulators, hoisted out of the loop (they used to be
+    // reallocated per iteration) and flattened to one `k x dim` buffer.
+    let mut sums = vec![0.0f32; k * dim];
+    let mut counts = vec![0usize; k];
+    // Whether `assignment`/`dists` reflect the *current* centroids (true
+    // right after an assignment pass, false once the update step moves
+    // them).
+    let mut current = false;
 
     for _ in 0..max_iters {
-        // Assignment step.
-        let mut changed = false;
-        for (i, v) in data.iter().enumerate() {
-            let a = nearest_centroid(&centroids, v).0;
-            if a != assignment[i] {
-                assignment[i] = a;
-                changed = true;
-            }
-        }
+        // Assignment step (parallel, pure per point).
+        let lanes = LaneBlocks::build(&centroids, dim);
+        let changed = assign_pass(&lanes, rows, &mut assignment, &mut dists, threads);
+        current = true;
         if !changed {
             break;
         }
-        // Update step.
-        let mut sums: Vec<Embedding> = (0..k).map(|_| Embedding::zeros(data[0].dim())).collect();
-        let mut counts = vec![0usize; k];
-        for (i, v) in data.iter().enumerate() {
-            sums[assignment[i]].add_scaled(v, 1.0);
-            counts[assignment[i]] += 1;
+        // Update step — sequential in point-index order: the `f32` sum
+        // accumulation is order-sensitive, and this order is the
+        // contract (`add_scaled(v, 1.0)` per point, exactly as before).
+        sums.fill(0.0);
+        counts.fill(0);
+        for (row, &a) in rows.iter().zip(&assignment) {
+            for (acc, &x) in sums[a * dim..(a + 1) * dim].iter_mut().zip(*row) {
+                *acc += x;
+            }
+            counts[a] += 1;
         }
-        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
-            if *count > 0 {
-                let inv = 1.0 / *count as f64;
-                let mut m = sum.clone();
-                for x in m.as_mut_slice() {
-                    *x = (f64::from(*x) * inv) as f32;
+        for (ci, c) in centroids.iter_mut().enumerate() {
+            if counts[ci] > 0 {
+                let inv = 1.0 / counts[ci] as f64;
+                for (x, &s) in c
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(&sums[ci * dim..(ci + 1) * dim])
+                {
+                    *x = (f64::from(s) * inv) as f32;
                 }
-                *c = m;
             }
             // Empty clusters keep their previous centroid; k-means++ makes
             // this rare and harmless.
         }
+        current = false;
     }
-    Some(KMeansModel { centroids })
+    if !current {
+        // `max_iters` exhausted after an update: one more pass so the
+        // returned assignment/inertia describe the final centroids.
+        let lanes = LaneBlocks::build(&centroids, dim);
+        assign_pass(&lanes, rows, &mut assignment, &mut dists, threads);
+    }
+    let inertia = dists.iter().sum();
+    Some(KMeansFit {
+        model: KMeansModel { centroids },
+        assignment,
+        inertia,
+    })
 }
 
 /// Best-of-`n_init` k-means: runs [`kmeans`] from `n_init` different
@@ -160,29 +421,71 @@ pub fn kmeans_best_of(
     seed: u64,
     n_init: usize,
 ) -> Option<KMeansModel> {
-    (0..n_init.max(1) as u64)
-        .filter_map(|i| kmeans(data, k, max_iters, seed.wrapping_add(i)))
-        .min_by(|a, b| {
-            a.inertia(data)
-                .partial_cmp(&b.inertia(data))
-                .expect("finite inertia")
+    kmeans_best_of_threaded(data, k, max_iters, seed, n_init, 1)
+}
+
+/// [`kmeans_best_of`] with the independent seeds fitted one per worker
+/// thread (each fit sequential inside). The winner is picked by a
+/// sequential strict-`<` scan in seed order — the same first-minimum
+/// rule as the sequential `min_by` — over per-fit inertias that are
+/// bit-identical to the sequential runs', so the chosen model is too.
+pub fn kmeans_best_of_threaded(
+    data: &[Embedding],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    n_init: usize,
+    threads: usize,
+) -> Option<KMeansModel> {
+    let rows: Vec<&[f32]> = data.iter().map(|e| e.as_slice()).collect();
+    let n_init = n_init.max(1) as u64;
+    let fits: Vec<Option<KMeansFit>> = if threads > 1 && n_init > 1 {
+        std::thread::scope(|s| {
+            let rows = &rows;
+            let handles: Vec<_> = (0..n_init)
+                .map(|i| {
+                    s.spawn(move || kmeans_fit_rows(rows, k, max_iters, seed.wrapping_add(i), 1))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kmeans seed worker panicked"))
+                .collect()
         })
+    } else {
+        (0..n_init)
+            .map(|i| kmeans_fit_rows(&rows, k, max_iters, seed.wrapping_add(i), threads))
+            .collect()
+    };
+    let mut best: Option<KMeansFit> = None;
+    for fit in fits.into_iter().flatten() {
+        let better = best.as_ref().is_none_or(|b| fit.inertia < b.inertia);
+        if better {
+            best = Some(fit);
+        }
+    }
+    best.map(|fit| fit.model)
 }
 
 /// k-means++ seeding: first center uniform, subsequent centers sampled
 /// proportionally to squared distance from the nearest chosen center.
-fn init_plus_plus(data: &[Embedding], k: usize, rng: &mut impl Rng) -> Vec<Embedding> {
+/// The RNG draws and the weighted scan stay sequential; only the pure
+/// per-point distance-table updates fan out over `threads`.
+fn init_plus_plus(rows: &[&[f32]], k: usize, rng: &mut impl Rng, threads: usize) -> Vec<Embedding> {
     let mut centroids: Vec<Embedding> = Vec::with_capacity(k);
-    centroids.push(data[rng.random_range(0..data.len())].clone());
-    let mut d2: Vec<f64> = data.iter().map(|v| v.sq_dist(&centroids[0])).collect();
+    centroids.push(Embedding::from_vec(
+        rows[rng.random_range(0..rows.len())].to_vec(),
+    ));
+    let mut d2 = vec![0.0f64; rows.len()];
+    d2_pass(rows, centroids[0].as_slice(), &mut d2, true, threads);
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= f64::EPSILON {
             // All points coincide with chosen centers; pick uniformly.
-            rng.random_range(0..data.len())
+            rng.random_range(0..rows.len())
         } else {
             let mut target = rng.random::<f64>() * total;
-            let mut idx = data.len() - 1;
+            let mut idx = rows.len() - 1;
             for (i, &w) in d2.iter().enumerate() {
                 if target < w {
                     idx = i;
@@ -192,11 +495,9 @@ fn init_plus_plus(data: &[Embedding], k: usize, rng: &mut impl Rng) -> Vec<Embed
             }
             idx
         };
-        centroids.push(data[next].clone());
-        let newest = centroids.last().expect("just pushed");
-        for (i, v) in data.iter().enumerate() {
-            d2[i] = d2[i].min(v.sq_dist(newest));
-        }
+        centroids.push(Embedding::from_vec(rows[next].to_vec()));
+        let newest = centroids.last().expect("just pushed").clone();
+        d2_pass(rows, newest.as_slice(), &mut d2, false, threads);
     }
     centroids
 }
@@ -313,5 +614,83 @@ mod tests {
         for (ca, cb) in a.centroids().iter().zip(b.centroids()) {
             assert_eq!(ca.as_slice(), cb.as_slice());
         }
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_nearest_bitwise() {
+        // Awkward k values around the lane width: padding lanes and the
+        // final partial group must never affect the argmin.
+        let (data, _) = clustered_data(8, 40);
+        for k in [1usize, 7, 8, 9, 15, 17] {
+            let model = kmeans(&data, k, 10, 11).unwrap();
+            let lanes = LaneBlocks::build(&model.centroids, data[0].dim());
+            let mut v64 = vec![0.0f64; data[0].dim()];
+            for v in &data {
+                for (d, &x) in v64.iter_mut().zip(v.as_slice()) {
+                    *d = f64::from(x);
+                }
+                let (li, ld) = lanes.nearest(&v64);
+                let (si, sd) = nearest_centroid(&model.centroids, v);
+                assert_eq!(li, si, "k={k}");
+                assert_eq!(ld.to_bits(), sd.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_fit_is_bit_identical_to_sequential() {
+        let (data, _) = clustered_data(6, 40);
+        let seq = kmeans(&data, 6, 25, 13).unwrap();
+        // Thread counts beyond the point count degrade to per-point
+        // chunks and must still produce the same fit.
+        for threads in [2usize, 3, 4, 1000] {
+            let par = kmeans_threaded(&data, 6, 25, 13, threads).unwrap();
+            for (cs, cp) in seq.centroids().iter().zip(par.centroids()) {
+                assert_eq!(cs.as_slice(), cp.as_slice(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_best_of_is_bit_identical_to_sequential() {
+        let (data, _) = clustered_data(4, 30);
+        let seq = kmeans_best_of(&data, 4, 20, 7, 3).unwrap();
+        let par = kmeans_best_of_threaded(&data, 4, 20, 7, 3, 4).unwrap();
+        for (cs, cp) in seq.centroids().iter().zip(par.centroids()) {
+            assert_eq!(cs.as_slice(), cp.as_slice());
+        }
+    }
+
+    #[test]
+    fn fit_rows_assignment_and_inertia_match_model_queries() {
+        let (data, _) = clustered_data(5, 30);
+        let rows: Vec<&[f32]> = data.iter().map(|e| e.as_slice()).collect();
+        // max_iters=2 exhausts before convergence, forcing the extra
+        // final assignment pass; 50 converges and reuses the last one.
+        for iters in [2usize, 50] {
+            let fit = kmeans_fit_rows(&rows, 5, iters, 3, 1).unwrap();
+            for (v, &a) in data.iter().zip(&fit.assignment) {
+                assert_eq!(a, fit.model.assign(v), "iters={iters}");
+            }
+            assert_eq!(
+                fit.inertia.to_bits(),
+                fit.model.inertia(&data).to_bits(),
+                "iters={iters}"
+            );
+        }
+    }
+
+    #[test]
+    fn assign_batch_rows_matches_per_point_assign() {
+        let (data, _) = clustered_data(6, 30);
+        let model = kmeans(&data, 6, 20, 5).unwrap();
+        let rows: Vec<&[f32]> = data.iter().map(|e| e.as_slice()).collect();
+        for threads in [1usize, 3, 500] {
+            let batch = model.assign_batch_rows(&rows, threads);
+            for (v, &a) in data.iter().zip(&batch) {
+                assert_eq!(a, model.assign(v), "threads={threads}");
+            }
+        }
+        assert!(model.assign_batch_rows(&[], 4).is_empty());
     }
 }

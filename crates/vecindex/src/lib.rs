@@ -41,7 +41,10 @@ pub mod kmeans;
 
 pub use flat::FlatIndex;
 pub use ivf::{IvfConfig, IvfIndex};
-pub use kmeans::{KMeansModel, kmeans, kmeans_best_of};
+pub use kmeans::{
+    KMeansFit, KMeansModel, kmeans, kmeans_best_of, kmeans_best_of_threaded, kmeans_fit_rows,
+    kmeans_threaded,
+};
 
 use ic_embed::Embedding;
 

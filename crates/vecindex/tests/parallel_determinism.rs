@@ -1,0 +1,108 @@
+//! Property tests: every `IC_SETUP_THREADS` parallel build path —
+//! slab-row embedding (norm caching), k-means fitting, and the IVF
+//! bulk insert — is *bit-identical* to the sequential path at any
+//! thread count, including thread counts exceeding the row count.
+//!
+//! These pin the tentpole contract of the parallel setup pipeline: the
+//! partition is deterministic, per-row work is pure, and every
+//! order-sensitive reduction stays sequential — so the only thing
+//! threads may change is wall-clock time, never a byte of the index.
+
+use ic_embed::{Embedding, EmbeddingSlab};
+use ic_vecindex::{IvfConfig, IvfIndex, VectorIndex, kmeans, kmeans_threaded};
+use proptest::prelude::*;
+
+/// Components from a tiny discrete set so duplicate rows (assignment
+/// ties) and zero vectors occur routinely — the cases where a subtly
+/// different tie-break or summation order would show up first.
+fn embedding(raw: &[i32]) -> Embedding {
+    Embedding::from_vec(raw.iter().map(|&v| v as f32 * 0.25).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel slab building: same slots, same row bytes, same norm
+    /// bits as one-by-one inserts.
+    #[test]
+    fn slab_bulk_insert_matches_sequential(
+        rows in proptest::collection::vec(proptest::collection::vec(-2i32..3, 5), 1..80),
+        threads in 1usize..12,
+    ) {
+        let embs: Vec<Embedding> = rows.iter().map(|r| embedding(r)).collect();
+        let slices: Vec<&[f32]> = embs.iter().map(|e| e.as_slice()).collect();
+        let mut seq = EmbeddingSlab::new();
+        let seq_slots: Vec<u32> = slices.iter().map(|r| seq.insert(r)).collect();
+        let mut par = EmbeddingSlab::new();
+        let par_slots = par.insert_bulk(&slices, threads);
+        prop_assert_eq!(seq_slots, par_slots);
+        for (i, _) in slices.iter().enumerate() {
+            let slot = i as u32;
+            prop_assert_eq!(par.row(slot), seq.row(slot));
+            prop_assert_eq!(par.norm(slot).to_bits(), seq.norm(slot).to_bits());
+        }
+    }
+
+    /// Parallel k-means: centroids identical to the sequential fit, bit
+    /// for bit, at any thread count (including threads > points).
+    #[test]
+    fn threaded_kmeans_matches_sequential(
+        rows in proptest::collection::vec(proptest::collection::vec(-2i32..3, 4), 1..60),
+        k in 1usize..10,
+        iters in 0usize..12,
+        seed in 0u64..50,
+        threads in 2usize..200,
+    ) {
+        let data: Vec<Embedding> = rows.iter().map(|r| embedding(r)).collect();
+        let seq = kmeans(&data, k, iters, seed).unwrap();
+        let par = kmeans_threaded(&data, k, iters, seed, threads).unwrap();
+        prop_assert_eq!(seq.k(), par.k());
+        for (cs, cp) in seq.centroids().iter().zip(par.centroids()) {
+            prop_assert_eq!(cs.as_slice(), cp.as_slice());
+        }
+    }
+
+    /// Parallel IVF bulk build: search results (ids, similarity bits,
+    /// order) and structure statistics identical to the sequential
+    /// per-item build, across the brute-force boundary and the lazy
+    /// retrain cascade.
+    #[test]
+    fn ivf_bulk_build_matches_sequential(
+        rows in proptest::collection::vec(proptest::collection::vec(-2i32..3, 5), 1..200),
+        queries in proptest::collection::vec(proptest::collection::vec(-2i32..3, 5), 1..8),
+        brute_below in 1usize..40,
+        threads in 2usize..64,
+    ) {
+        let items: Vec<(u64, Embedding)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, embedding(r)))
+            .collect();
+        let config = IvfConfig {
+            brute_force_below: brute_below,
+            ..IvfConfig::default()
+        };
+        let mut seq = IvfIndex::new(config.clone());
+        for (id, e) in &items {
+            seq.insert(*id, e.clone());
+        }
+        let mut bulk = IvfIndex::new(IvfConfig {
+            setup_threads: threads,
+            ..config
+        });
+        bulk.insert_bulk(items);
+        prop_assert_eq!(seq.len(), bulk.len());
+        prop_assert_eq!(seq.num_clusters(), bulk.num_clusters());
+        prop_assert_eq!(seq.is_brute_force(), bulk.is_brute_force());
+        for raw in &queries {
+            let q = embedding(raw);
+            let a = seq.search(&q, 10);
+            let b = bulk.search(&q, 10);
+            prop_assert_eq!(a.len(), b.len());
+            for (ha, hb) in a.iter().zip(&b) {
+                prop_assert_eq!(ha.id, hb.id);
+                prop_assert_eq!(ha.similarity.to_bits(), hb.similarity.to_bits());
+            }
+        }
+    }
+}
